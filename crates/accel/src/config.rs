@@ -1,0 +1,230 @@
+//! Accelerator design points.
+//!
+//! DANCE's hardware search space `H` (paper §4.1) uses Eyeriss as the
+//! backbone and exposes four design parameters: the two dimensions of the PE
+//! array (`PE_X`, `PE_Y` ∈ [8, 24]), the per-PE register-file size, and the
+//! dataflow (loop ordering) chosen from three published accelerators.
+
+use std::fmt;
+
+/// Loop-ordering strategy of the PE array (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dataflow {
+    /// Weight stationary, as in the Google TPU (Jouppi et al. 2017):
+    /// weights pinned in PEs, spatial parallelism over output/input channels.
+    WeightStationary,
+    /// Output stationary, as in ShiDianNao (Du et al. 2015): each PE owns an
+    /// output pixel, spatial parallelism over the output feature map.
+    OutputStationary,
+    /// Row stationary, as in Eyeriss (Chen et al. 2016): 1-D convolution
+    /// rows pinned per PE, spatial parallelism over filter/output rows.
+    RowStationary,
+}
+
+impl Dataflow {
+    /// All dataflows, in the canonical (one-hot) order.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+        Dataflow::RowStationary,
+    ];
+
+    /// Canonical index used by one-hot encodings.
+    pub fn index(self) -> usize {
+        match self {
+            Dataflow::WeightStationary => 0,
+            Dataflow::OutputStationary => 1,
+            Dataflow::RowStationary => 2,
+        }
+    }
+
+    /// Inverse of [`Dataflow::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Short name as used in the paper ("WS", "OS", "RS").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+            Dataflow::RowStationary => "RS",
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Inclusive range of the PE-array dimensions (paper: "from 8 to 24").
+pub const PE_MIN: usize = 8;
+/// See [`PE_MIN`].
+pub const PE_MAX: usize = 24;
+/// Register-file sizes in words ("between 4 and 64"), as a one-hot ladder.
+pub const RF_CHOICES: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// One point in the hardware design space `H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    pe_x: usize,
+    pe_y: usize,
+    rf_size: usize,
+    dataflow: Dataflow,
+}
+
+impl AcceleratorConfig {
+    /// Creates a validated design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter lies outside the paper's
+    /// search space.
+    pub fn new(
+        pe_x: usize,
+        pe_y: usize,
+        rf_size: usize,
+        dataflow: Dataflow,
+    ) -> Result<Self, ConfigError> {
+        if !(PE_MIN..=PE_MAX).contains(&pe_x) {
+            return Err(ConfigError::PeOutOfRange { axis: 'x', value: pe_x });
+        }
+        if !(PE_MIN..=PE_MAX).contains(&pe_y) {
+            return Err(ConfigError::PeOutOfRange { axis: 'y', value: pe_y });
+        }
+        if !RF_CHOICES.contains(&rf_size) {
+            return Err(ConfigError::InvalidRfSize(rf_size));
+        }
+        Ok(Self { pe_x, pe_y, rf_size, dataflow })
+    }
+
+    /// PE-array width.
+    pub fn pe_x(&self) -> usize {
+        self.pe_x
+    }
+
+    /// PE-array height.
+    pub fn pe_y(&self) -> usize {
+        self.pe_y
+    }
+
+    /// Register-file size per PE, in words.
+    pub fn rf_size(&self) -> usize {
+        self.rf_size
+    }
+
+    /// The dataflow (loop ordering).
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// Total number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.pe_x * self.pe_y
+    }
+}
+
+impl Default for AcceleratorConfig {
+    /// The Eyeriss-like midpoint of the space: 14×12 PEs, RF 16, row
+    /// stationary.
+    fn default() -> Self {
+        Self { pe_x: 14, pe_y: 12, rf_size: 16, dataflow: Dataflow::RowStationary }
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} PEs, RF {} words, {}",
+            self.pe_x, self.pe_y, self.rf_size, self.dataflow
+        )
+    }
+}
+
+/// Error building an [`AcceleratorConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A PE-array dimension outside `[PE_MIN, PE_MAX]`.
+    PeOutOfRange {
+        /// Which axis ('x' or 'y').
+        axis: char,
+        /// The offending value.
+        value: usize,
+    },
+    /// A register-file size not in [`RF_CHOICES`].
+    InvalidRfSize(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::PeOutOfRange { axis, value } => write!(
+                f,
+                "PE_{axis} = {value} outside supported range [{PE_MIN}, {PE_MAX}]"
+            ),
+            ConfigError::InvalidRfSize(v) => {
+                write!(f, "register file size {v} not one of {RF_CHOICES:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config_builds() {
+        let c = AcceleratorConfig::new(8, 24, 64, Dataflow::WeightStationary).unwrap();
+        assert_eq!(c.num_pes(), 192);
+        assert_eq!(c.to_string(), "8x24 PEs, RF 64 words, WS");
+    }
+
+    #[test]
+    fn out_of_range_pe_rejected() {
+        assert_eq!(
+            AcceleratorConfig::new(7, 12, 16, Dataflow::RowStationary),
+            Err(ConfigError::PeOutOfRange { axis: 'x', value: 7 })
+        );
+        assert_eq!(
+            AcceleratorConfig::new(8, 25, 16, Dataflow::RowStationary),
+            Err(ConfigError::PeOutOfRange { axis: 'y', value: 25 })
+        );
+    }
+
+    #[test]
+    fn invalid_rf_rejected() {
+        assert_eq!(
+            AcceleratorConfig::new(8, 8, 5, Dataflow::RowStationary),
+            Err(ConfigError::InvalidRfSize(5))
+        );
+    }
+
+    #[test]
+    fn dataflow_index_roundtrip() {
+        for df in Dataflow::ALL {
+            assert_eq!(Dataflow::from_index(df.index()), df);
+        }
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let d = AcceleratorConfig::default();
+        assert!(AcceleratorConfig::new(d.pe_x(), d.pe_y(), d.rf_size(), d.dataflow()).is_ok());
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError::InvalidRfSize(7);
+        assert!(e.to_string().contains("register file size 7"));
+    }
+}

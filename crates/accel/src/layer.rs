@@ -1,0 +1,209 @@
+//! Convolutional-layer workload descriptions.
+//!
+//! A convolution has the seven dimensions of paper Figure 1a: three for the
+//! input activation (`H`, `W`, `C`), three for the weights (`R`, `S`, `K`)
+//! and one for the batch (`N`). The cost model prices a layer from these
+//! dimensions plus the stride; "same" zero padding is assumed, matching the
+//! MBConv blocks of the ProxylessNAS backbone.
+
+use std::fmt;
+
+/// One convolutional layer workload.
+///
+/// `groups` expresses grouped/depthwise convolution: the channels are split
+/// into `groups` independent convolutions, so a depthwise layer has
+/// `groups == c_in == k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Batch size `N`.
+    pub n: usize,
+    /// Output channels `K`.
+    pub k: usize,
+    /// Input channels `C`.
+    pub c: usize,
+    /// Input feature-map height `H`.
+    pub h: usize,
+    /// Input feature-map width `W`.
+    pub w: usize,
+    /// Filter height `R`.
+    pub r: usize,
+    /// Filter width `S`.
+    pub s: usize,
+    /// Spatial stride (same in both dimensions).
+    pub stride: usize,
+    /// Number of channel groups (1 = dense, `c` = depthwise).
+    pub groups: usize,
+}
+
+impl ConvLayer {
+    /// A dense convolution with batch 1 and "same" padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(k: usize, c: usize, h: usize, w: usize, r: usize, s: usize, stride: usize) -> Self {
+        let layer = Self { n: 1, k, c, h, w, r, s, stride, groups: 1 };
+        layer.validate();
+        layer
+    }
+
+    /// A depthwise convolution over `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn depthwise(channels: usize, h: usize, w: usize, r: usize, s: usize, stride: usize) -> Self {
+        let layer = Self {
+            n: 1,
+            k: channels,
+            c: channels,
+            h,
+            w,
+            r,
+            s,
+            stride,
+            groups: channels,
+        };
+        layer.validate();
+        layer
+    }
+
+    /// A 1×1 (pointwise) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn pointwise(k: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::new(k, c, h, w, 1, 1, 1)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.n > 0
+                && self.k > 0
+                && self.c > 0
+                && self.h > 0
+                && self.w > 0
+                && self.r > 0
+                && self.s > 0
+                && self.stride > 0,
+            "conv layer has a zero dimension: {self:?}"
+        );
+        assert!(self.groups > 0 && self.k % self.groups == 0 && self.c % self.groups == 0,
+            "groups {} must divide k {} and c {}", self.groups, self.k, self.c);
+    }
+
+    /// Output feature-map height (same padding, then stride).
+    pub fn h_out(&self) -> usize {
+        self.h.div_ceil(self.stride)
+    }
+
+    /// Output feature-map width (same padding, then stride).
+    pub fn w_out(&self) -> usize {
+        self.w.div_ceil(self.stride)
+    }
+
+    /// Input channels visible to one group.
+    pub fn c_per_group(&self) -> usize {
+        self.c / self.groups
+    }
+
+    /// Total multiply-accumulate operations.
+    pub fn macs(&self) -> u64 {
+        self.n as u64
+            * self.k as u64
+            * self.c_per_group() as u64
+            * self.h_out() as u64
+            * self.w_out() as u64
+            * self.r as u64
+            * self.s as u64
+    }
+
+    /// Number of weight words.
+    pub fn weight_words(&self) -> u64 {
+        self.k as u64 * self.c_per_group() as u64 * self.r as u64 * self.s as u64
+    }
+
+    /// Number of input-activation words.
+    pub fn input_words(&self) -> u64 {
+        self.n as u64 * self.c as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Number of output-activation words.
+    pub fn output_words(&self) -> u64 {
+        self.n as u64 * self.k as u64 * self.h_out() as u64 * self.w_out() as u64
+    }
+
+    /// Whether this layer is depthwise.
+    pub fn is_depthwise(&self) -> bool {
+        self.groups > 1 && self.groups == self.c && self.groups == self.k
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv {}x{}x{} -> {} ch, {}x{} filter, stride {}{}",
+            self.h,
+            self.w,
+            self.c,
+            self.k,
+            self.r,
+            self.s,
+            self.stride,
+            if self.groups > 1 { " (grouped)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_match_seven_loop_product() {
+        let l = ConvLayer::new(64, 32, 16, 16, 3, 3, 1);
+        assert_eq!(l.macs(), 64 * 32 * 16 * 16 * 3 * 3);
+    }
+
+    #[test]
+    fn stride_shrinks_output() {
+        let l = ConvLayer::new(8, 8, 32, 32, 3, 3, 2);
+        assert_eq!(l.h_out(), 16);
+        assert_eq!(l.w_out(), 16);
+        // Odd input rounds up (same padding).
+        let l = ConvLayer::new(8, 8, 33, 33, 3, 3, 2);
+        assert_eq!(l.h_out(), 17);
+    }
+
+    #[test]
+    fn depthwise_macs_lack_channel_product() {
+        let dense = ConvLayer::new(32, 32, 16, 16, 3, 3, 1);
+        let dw = ConvLayer::depthwise(32, 16, 16, 3, 3, 1);
+        assert_eq!(dw.macs() * 32, dense.macs());
+        assert!(dw.is_depthwise());
+        assert!(!dense.is_depthwise());
+    }
+
+    #[test]
+    fn pointwise_is_1x1() {
+        let pw = ConvLayer::pointwise(128, 64, 8, 8);
+        assert_eq!((pw.r, pw.s, pw.stride), (1, 1, 1));
+        assert_eq!(pw.macs(), 128 * 64 * 8 * 8);
+    }
+
+    #[test]
+    fn tensor_word_counts() {
+        let l = ConvLayer::new(16, 8, 4, 4, 3, 3, 1);
+        assert_eq!(l.weight_words(), 16 * 8 * 9);
+        assert_eq!(l.input_words(), 8 * 16);
+        assert_eq!(l.output_words(), 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dimension_panics() {
+        let _ = ConvLayer::new(0, 8, 4, 4, 3, 3, 1);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # dance-accel
+//!
+//! Accelerator design space and DNN workload definitions for the DANCE
+//! reproduction (Choi et al., DAC 2021).
+//!
+//! The paper's hardware search space `H` uses Eyeriss as the backbone with
+//! four tunable parameters — PE-array width/height, register-file size and
+//! dataflow — captured by [`config::AcceleratorConfig`] and enumerated /
+//! one-hot-encoded by [`space::HardwareSpace`]. The architecture space `A`
+//! is a 13-layer ProxylessNAS backbone whose searchable slots are described
+//! by [`workload::NetworkTemplate`].
+//!
+//! ```
+//! use dance_accel::prelude::*;
+//!
+//! let space = HardwareSpace::new();
+//! assert_eq!(space.len(), 4335);
+//! let net = NetworkTemplate::cifar10()
+//!     .instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 6 }; 9]);
+//! assert!(net.total_macs() > 0);
+//! ```
+
+pub mod config;
+pub mod layer;
+pub mod space;
+pub mod workload;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::config::{AcceleratorConfig, ConfigError, Dataflow, PE_MAX, PE_MIN, RF_CHOICES};
+    pub use crate::layer::ConvLayer;
+    pub use crate::space::{
+        HardwareSpace, DATAFLOW_CARDINALITY, ENCODED_WIDTH, PE_CARDINALITY, RF_CARDINALITY,
+    };
+    pub use crate::workload::{Network, NetworkTemplate, Slot, SlotChoice};
+}

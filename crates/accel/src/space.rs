@@ -1,0 +1,213 @@
+//! Enumeration and one-hot encoding of the hardware design space `H`.
+//!
+//! The evaluator networks of DANCE exchange accelerator designs as the
+//! concatenation of four one-hot vectors (PE_X, PE_Y, RF size, dataflow), so
+//! this module is the single source of truth for that encoding.
+
+use crate::config::{AcceleratorConfig, Dataflow, PE_MAX, PE_MIN, RF_CHOICES};
+
+/// Number of distinct PE-dimension values (17 for the paper's [8, 24]).
+pub const PE_CARDINALITY: usize = PE_MAX - PE_MIN + 1;
+/// Number of register-file choices.
+pub const RF_CARDINALITY: usize = RF_CHOICES.len();
+/// Number of dataflow choices.
+pub const DATAFLOW_CARDINALITY: usize = Dataflow::ALL.len();
+/// Width of the concatenated one-hot encoding of a design point.
+pub const ENCODED_WIDTH: usize =
+    PE_CARDINALITY + PE_CARDINALITY + RF_CARDINALITY + DATAFLOW_CARDINALITY;
+
+/// The full hardware design space of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HardwareSpace;
+
+impl HardwareSpace {
+    /// Creates the paper's space (PE 8–24 on both axes, RF ladder, 3 dataflows).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Total number of design points (17 · 17 · 5 · 3 = 4335).
+    pub fn len(&self) -> usize {
+        PE_CARDINALITY * PE_CARDINALITY * RF_CARDINALITY * DATAFLOW_CARDINALITY
+    }
+
+    /// Whether the space is empty (never, but conventional).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over every configuration in canonical index order.
+    pub fn iter(&self) -> impl Iterator<Item = AcceleratorConfig> + '_ {
+        (0..self.len()).map(|i| self.config_at(i))
+    }
+
+    /// The configuration at canonical index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn config_at(&self, i: usize) -> AcceleratorConfig {
+        assert!(i < self.len(), "index {i} out of space of size {}", self.len());
+        let df = i % DATAFLOW_CARDINALITY;
+        let rest = i / DATAFLOW_CARDINALITY;
+        let rf = rest % RF_CARDINALITY;
+        let rest = rest / RF_CARDINALITY;
+        let py = rest % PE_CARDINALITY;
+        let px = rest / PE_CARDINALITY;
+        AcceleratorConfig::new(
+            PE_MIN + px,
+            PE_MIN + py,
+            RF_CHOICES[rf],
+            Dataflow::from_index(df),
+        )
+        .expect("space enumeration produced invalid config")
+    }
+
+    /// Canonical index of a configuration (inverse of [`Self::config_at`]).
+    pub fn index_of(&self, config: &AcceleratorConfig) -> usize {
+        let px = config.pe_x() - PE_MIN;
+        let py = config.pe_y() - PE_MIN;
+        let rf = RF_CHOICES
+            .iter()
+            .position(|&r| r == config.rf_size())
+            .expect("validated config has known RF size");
+        let df = config.dataflow().index();
+        ((px * PE_CARDINALITY + py) * RF_CARDINALITY + rf) * DATAFLOW_CARDINALITY + df
+    }
+
+    /// Categorical indices of a configuration per head:
+    /// `(pe_x, pe_y, rf, dataflow)`.
+    pub fn head_indices(&self, config: &AcceleratorConfig) -> (usize, usize, usize, usize) {
+        (
+            config.pe_x() - PE_MIN,
+            config.pe_y() - PE_MIN,
+            RF_CHOICES
+                .iter()
+                .position(|&r| r == config.rf_size())
+                .expect("validated config has known RF size"),
+            config.dataflow().index(),
+        )
+    }
+
+    /// Builds a configuration from per-head categorical indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index exceeds its head's cardinality.
+    pub fn from_head_indices(&self, px: usize, py: usize, rf: usize, df: usize) -> AcceleratorConfig {
+        assert!(px < PE_CARDINALITY && py < PE_CARDINALITY, "PE head index out of range");
+        assert!(rf < RF_CARDINALITY, "RF head index out of range");
+        assert!(df < DATAFLOW_CARDINALITY, "dataflow head index out of range");
+        AcceleratorConfig::new(
+            PE_MIN + px,
+            PE_MIN + py,
+            RF_CHOICES[rf],
+            Dataflow::from_index(df),
+        )
+        .expect("head indices produced invalid config")
+    }
+
+    /// Concatenated one-hot encoding `[PE_X | PE_Y | RF | dataflow]`,
+    /// [`ENCODED_WIDTH`] wide.
+    pub fn encode_one_hot(&self, config: &AcceleratorConfig) -> Vec<f32> {
+        let (px, py, rf, df) = self.head_indices(config);
+        let mut v = vec![0.0; ENCODED_WIDTH];
+        v[px] = 1.0;
+        v[PE_CARDINALITY + py] = 1.0;
+        v[2 * PE_CARDINALITY + rf] = 1.0;
+        v[2 * PE_CARDINALITY + RF_CARDINALITY + df] = 1.0;
+        v
+    }
+
+    /// Decodes a (possibly soft) encoded vector by per-segment argmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded.len() != ENCODED_WIDTH`.
+    pub fn decode_one_hot(&self, encoded: &[f32]) -> AcceleratorConfig {
+        assert_eq!(encoded.len(), ENCODED_WIDTH, "encoded width {}", encoded.len());
+        let argmax = |s: &[f32]| {
+            s.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        let px = argmax(&encoded[..PE_CARDINALITY]);
+        let py = argmax(&encoded[PE_CARDINALITY..2 * PE_CARDINALITY]);
+        let rf = argmax(&encoded[2 * PE_CARDINALITY..2 * PE_CARDINALITY + RF_CARDINALITY]);
+        let df = argmax(&encoded[2 * PE_CARDINALITY + RF_CARDINALITY..]);
+        self.from_head_indices(px, py, rf, df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_size_is_4335() {
+        assert_eq!(HardwareSpace::new().len(), 4335);
+    }
+
+    #[test]
+    fn encoded_width_is_42() {
+        assert_eq!(ENCODED_WIDTH, 42);
+    }
+
+    #[test]
+    fn iter_covers_whole_space_uniquely() {
+        let space = HardwareSpace::new();
+        let all: Vec<_> = space.iter().collect();
+        assert_eq!(all.len(), space.len());
+        let mut set = std::collections::HashSet::new();
+        for c in &all {
+            assert!(set.insert(*c), "duplicate config {c}");
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let space = HardwareSpace::new();
+        for i in [0, 1, 17, 4334, 1234, 2999] {
+            let c = space.config_at(i);
+            assert_eq!(space.index_of(&c), i);
+        }
+    }
+
+    #[test]
+    fn one_hot_roundtrip_whole_space() {
+        let space = HardwareSpace::new();
+        for c in space.iter() {
+            let enc = space.encode_one_hot(&c);
+            assert_eq!(enc.iter().sum::<f32>(), 4.0);
+            assert_eq!(space.decode_one_hot(&enc), c);
+        }
+    }
+
+    #[test]
+    fn head_indices_roundtrip() {
+        let space = HardwareSpace::new();
+        let c = space.config_at(2024);
+        let (px, py, rf, df) = space.head_indices(&c);
+        assert_eq!(space.from_head_indices(px, py, rf, df), c);
+    }
+
+    #[test]
+    fn decode_soft_vector_picks_argmax() {
+        let space = HardwareSpace::new();
+        let c = space.config_at(100);
+        let mut enc = space.encode_one_hot(&c);
+        // Perturb with small noise that keeps the argmax.
+        for (i, v) in enc.iter_mut().enumerate() {
+            *v += 0.2 * ((i % 7) as f32) / 7.0 * 0.5;
+        }
+        assert_eq!(space.decode_one_hot(&enc), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of space")]
+    fn config_at_out_of_range_panics() {
+        let _ = HardwareSpace::new().config_at(4335);
+    }
+}

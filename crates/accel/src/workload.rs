@@ -1,0 +1,360 @@
+//! Network-level workloads: the ProxylessNAS-style backbone templates.
+//!
+//! The paper's architecture space `A` is a 13-layer ProxylessNAS backbone
+//! where the 9 middle layers each choose between six MBConv variants
+//! (kernel ∈ {3,5,7} × expansion ∈ {3,6}), a Zero op, and a skip connection,
+//! with channel counts increasing every three layers. A [`NetworkTemplate`]
+//! captures the fixed stem/head plus the shape of each searchable slot;
+//! [`NetworkTemplate::instantiate`] turns a vector of [`SlotChoice`]s into
+//! the concrete list of [`ConvLayer`]s the cost model prices.
+
+use std::fmt;
+
+use crate::layer::ConvLayer;
+
+/// Candidate operation chosen for one searchable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotChoice {
+    /// The layer disappears; only the skip connection remains. On slots that
+    /// change channel count or stride, a minimal pointwise adapter is emitted
+    /// so the network stays well-formed.
+    Zero,
+    /// An inverted-bottleneck MBConv block.
+    MbConv {
+        /// Depthwise kernel size (3, 5 or 7).
+        kernel: usize,
+        /// Expansion ratio (3 or 6).
+        expand: usize,
+    },
+}
+
+impl SlotChoice {
+    /// The six MBConv variants plus Zero, in the paper's canonical order:
+    /// MB3x3_e3, MB3x3_e6, MB5x5_e3, MB5x5_e6, MB7x7_e3, MB7x7_e6, Zero.
+    pub const CANDIDATES: [SlotChoice; 7] = [
+        SlotChoice::MbConv { kernel: 3, expand: 3 },
+        SlotChoice::MbConv { kernel: 3, expand: 6 },
+        SlotChoice::MbConv { kernel: 5, expand: 3 },
+        SlotChoice::MbConv { kernel: 5, expand: 6 },
+        SlotChoice::MbConv { kernel: 7, expand: 3 },
+        SlotChoice::MbConv { kernel: 7, expand: 6 },
+        SlotChoice::Zero,
+    ];
+
+    /// Canonical index within [`Self::CANDIDATES`].
+    pub fn index(self) -> usize {
+        Self::CANDIDATES
+            .iter()
+            .position(|c| *c == self)
+            .expect("slot choice outside the canonical candidate set")
+    }
+
+    /// Inverse of [`Self::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 7`.
+    pub fn from_index(index: usize) -> Self {
+        Self::CANDIDATES[index]
+    }
+}
+
+impl fmt::Display for SlotChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotChoice::Zero => f.write_str("Zero"),
+            SlotChoice::MbConv { kernel, expand } => {
+                write!(f, "MB{kernel}x{kernel}_e{expand}")
+            }
+        }
+    }
+}
+
+/// Shape of one searchable slot in the backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Input feature-map height.
+    pub h: usize,
+    /// Input feature-map width.
+    pub w: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Stride applied by the depthwise stage.
+    pub stride: usize,
+}
+
+impl Slot {
+    /// Whether the skip path is an identity (same shape in and out).
+    pub fn is_identity_compatible(&self) -> bool {
+        self.c_in == self.c_out && self.stride == 1
+    }
+
+    /// Expands a choice into the concrete conv layers of this slot.
+    pub fn layers(&self, choice: SlotChoice) -> Vec<ConvLayer> {
+        match choice {
+            SlotChoice::Zero => {
+                if self.is_identity_compatible() {
+                    Vec::new()
+                } else {
+                    // Minimal adapter so shapes keep flowing.
+                    vec![ConvLayer {
+                        n: 1,
+                        k: self.c_out,
+                        c: self.c_in,
+                        h: self.h,
+                        w: self.w,
+                        r: 1,
+                        s: 1,
+                        stride: self.stride,
+                        groups: 1,
+                    }]
+                }
+            }
+            SlotChoice::MbConv { kernel, expand } => {
+                let mid = self.c_in * expand;
+                let mut layers = vec![
+                    ConvLayer::pointwise(mid, self.c_in, self.h, self.w),
+                    ConvLayer::depthwise(mid, self.h, self.w, kernel, kernel, self.stride),
+                ];
+                let dw = layers[1];
+                layers.push(ConvLayer::pointwise(self.c_out, mid, dw.h_out(), dw.w_out()));
+                layers
+            }
+        }
+    }
+}
+
+/// A fully specified network: the list of conv layers the accelerator runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Network {
+    layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Builds a network from explicit layers.
+    pub fn from_layers(layers: Vec<ConvLayer>) -> Self {
+        Self { layers }
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Total MAC count over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// Total weight words over all layers.
+    pub fn total_weight_words(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::weight_words).sum()
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+/// A backbone template: fixed stem and head plus searchable slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkTemplate {
+    name: &'static str,
+    stem: Vec<ConvLayer>,
+    slots: Vec<Slot>,
+    head: Vec<ConvLayer>,
+}
+
+impl NetworkTemplate {
+    /// The CIFAR-10-scale ProxylessNAS backbone: 32×32 input, stem to 32
+    /// channels, 9 searchable slots over three stages of widths 64/128/256
+    /// (channels double every 3 layers), pointwise head.
+    pub fn cifar10() -> Self {
+        let stem = vec![ConvLayer::new(32, 3, 32, 32, 3, 3, 1)];
+        let slots = vec![
+            Slot { h: 32, w: 32, c_in: 32, c_out: 64, stride: 2 },
+            Slot { h: 16, w: 16, c_in: 64, c_out: 64, stride: 1 },
+            Slot { h: 16, w: 16, c_in: 64, c_out: 64, stride: 1 },
+            Slot { h: 16, w: 16, c_in: 64, c_out: 128, stride: 2 },
+            Slot { h: 8, w: 8, c_in: 128, c_out: 128, stride: 1 },
+            Slot { h: 8, w: 8, c_in: 128, c_out: 128, stride: 1 },
+            Slot { h: 8, w: 8, c_in: 128, c_out: 256, stride: 2 },
+            Slot { h: 4, w: 4, c_in: 256, c_out: 256, stride: 1 },
+            Slot { h: 4, w: 4, c_in: 256, c_out: 256, stride: 1 },
+        ];
+        let head = vec![ConvLayer::pointwise(512, 256, 4, 4)];
+        Self { name: "cifar10", stem, slots, head }
+    }
+
+    /// The ImageNet-scale ProxylessNAS backbone: 224×224 input, strided stem
+    /// to 32 channels at 56×56, 9 slots over widths 48/96/192, wide head.
+    pub fn imagenet() -> Self {
+        let stem = vec![
+            ConvLayer::new(32, 3, 224, 224, 3, 3, 2),
+            ConvLayer::depthwise(32, 112, 112, 3, 3, 2),
+            ConvLayer::pointwise(32, 32, 56, 56),
+        ];
+        let slots = vec![
+            Slot { h: 56, w: 56, c_in: 32, c_out: 48, stride: 2 },
+            Slot { h: 28, w: 28, c_in: 48, c_out: 48, stride: 1 },
+            Slot { h: 28, w: 28, c_in: 48, c_out: 48, stride: 1 },
+            Slot { h: 28, w: 28, c_in: 48, c_out: 96, stride: 2 },
+            Slot { h: 14, w: 14, c_in: 96, c_out: 96, stride: 1 },
+            Slot { h: 14, w: 14, c_in: 96, c_out: 96, stride: 1 },
+            Slot { h: 14, w: 14, c_in: 96, c_out: 192, stride: 2 },
+            Slot { h: 7, w: 7, c_in: 192, c_out: 192, stride: 1 },
+            Slot { h: 7, w: 7, c_in: 192, c_out: 192, stride: 1 },
+        ];
+        let head = vec![ConvLayer::pointwise(960, 192, 7, 7)];
+        Self { name: "imagenet", stem, slots, head }
+    }
+
+    /// Template name ("cifar10" / "imagenet").
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The searchable slots.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of searchable slots (9 for both paper backbones).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Expands slot choices into a concrete [`Network`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices.len() != self.num_slots()`.
+    pub fn instantiate(&self, choices: &[SlotChoice]) -> Network {
+        assert_eq!(
+            choices.len(),
+            self.slots.len(),
+            "expected {} slot choices, got {}",
+            self.slots.len(),
+            choices.len()
+        );
+        let mut layers = self.stem.clone();
+        for (slot, &choice) in self.slots.iter().zip(choices) {
+            layers.extend(slot.layers(choice));
+        }
+        layers.extend(self.head.clone());
+        Network::from_layers(layers)
+    }
+
+    /// The network with every slot at its heaviest op (MB7x7_e6) — an upper
+    /// bound used for normalization.
+    pub fn max_network(&self) -> Network {
+        let choices = vec![SlotChoice::MbConv { kernel: 7, expand: 6 }; self.slots.len()];
+        self.instantiate(&choices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_index_roundtrip() {
+        for (i, c) in SlotChoice::CANDIDATES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(SlotChoice::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn templates_have_nine_slots() {
+        assert_eq!(NetworkTemplate::cifar10().num_slots(), 9);
+        assert_eq!(NetworkTemplate::imagenet().num_slots(), 9);
+    }
+
+    #[test]
+    fn channels_double_every_three_slots() {
+        let t = NetworkTemplate::cifar10();
+        let outs: Vec<usize> = t.slots().iter().map(|s| s.c_out).collect();
+        assert_eq!(outs, vec![64, 64, 64, 128, 128, 128, 256, 256, 256]);
+    }
+
+    #[test]
+    fn mbconv_expands_to_three_layers() {
+        let slot = Slot { h: 8, w: 8, c_in: 16, c_out: 16, stride: 1 };
+        let layers = slot.layers(SlotChoice::MbConv { kernel: 5, expand: 6 });
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].k, 96); // expand
+        assert!(layers[1].is_depthwise());
+        assert_eq!((layers[1].r, layers[1].s), (5, 5));
+        assert_eq!(layers[2].k, 16); // project
+    }
+
+    #[test]
+    fn zero_on_identity_slot_emits_nothing() {
+        let slot = Slot { h: 8, w: 8, c_in: 16, c_out: 16, stride: 1 };
+        assert!(slot.layers(SlotChoice::Zero).is_empty());
+    }
+
+    #[test]
+    fn zero_on_reduction_slot_emits_adapter() {
+        let slot = Slot { h: 8, w: 8, c_in: 16, c_out: 32, stride: 2 };
+        let layers = slot.layers(SlotChoice::Zero);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].k, 32);
+        assert_eq!(layers[0].stride, 2);
+    }
+
+    #[test]
+    fn instantiate_stitches_shapes_consistently() {
+        let t = NetworkTemplate::cifar10();
+        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 3 }; 9];
+        let net = t.instantiate(&choices);
+        // Consecutive layers must agree: output channels feed input channels
+        // within each MBConv triple; across slots the template guarantees it.
+        let mut h = 32;
+        for layer in net.layers() {
+            assert!(layer.h <= h, "feature map grew: {layer}");
+            h = layer.h_out().max(layer.h / layer.stride);
+        }
+        assert!(net.total_macs() > 10_000_000, "CIFAR net suspiciously small");
+    }
+
+    #[test]
+    fn heavier_ops_cost_more_macs() {
+        let t = NetworkTemplate::cifar10();
+        let light = t.instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 3 }; 9]);
+        let heavy = t.max_network();
+        assert!(heavy.total_macs() > light.total_macs());
+    }
+
+    #[test]
+    fn all_zero_network_is_cheapest() {
+        let t = NetworkTemplate::cifar10();
+        let zero = t.instantiate(&[SlotChoice::Zero; 9]);
+        let light = t.instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 3 }; 9]);
+        assert!(zero.total_macs() < light.total_macs());
+        assert!(!zero.is_empty(), "stem/head/adapters remain");
+    }
+
+    #[test]
+    fn imagenet_is_much_heavier_than_cifar() {
+        let c = NetworkTemplate::cifar10().max_network().total_macs();
+        let i = NetworkTemplate::imagenet().max_network().total_macs();
+        assert!(i > 2 * c, "imagenet {i} vs cifar {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 9 slot choices")]
+    fn wrong_choice_count_panics() {
+        let t = NetworkTemplate::cifar10();
+        let _ = t.instantiate(&[SlotChoice::Zero; 3]);
+    }
+}

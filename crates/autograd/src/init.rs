@@ -1,0 +1,52 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming (He) uniform initialization for ReLU networks:
+/// `U(−√(6/fan_in), √(6/fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in > 0, "kaiming_uniform fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier/Glorot uniform initialization:
+/// `U(−√(6/(fan_in+fan_out)), √(6/(fan_in+fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out` is zero.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "xavier_uniform fans must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_uniform(&[100, 50], 100, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= bound));
+        assert!(t.max() > bound * 0.8, "initialization suspiciously narrow");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= bound));
+    }
+}

@@ -1,0 +1,896 @@
+//! Differentiable operations on [`Var`].
+//!
+//! Every method builds a new graph node whose backward closure accumulates
+//! gradients into its parents. Activations are 2-D `[batch, features]` unless
+//! noted; the 1-D convolution ops operate on `[batch, channels, length]`
+//! tensors used by the MBConv-1D supernet blocks.
+
+use crate::tensor::Tensor;
+use crate::var::Var;
+
+impl Var {
+    /// Element-wise sum. Shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Var) -> Var {
+        let value = self.with_value(|a| other.with_value(|b| a.add(b)));
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, parents| {
+                parents[0].accumulate_grad(g);
+                parents[1].accumulate_grad(g);
+            }),
+        )
+    }
+
+    /// Element-wise difference. Shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Var) -> Var {
+        let value = self.with_value(|a| other.with_value(|b| a.sub(b)));
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, parents| {
+                parents[0].accumulate_grad(g);
+                parents[1].accumulate_grad(&g.scale(-1.0));
+            }),
+        )
+    }
+
+    /// Element-wise (Hadamard) product. Shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, other: &Var) -> Var {
+        let a_val = self.value();
+        let b_val = other.value();
+        let value = a_val.mul(&b_val);
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&g.mul(&b_val));
+                parents[1].accumulate_grad(&g.mul(&a_val));
+            }),
+        )
+    }
+
+    /// Multiplies every element by the scalar `c`.
+    pub fn scale(&self, c: f32) -> Var {
+        let value = self.with_value(|a| a.scale(c));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(c))),
+        )
+    }
+
+    /// Adds the scalar `c` to every element.
+    pub fn add_scalar(&self, c: f32) -> Var {
+        let value = self.with_value(|a| a.map(|x| x + c));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(|g, parents| parents[0].accumulate_grad(g)),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        self.scale(-1.0)
+    }
+
+    /// Broadcast-adds a `[n]` bias row to a `[m, n]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 2-D or `bias` length differs from the columns.
+    pub fn add_row_broadcast(&self, bias: &Var) -> Var {
+        let value = self.with_value(|x| {
+            bias.with_value(|b| {
+                assert_eq!(x.ndim(), 2, "add_row_broadcast lhs shape {:?}", x.shape());
+                assert_eq!(
+                    b.numel(),
+                    x.shape()[1],
+                    "bias length {} vs columns {}",
+                    b.numel(),
+                    x.shape()[1]
+                );
+                let (m, n) = (x.shape()[0], x.shape()[1]);
+                let mut out = x.clone();
+                for i in 0..m {
+                    for j in 0..n {
+                        out.data_mut()[i * n + j] += b.data()[j];
+                    }
+                }
+                out
+            })
+        });
+        Var::from_op(
+            value,
+            vec![self.clone(), bias.clone()],
+            Box::new(|g, parents| {
+                parents[0].accumulate_grad(g);
+                parents[1].accumulate_grad(&g.sum_rows());
+            }),
+        )
+    }
+
+    /// Matrix product `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or inner dimensions disagree.
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a_val = self.value();
+        let b_val = other.value();
+        let value = a_val.matmul(&b_val);
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&g.matmul(&b_val.transpose()));
+                parents[1].accumulate_grad(&a_val.transpose().matmul(g));
+            }),
+        )
+    }
+
+    /// Rectified linear unit, `max(x, 0)`.
+    pub fn relu(&self) -> Var {
+        let x_val = self.value();
+        let value = x_val.map(|x| x.max(0.0));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mask = x_val.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                parents[0].accumulate_grad(&g.mul(&mask));
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let value = self.with_value(|a| a.map(|x| 1.0 / (1.0 + (-x).exp())));
+        let y_val = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let d = y_val.map(|y| y * (1.0 - y));
+                parents[0].accumulate_grad(&g.mul(&d));
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let value = self.with_value(|a| a.map(f32::tanh));
+        let y_val = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let d = y_val.map(|y| 1.0 - y * y);
+                parents[0].accumulate_grad(&g.mul(&d));
+            }),
+        )
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Var {
+        let value = self.with_value(|a| a.map(f32::exp));
+        let y_val = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| parents[0].accumulate_grad(&g.mul(&y_val))),
+        )
+    }
+
+    /// Element-wise natural logarithm (inputs clamped to `1e-12` for safety).
+    pub fn ln(&self) -> Var {
+        let x_val = self.value();
+        let value = x_val.map(|x| x.max(1e-12).ln());
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let d = x_val.map(|x| 1.0 / x.max(1e-12));
+                parents[0].accumulate_grad(&g.mul(&d));
+            }),
+        )
+    }
+
+    /// Element-wise square.
+    pub fn sqr(&self) -> Var {
+        self.mul(self)
+    }
+
+    /// Sum of all elements, as a `[1]` scalar.
+    pub fn sum(&self) -> Var {
+        let shape = self.shape();
+        let value = Tensor::scalar(self.with_value(Tensor::sum));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&Tensor::full(&shape, g.item()));
+            }),
+        )
+    }
+
+    /// Mean of all elements, as a `[1]` scalar.
+    pub fn mean(&self) -> Var {
+        let n = self.with_value(Tensor::numel).max(1);
+        self.sum().scale(1.0 / n as f32)
+    }
+
+    /// Row-wise softmax of a 2-D variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 2-D.
+    pub fn softmax_rows(&self) -> Var {
+        let value = self.with_value(Tensor::softmax_rows);
+        let y_val = value.clone();
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                // dx = y ⊙ (g − ⟨g, y⟩ per row)
+                let (m, n) = (y_val.shape()[0], y_val.shape()[1]);
+                let mut dx = Tensor::zeros(&[m, n]);
+                for i in 0..m {
+                    let y_row = &y_val.data()[i * n..(i + 1) * n];
+                    let g_row = &g.data()[i * n..(i + 1) * n];
+                    let dot: f32 = y_row.iter().zip(g_row).map(|(&y, &gg)| y * gg).sum();
+                    for j in 0..n {
+                        dx.data_mut()[i * n + j] = y_row[j] * (g_row[j] - dot);
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Row-wise log-softmax of a 2-D variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 2-D.
+    pub fn log_softmax_rows(&self) -> Var {
+        let soft = self.with_value(Tensor::softmax_rows);
+        let value = soft.map(|p| p.max(1e-20).ln());
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                // dx = g − softmax ⊙ (row-sum of g)
+                let (m, n) = (soft.shape()[0], soft.shape()[1]);
+                let mut dx = Tensor::zeros(&[m, n]);
+                for i in 0..m {
+                    let g_row = &g.data()[i * n..(i + 1) * n];
+                    let s: f32 = g_row.iter().sum();
+                    for j in 0..n {
+                        dx.data_mut()[i * n + j] = g_row[j] - soft.data()[i * n + j] * s;
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Concatenates 2-D variables along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero variables");
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = Tensor::concat_cols(&refs);
+        let widths: Vec<usize> = values.iter().map(|v| v.shape()[1]).collect();
+        let parents: Vec<Var> = parts.iter().map(|p| (*p).clone()).collect();
+        Var::from_op(
+            value,
+            parents,
+            Box::new(move |g, parents| {
+                let mut offset = 0;
+                for (p, &w) in parents.iter().zip(widths.iter()) {
+                    p.accumulate_grad(&g.slice_cols(offset, w));
+                    offset += w;
+                }
+            }),
+        )
+    }
+
+    /// Extracts columns `[start, start + len)` from a 2-D variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Var {
+        let full_shape = self.shape();
+        let value = self.with_value(|v| v.slice_cols(start, len));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let (m, n) = (full_shape[0], full_shape[1]);
+                let mut dx = Tensor::zeros(&[m, n]);
+                for i in 0..m {
+                    for j in 0..len {
+                        dx.data_mut()[i * n + start + j] = g.data()[i * len + j];
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Weighted sum of same-shaped variables: `Σᵢ wᵢ·xᵢ`, with `weights`
+    /// a 1-D variable of length `ops.len()`.
+    ///
+    /// This is the differentiable mixture used by NAS supernets: gradients
+    /// flow both into every candidate op output and into the (softmaxed)
+    /// architecture weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty, shapes differ, or `weights` has the wrong
+    /// length.
+    pub fn weighted_sum(ops: &[&Var], weights: &Var) -> Var {
+        assert!(!ops.is_empty(), "weighted_sum of zero operands");
+        let w_val = weights.value();
+        assert_eq!(
+            w_val.numel(),
+            ops.len(),
+            "weights length {} vs {} operands",
+            w_val.numel(),
+            ops.len()
+        );
+        let op_vals: Vec<Tensor> = ops.iter().map(|o| o.value()).collect();
+        let shape = op_vals[0].shape().to_vec();
+        let mut value = Tensor::zeros(&shape);
+        for (v, &w) in op_vals.iter().zip(w_val.data()) {
+            assert_eq!(v.shape(), &shape[..], "weighted_sum operand shape mismatch");
+            value.add_assign(&v.scale(w));
+        }
+        let mut parents: Vec<Var> = ops.iter().map(|o| (*o).clone()).collect();
+        parents.push(weights.clone());
+        let k = ops.len();
+        Var::from_op(
+            value,
+            parents,
+            Box::new(move |g, parents| {
+                for i in 0..k {
+                    parents[i].accumulate_grad(&g.scale(w_val.data()[i]));
+                }
+                let mut dw = Tensor::zeros(&[k]);
+                for (i, v) in op_vals.iter().enumerate() {
+                    dw.data_mut()[i] = g.mul(v).sum();
+                }
+                parents[k].accumulate_grad(&dw);
+            }),
+        )
+    }
+
+    /// Pointwise (1×1) 1-D convolution: `[B, C, L] × [K, C] (+[K]) → [B, K, L]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches.
+    pub fn pw_conv1d(&self, weight: &Var, bias: &Var) -> Var {
+        let x_val = self.value();
+        let w_val = weight.value();
+        let b_val = bias.value();
+        assert_eq!(x_val.ndim(), 3, "pw_conv1d input shape {:?}", x_val.shape());
+        let (bsz, c, l) = (x_val.shape()[0], x_val.shape()[1], x_val.shape()[2]);
+        assert_eq!(w_val.ndim(), 2, "pw_conv1d weight shape {:?}", w_val.shape());
+        let (k, c2) = (w_val.shape()[0], w_val.shape()[1]);
+        assert_eq!(c, c2, "pw_conv1d channels {c} vs weight {c2}");
+        assert_eq!(b_val.numel(), k, "pw_conv1d bias length");
+
+        let mut out = Tensor::zeros(&[bsz, k, l]);
+        for b in 0..bsz {
+            for ko in 0..k {
+                let w_row = &w_val.data()[ko * c..(ko + 1) * c];
+                let o_base = (b * k + ko) * l;
+                for (ci, &w) in w_row.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let x_base = (b * c + ci) * l;
+                    for li in 0..l {
+                        out.data_mut()[o_base + li] += w * x_val.data()[x_base + li];
+                    }
+                }
+                for li in 0..l {
+                    out.data_mut()[o_base + li] += b_val.data()[ko];
+                }
+            }
+        }
+        Var::from_op(
+            out,
+            vec![self.clone(), weight.clone(), bias.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[bsz, c, l]);
+                let mut dw = Tensor::zeros(&[k, c]);
+                let mut db = Tensor::zeros(&[k]);
+                for b in 0..bsz {
+                    for ko in 0..k {
+                        let g_base = (b * k + ko) * l;
+                        let g_row = &g.data()[g_base..g_base + l];
+                        db.data_mut()[ko] += g_row.iter().sum::<f32>();
+                        for ci in 0..c {
+                            let w = w_val.data()[ko * c + ci];
+                            let x_base = (b * c + ci) * l;
+                            let mut dw_acc = 0.0;
+                            for li in 0..l {
+                                dx.data_mut()[x_base + li] += w * g_row[li];
+                                dw_acc += g_row[li] * x_val.data()[x_base + li];
+                            }
+                            dw.data_mut()[ko * c + ci] += dw_acc;
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+                parents[1].accumulate_grad(&dw);
+                parents[2].accumulate_grad(&db);
+            }),
+        )
+    }
+
+    /// Depthwise 1-D convolution with "same" zero padding:
+    /// `[B, C, L] × [C, Kw] → [B, C, L]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches, or even kernel widths.
+    pub fn dw_conv1d(&self, weight: &Var) -> Var {
+        let x_val = self.value();
+        let w_val = weight.value();
+        assert_eq!(x_val.ndim(), 3, "dw_conv1d input shape {:?}", x_val.shape());
+        let (bsz, c, l) = (x_val.shape()[0], x_val.shape()[1], x_val.shape()[2]);
+        assert_eq!(w_val.ndim(), 2, "dw_conv1d weight shape {:?}", w_val.shape());
+        assert_eq!(w_val.shape()[0], c, "dw_conv1d channel mismatch");
+        let kw = w_val.shape()[1];
+        assert!(kw % 2 == 1, "dw_conv1d kernel width {kw} must be odd");
+        let pad = kw / 2;
+
+        let mut out = Tensor::zeros(&[bsz, c, l]);
+        for b in 0..bsz {
+            for ci in 0..c {
+                let x_base = (b * c + ci) * l;
+                let w_row = &w_val.data()[ci * kw..(ci + 1) * kw];
+                for li in 0..l {
+                    let mut acc = 0.0;
+                    for (j, &w) in w_row.iter().enumerate() {
+                        let src = li as isize + j as isize - pad as isize;
+                        if src >= 0 && (src as usize) < l {
+                            acc += w * x_val.data()[x_base + src as usize];
+                        }
+                    }
+                    out.data_mut()[x_base + li] = acc;
+                }
+            }
+        }
+        Var::from_op(
+            out,
+            vec![self.clone(), weight.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[bsz, c, l]);
+                let mut dw = Tensor::zeros(&[c, kw]);
+                for b in 0..bsz {
+                    for ci in 0..c {
+                        let base = (b * c + ci) * l;
+                        for li in 0..l {
+                            let gv = g.data()[base + li];
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            for j in 0..kw {
+                                let src = li as isize + j as isize - pad as isize;
+                                if src >= 0 && (src as usize) < l {
+                                    let x = x_val.data()[base + src as usize];
+                                    dx.data_mut()[base + src as usize] +=
+                                        gv * w_val.data()[ci * kw + j];
+                                    dw.data_mut()[ci * kw + j] += gv * x;
+                                }
+                            }
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+                parents[1].accumulate_grad(&dw);
+            }),
+        )
+    }
+
+    /// Global average pooling over the length axis: `[B, C, L] → [B, C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 3-D.
+    pub fn global_avg_pool1d(&self) -> Var {
+        let x_shape = self.shape();
+        assert_eq!(x_shape.len(), 3, "global_avg_pool1d input shape {x_shape:?}");
+        let (bsz, c, l) = (x_shape[0], x_shape[1], x_shape[2]);
+        let value = self.with_value(|x| {
+            let mut out = Tensor::zeros(&[bsz, c]);
+            for b in 0..bsz {
+                for ci in 0..c {
+                    let base = (b * c + ci) * l;
+                    out.data_mut()[b * c + ci] =
+                        x.data()[base..base + l].iter().sum::<f32>() / l as f32;
+                }
+            }
+            out
+        });
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[bsz, c, l]);
+                for b in 0..bsz {
+                    for ci in 0..c {
+                        let gv = g.data()[b * c + ci] / l as f32;
+                        let base = (b * c + ci) * l;
+                        for li in 0..l {
+                            dx.data_mut()[base + li] = gv;
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Permutes `[B, C, L]` activations to channels-last `[B·L, C]` so
+    /// pointwise (1×1) convolutions can run through the fast matmul path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 3-D.
+    pub fn to_channels_last(&self) -> Var {
+        let shape = self.shape();
+        assert_eq!(shape.len(), 3, "to_channels_last input shape {shape:?}");
+        let (bsz, c, l) = (shape[0], shape[1], shape[2]);
+        let value = self.with_value(|x| {
+            let mut out = Tensor::zeros(&[bsz * l, c]);
+            for b in 0..bsz {
+                for ci in 0..c {
+                    for li in 0..l {
+                        out.data_mut()[(b * l + li) * c + ci] = x.data()[(b * c + ci) * l + li];
+                    }
+                }
+            }
+            out
+        });
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[bsz, c, l]);
+                for b in 0..bsz {
+                    for ci in 0..c {
+                        for li in 0..l {
+                            dx.data_mut()[(b * c + ci) * l + li] =
+                                g.data()[(b * l + li) * c + ci];
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Inverse of [`Var::to_channels_last`]: `[B·L, C] → [B, C, L]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 2-D or rows don't factor as `batch · length`.
+    pub fn from_channels_last(&self, batch: usize, length: usize) -> Var {
+        let shape = self.shape();
+        assert_eq!(shape.len(), 2, "from_channels_last input shape {shape:?}");
+        assert_eq!(shape[0], batch * length, "rows {} != {batch}·{length}", shape[0]);
+        let c = shape[1];
+        let value = self.with_value(|x| {
+            let mut out = Tensor::zeros(&[batch, c, length]);
+            for b in 0..batch {
+                for ci in 0..c {
+                    for li in 0..length {
+                        out.data_mut()[(b * c + ci) * length + li] =
+                            x.data()[(b * length + li) * c + ci];
+                    }
+                }
+            }
+            out
+        });
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[batch * length, c]);
+                for b in 0..batch {
+                    for ci in 0..c {
+                        for li in 0..length {
+                            dx.data_mut()[(b * length + li) * c + ci] =
+                                g.data()[(b * c + ci) * length + li];
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Keeps every `stride`-th position along the length axis of a
+    /// `[B, C, L]` activation (stride-`s` downsampling with "same" padding
+    /// semantics: output length `ceil(L / stride)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not 3-D or `stride` is zero.
+    pub fn downsample1d(&self, stride: usize) -> Var {
+        assert!(stride > 0, "downsample1d stride must be positive");
+        if stride == 1 {
+            return self.clone();
+        }
+        let shape = self.shape();
+        assert_eq!(shape.len(), 3, "downsample1d input shape {shape:?}");
+        let (bsz, c, l) = (shape[0], shape[1], shape[2]);
+        let lo = l.div_ceil(stride);
+        let value = self.with_value(|x| {
+            let mut out = Tensor::zeros(&[bsz, c, lo]);
+            for b in 0..bsz {
+                for ci in 0..c {
+                    for (o, li) in (0..l).step_by(stride).enumerate() {
+                        out.data_mut()[(b * c + ci) * lo + o] = x.data()[(b * c + ci) * l + li];
+                    }
+                }
+            }
+            out
+        });
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let mut dx = Tensor::zeros(&[bsz, c, l]);
+                for b in 0..bsz {
+                    for ci in 0..c {
+                        for (o, li) in (0..l).step_by(stride).enumerate() {
+                            dx.data_mut()[(b * c + ci) * l + li] = g.data()[(b * c + ci) * lo + o];
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+            }),
+        )
+    }
+
+    /// Reshape (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count differs.
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let old_shape = self.shape();
+        let value = self.with_value(|v| v.reshape(shape));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&g.reshape(&old_shape));
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::numeric_grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn randn(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_normal(shape, 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn add_grad_check() {
+        let a = Var::parameter(randn(&[3, 4], 1));
+        let b = Var::parameter(randn(&[3, 4], 2));
+        numeric_grad(&[&a, &b], || a.add(&b).sqr().sum(), 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn mul_grad_check() {
+        let a = Var::parameter(randn(&[2, 3], 3));
+        let b = Var::parameter(randn(&[2, 3], 4));
+        numeric_grad(&[&a, &b], || a.mul(&b).sum(), 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn matmul_grad_check() {
+        let a = Var::parameter(randn(&[3, 4], 5));
+        let b = Var::parameter(randn(&[4, 2], 6));
+        numeric_grad(&[&a, &b], || a.matmul(&b).sqr().sum(), 1e-2, 5e-2);
+    }
+
+    #[test]
+    fn relu_forward_and_grad() {
+        let x = Var::parameter(Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]));
+        let y = x.relu();
+        assert_eq!(y.value().data(), &[0.0, 2.0, 0.0, 4.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_grad_check() {
+        let x = Var::parameter(randn(&[5], 7));
+        numeric_grad(&[&x], || x.sigmoid().sum(), 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn tanh_grad_check() {
+        let x = Var::parameter(randn(&[5], 8));
+        numeric_grad(&[&x], || x.tanh().sum(), 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn exp_ln_grad_check() {
+        let x = Var::parameter(Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]));
+        numeric_grad(&[&x], || x.exp().sum(), 1e-3, 2e-2);
+        numeric_grad(&[&x], || x.ln().sum(), 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn softmax_rows_grad_check() {
+        let x = Var::parameter(randn(&[2, 5], 9));
+        numeric_grad(&[&x], || x.softmax_rows().sqr().sum(), 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn log_softmax_grad_check() {
+        let x = Var::parameter(randn(&[2, 4], 10));
+        numeric_grad(&[&x], || x.log_softmax_rows().sqr().sum(), 1e-2, 5e-2);
+    }
+
+    #[test]
+    fn add_row_broadcast_grad_check() {
+        let x = Var::parameter(randn(&[3, 4], 11));
+        let b = Var::parameter(randn(&[4], 12));
+        numeric_grad(&[&x, &b], || x.add_row_broadcast(&b).sqr().sum(), 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn concat_slice_grad_check() {
+        let a = Var::parameter(randn(&[2, 3], 13));
+        let b = Var::parameter(randn(&[2, 2], 14));
+        numeric_grad(
+            &[&a, &b],
+            || Var::concat_cols(&[&a, &b]).slice_cols(1, 3).sqr().sum(),
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn weighted_sum_grad_check() {
+        let a = Var::parameter(randn(&[2, 3], 15));
+        let b = Var::parameter(randn(&[2, 3], 16));
+        let w = Var::parameter(Tensor::from_vec(vec![0.3, 0.7], &[2]));
+        numeric_grad(
+            &[&a, &b, &w],
+            || Var::weighted_sum(&[&a, &b], &w).sqr().sum(),
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn pw_conv1d_grad_check() {
+        let x = Var::parameter(randn(&[2, 3, 4], 17));
+        let w = Var::parameter(randn(&[5, 3], 18).scale(0.5));
+        let b = Var::parameter(randn(&[5], 19).scale(0.1));
+        numeric_grad(&[&x, &w, &b], || x.pw_conv1d(&w, &b).sqr().sum(), 1e-2, 8e-2);
+    }
+
+    #[test]
+    fn dw_conv1d_grad_check() {
+        let x = Var::parameter(randn(&[2, 3, 6], 20));
+        let w = Var::parameter(randn(&[3, 3], 21).scale(0.5));
+        numeric_grad(&[&x, &w], || x.dw_conv1d(&w).sqr().sum(), 1e-2, 8e-2);
+    }
+
+    #[test]
+    fn dw_conv1d_identity_kernel_is_identity() {
+        let x = Var::constant(randn(&[1, 2, 5], 22));
+        // kernel [0, 1, 0] per channel ⇒ output equals input
+        let w = Var::constant(Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]));
+        let y = x.dw_conv1d(&w);
+        assert!(y.value().approx_eq(&x.value(), 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_grad_check() {
+        let x = Var::parameter(randn(&[2, 3, 4], 23));
+        numeric_grad(&[&x], || x.global_avg_pool1d().sqr().sum(), 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn pw_conv1d_matches_manual() {
+        let x = Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]));
+        let w = Var::constant(Tensor::from_vec(vec![1.0, 1.0], &[1, 2]));
+        let b = Var::constant(Tensor::from_vec(vec![0.5], &[1]));
+        // out[l] = x[0,l] + x[1,l] + 0.5
+        let y = x.pw_conv1d(&w, &b);
+        assert_eq!(y.value().data(), &[4.5, 6.5]);
+    }
+
+    #[test]
+    fn reshape_grad_passthrough() {
+        let x = Var::parameter(randn(&[2, 6], 24));
+        numeric_grad(&[&x], || x.reshape(&[3, 4]).sqr().sum(), 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn channels_last_roundtrip_is_identity() {
+        let x = Var::parameter(randn(&[2, 3, 4], 25));
+        let y = x.to_channels_last().from_channels_last(2, 4);
+        assert!(y.value().approx_eq(&x.value(), 1e-6));
+        numeric_grad(&[&x], || x.to_channels_last().sqr().sum(), 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn channels_last_matmul_matches_pw_conv() {
+        let x = Var::constant(randn(&[2, 3, 5], 26));
+        let w = Var::constant(randn(&[4, 3], 27));
+        let b = Var::constant(Tensor::zeros(&[4]));
+        let direct = x.pw_conv1d(&w, &b);
+        let via_matmul = x
+            .to_channels_last()
+            .matmul(&Var::constant(w.value().transpose()))
+            .from_channels_last(2, 5);
+        assert!(via_matmul.value().approx_eq(&direct.value(), 1e-4));
+    }
+
+    #[test]
+    fn downsample_picks_strided_positions() {
+        let x = Var::parameter(Tensor::from_vec(
+            (0..10).map(|i| i as f32).collect(),
+            &[1, 2, 5],
+        ));
+        let y = x.downsample1d(2);
+        assert_eq!(y.shape(), vec![1, 2, 3]);
+        assert_eq!(y.value().data(), &[0.0, 2.0, 4.0, 5.0, 7.0, 9.0]);
+        numeric_grad(&[&x], || x.downsample1d(2).sqr().sum(), 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn downsample_stride_one_is_identity() {
+        let x = Var::parameter(randn(&[1, 2, 4], 28));
+        assert_eq!(x.downsample1d(1).value(), x.value());
+    }
+
+    #[test]
+    fn mean_is_sum_over_n() {
+        let x = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0, 6.0], &[4]));
+        assert_eq!(x.mean().item(), 3.0);
+        x.mean().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 4]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! DANCE trains supernet weights with SGD + Nesterov momentum under cosine
+//! scheduling and the evaluator networks with Adam/SGD, so both are provided.
+
+use crate::tensor::Tensor;
+use crate::var::Var;
+
+/// A gradient-based parameter updater.
+pub trait Optimizer {
+    /// Applies one update step using the accumulated gradients.
+    fn step(&mut self);
+    /// Clears gradients of all managed parameters.
+    fn zero_grad(&self);
+    /// Overrides the learning rate (e.g. from a schedule).
+    fn set_lr(&mut self, lr: f32);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with optional (Nesterov) momentum and
+/// decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    nesterov: bool,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates a plain SGD optimizer.
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Self { params, lr, momentum: 0.0, nesterov: false, weight_decay: 0.0, velocity }
+    }
+
+    /// Enables momentum with the given coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables Nesterov momentum (requires `momentum > 0`).
+    pub fn with_nesterov(mut self) -> Self {
+        self.nesterov = true;
+        self
+    }
+
+    /// Enables L2 weight decay applied to the gradient.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                g.add_assign(&p.value().scale(self.weight_decay));
+            }
+            let update = if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                *v = v.scale(self.momentum).add(&g);
+                if self.nesterov {
+                    g.add(&v.scale(self.momentum))
+                } else {
+                    v.clone()
+                }
+            } else {
+                g
+            };
+            let lr = self.lr;
+            p.update_value(|val| *val = val.sub(&update.scale(lr)));
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with optional L2 weight decay.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β = (0.9, 0.999).
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Self { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m, v, t: 0 }
+    }
+
+    /// Enables L2 weight decay applied to the gradient.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(mut g) = p.grad() else { continue };
+            if self.weight_decay > 0.0 {
+                g.add_assign(&p.value().scale(self.weight_decay));
+            }
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            *v = v.scale(self.beta2).add(&g.mul(&g).scale(1.0 - self.beta2));
+            let lr = self.lr;
+            let eps = self.eps;
+            let m_hat = m.scale(1.0 / bc1);
+            let v_hat = v.scale(1.0 / bc2);
+            p.update_value(|val| {
+                let denom = v_hat.map(|x| x.sqrt() + eps);
+                *val = val.sub(&m_hat.div(&denom).scale(lr));
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Cosine-annealed learning-rate schedule, `lr(t) = lr₀ · ½(1 + cos(πt/T))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineLr {
+    base_lr: f32,
+    total_steps: usize,
+}
+
+impl CosineLr {
+    /// Creates a schedule decaying from `base_lr` to zero over `total_steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_steps` is zero.
+    pub fn new(base_lr: f32, total_steps: usize) -> Self {
+        assert!(total_steps > 0, "cosine schedule needs at least one step");
+        Self { base_lr, total_steps }
+    }
+
+    /// Learning rate at step `t` (clamped to the final step).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        let t = step.min(self.total_steps) as f32 / self.total_steps as f32;
+        self.base_lr * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+/// Step-decay schedule: multiply the learning rate by `gamma` every
+/// `step_size` steps (the paper's hardware-generation-network recipe:
+/// 0.001 decayed ×0.1 every 50 epochs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepLr {
+    base_lr: f32,
+    step_size: usize,
+    gamma: f32,
+}
+
+impl StepLr {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_size` is zero.
+    pub fn new(base_lr: f32, step_size: usize, gamma: f32) -> Self {
+        assert!(step_size > 0, "step schedule needs a positive period");
+        Self { base_lr, step_size, gamma }
+    }
+
+    /// Learning rate at step `t`.
+    pub fn lr_at(&self, step: usize) -> f32 {
+        self.base_lr * self.gamma.powi((step / self.step_size) as i32)
+    }
+}
+
+/// Rescales gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .filter_map(Var::grad)
+        .map(|g| g.sq_norm())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.zero_grad();
+                p.accumulate_grad(&g.scale(scale));
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x − 3)² and returns the final x.
+    fn minimize(opt_builder: impl FnOnce(Vec<Var>) -> Box<dyn Optimizer>, steps: usize) -> f32 {
+        let x = Var::parameter(Tensor::scalar(0.0));
+        let mut opt = opt_builder(vec![x.clone()]);
+        for _ in 0..steps {
+            opt.zero_grad();
+            let loss = x.add_scalar(-3.0).sqr().sum();
+            loss.backward();
+            opt.step();
+        }
+        x.value().item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(|p| Box::new(Sgd::new(p, 0.1)), 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimize(|p| Box::new(Sgd::new(p, 0.05).with_momentum(0.9)), 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_nesterov_converges() {
+        let x = minimize(
+            |p| Box::new(Sgd::new(p, 0.05).with_momentum(0.9).with_nesterov()),
+            200,
+        );
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(|p| Box::new(Adam::new(p, 0.3)), 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        // With loss ≡ 0 but weight decay on, parameters shrink.
+        let x = Var::parameter(Tensor::scalar(1.0));
+        let mut opt = Sgd::new(vec![x.clone()], 0.1).with_weight_decay(0.5);
+        for _ in 0..10 {
+            opt.zero_grad();
+            x.scale(0.0).sum().backward();
+            opt.step();
+        }
+        assert!(x.value().item() < 0.7);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineLr::new(1.0, 100);
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(100) < 1e-6);
+        assert!((s.lr_at(50) - 0.5).abs() < 1e-6);
+        assert!(s.lr_at(200) < 1e-6, "clamps past the end");
+    }
+
+    #[test]
+    fn step_schedule_decays_by_gamma() {
+        let s = StepLr::new(0.001, 50, 0.1);
+        assert!((s.lr_at(0) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(49) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(50) - 0.0001).abs() < 1e-9);
+        assert!((s.lr_at(150) - 0.000001).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_norm() {
+        let x = Var::parameter(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        x.sqr().sum().backward(); // grad = (6, 8), norm 10
+        let pre = clip_grad_norm(&[x.clone()], 1.0);
+        assert!((pre - 10.0).abs() < 1e-4);
+        let g = x.grad().unwrap();
+        assert!((g.sq_norm().sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_skips_params_without_grad() {
+        let x = Var::parameter(Tensor::scalar(1.0));
+        let mut opt = Sgd::new(vec![x.clone()], 0.1);
+        opt.step(); // no gradient accumulated — must be a no-op
+        assert_eq!(x.value().item(), 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Lossless text serialization of named tensors.
+//!
+//! Trained evaluator networks are expensive to produce (ground-truth
+//! generation plus training), so they are worth persisting. The format is a
+//! deliberately simple line-oriented text file — one tensor per line,
+//! values as hexadecimal `f32` bit patterns so round trips are exact:
+//!
+//! ```text
+//! dance-tensors v1
+//! <name>;<d0>,<d1>,...;<hex> <hex> ...
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::tensor::Tensor;
+
+const MAGIC: &str = "dance-tensors v1";
+
+/// Writes named tensors to `path` (parent directories are created).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_tensors(path: impl AsRef<Path>, items: &[(String, Tensor)]) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for (name, tensor) in items {
+        assert!(
+            !name.contains(';') && !name.contains('\n'),
+            "tensor name {name:?} contains a reserved character"
+        );
+        out.push_str(name);
+        out.push(';');
+        let dims: Vec<String> = tensor.shape().iter().map(|d| d.to_string()).collect();
+        out.push_str(&dims.join(","));
+        out.push(';');
+        let mut first = true;
+        for &v in tensor.data() {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            out.push_str(&format!("{:08x}", v.to_bits()));
+        }
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// Reads named tensors from `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error when the file cannot be read or is malformed
+/// (wrong magic, bad shape, value count mismatch).
+pub fn load_tensors(path: impl AsRef<Path>) -> io::Result<Vec<(String, Tensor)>> {
+    let content = fs::read_to_string(&path)?;
+    let mut lines = content.lines();
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if lines.next() != Some(MAGIC) {
+        return Err(bad("missing dance-tensors header"));
+    }
+    let mut items = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ';');
+        let name = parts
+            .next()
+            .ok_or_else(|| bad(&format!("line {}: missing name", lineno + 2)))?;
+        let shape_str = parts
+            .next()
+            .ok_or_else(|| bad(&format!("line {}: missing shape", lineno + 2)))?;
+        let data_str = parts
+            .next()
+            .ok_or_else(|| bad(&format!("line {}: missing data", lineno + 2)))?;
+        let shape: Vec<usize> = if shape_str.is_empty() {
+            Vec::new()
+        } else {
+            shape_str
+                .split(',')
+                .map(|d| d.parse::<usize>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| bad(&format!("line {}: bad shape: {e}", lineno + 2)))?
+        };
+        let data: Vec<f32> = if data_str.is_empty() {
+            Vec::new()
+        } else {
+            data_str
+                .split(' ')
+                .map(|h| u32::from_str_radix(h, 16).map(f32::from_bits))
+                .collect::<Result<_, _>>()
+                .map_err(|e| bad(&format!("line {}: bad value: {e}", lineno + 2)))?
+        };
+        let numel: usize = shape.iter().product();
+        if data.len() != numel {
+            return Err(bad(&format!(
+                "line {}: shape {:?} expects {} values, found {}",
+                lineno + 2,
+                shape,
+                numel,
+                data.len()
+            )));
+        }
+        items.push((name.to_string(), Tensor::from_vec(data, &shape)));
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dance_serialize_{name}_{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let items = vec![
+            ("weights".to_string(), Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng)),
+            ("bias".to_string(), Tensor::from_vec(vec![f32::MIN_POSITIVE, -0.0, 1e30], &[3])),
+            ("scalar".to_string(), Tensor::scalar(std::f32::consts::PI)),
+        ];
+        let path = temp("roundtrip");
+        save_tensors(&path, &items).unwrap();
+        let loaded = load_tensors(&path).unwrap();
+        assert_eq!(items.len(), loaded.len());
+        for ((n1, t1), (n2, t2)) in items.iter().zip(&loaded) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.shape(), t2.shape());
+            for (a, b) in t1.data().iter().zip(t2.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-exactness violated");
+            }
+        }
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_header_is_invalid_data() {
+        let path = temp("noheader");
+        fs::write(&path, "not a tensor file\n").unwrap();
+        let err = load_tensors(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn count_mismatch_is_invalid_data() {
+        let path = temp("mismatch");
+        fs::write(&path, format!("{MAGIC}\nw;2,2;3f800000 3f800000\n")).unwrap();
+        let err = load_tensors(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let path = temp("empty");
+        save_tensors(&path, &[]).unwrap();
+        assert!(load_tensors(&path).unwrap().is_empty());
+        let _ = fs::remove_file(path);
+    }
+}

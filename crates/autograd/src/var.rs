@@ -1,0 +1,324 @@
+//! The reverse-mode autodiff tape.
+//!
+//! A [`Var`] wraps a [`Tensor`] value together with an optional backward
+//! closure and the list of parent variables it was computed from. Calling
+//! [`Var::backward`] on a scalar result walks the graph in reverse
+//! topological order, accumulating gradients into every variable that
+//! requires them — exactly the define-by-run model DANCE's search loop needs,
+//! where one loss mixes cross-entropy through the supernet with hardware cost
+//! through the frozen evaluator network.
+//!
+//! ```
+//! use dance_autograd::var::Var;
+//! use dance_autograd::tensor::Tensor;
+//!
+//! let x = Var::parameter(Tensor::from_vec(vec![3.0], &[1]));
+//! let y = x.mul(&x).scale(2.0); // y = 2x²
+//! y.backward();
+//! assert_eq!(x.grad().unwrap().data(), &[12.0]); // dy/dx = 4x
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::tensor::Tensor;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Backward closure: receives the upstream gradient of this node and the
+/// parent variables, and accumulates gradients into the parents.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Var])>;
+
+pub(crate) struct Node {
+    id: u64,
+    value: Tensor,
+    grad: Option<Tensor>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autodiff graph.
+///
+/// `Var` is a cheaply clonable handle (`Rc` internally); cloning shares the
+/// underlying node, which is how parameters participate in many graphs.
+#[derive(Clone)]
+pub struct Var {
+    inner: Rc<RefCell<Node>>,
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.inner.borrow();
+        write!(
+            f,
+            "Var(id={}, shape={:?}, requires_grad={})",
+            n.id,
+            n.value.shape(),
+            n.requires_grad
+        )
+    }
+}
+
+impl Var {
+    fn from_node(node: Node) -> Self {
+        Self { inner: Rc::new(RefCell::new(node)) }
+    }
+
+    /// A trainable leaf variable (gradient will be accumulated).
+    pub fn parameter(value: Tensor) -> Self {
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad: None,
+            requires_grad: true,
+            parents: Vec::new(),
+            backward: None,
+        })
+    }
+
+    /// A constant leaf variable (no gradient flows into it).
+    pub fn constant(value: Tensor) -> Self {
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad: None,
+            requires_grad: false,
+            parents: Vec::new(),
+            backward: None,
+        })
+    }
+
+    /// Builds an interior graph node from parents and a backward closure.
+    ///
+    /// The node requires a gradient iff any parent does; backward closures of
+    /// gradient-free subgraphs are dropped so the tape skips them entirely.
+    pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        let requires_grad = parents.iter().any(Var::requires_grad);
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad: None,
+            requires_grad,
+            parents: if requires_grad { parents } else { Vec::new() },
+            backward: if requires_grad { Some(backward) } else { None },
+        })
+    }
+
+    /// Unique node id (useful for debugging graph shapes).
+    pub fn id(&self) -> u64 {
+        self.inner.borrow().id
+    }
+
+    /// Whether gradients flow into this variable.
+    pub fn requires_grad(&self) -> bool {
+        self.inner.borrow().requires_grad
+    }
+
+    /// A clone of the tensor value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Runs `f` on the value without cloning it.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.inner.borrow().value)
+    }
+
+    /// The shape of the value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.borrow().value.shape().to_vec()
+    }
+
+    /// The scalar value of a one-element variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value has more than one element.
+    pub fn item(&self) -> f32 {
+        self.inner.borrow().value.item()
+    }
+
+    /// A clone of the accumulated gradient, if any has been accumulated.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad = None;
+    }
+
+    /// Replaces the value in place (used by optimizers; shape must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Tensor) {
+        let mut n = self.inner.borrow_mut();
+        assert_eq!(
+            n.value.shape(),
+            value.shape(),
+            "set_value shape mismatch on Var {}",
+            n.id
+        );
+        n.value = value;
+    }
+
+    /// Applies `f` to the value in place (used by optimizers).
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.inner.borrow_mut().value);
+    }
+
+    /// Adds `delta` into the accumulated gradient.
+    pub fn accumulate_grad(&self, delta: &Tensor) {
+        let mut n = self.inner.borrow_mut();
+        if !n.requires_grad {
+            return;
+        }
+        match &mut n.grad {
+            Some(g) => g.add_assign(delta),
+            None => n.grad = Some(delta.clone()),
+        }
+    }
+
+    /// Returns a constant copy of this variable, cutting the gradient path.
+    pub fn detach(&self) -> Var {
+        Var::constant(self.value())
+    }
+
+    /// Runs reverse-mode differentiation from this variable.
+    ///
+    /// The seed gradient is a tensor of ones with this variable's shape, so
+    /// calling `backward` on a scalar loss computes ordinary gradients.
+    /// Gradients accumulate across calls until [`Var::zero_grad`].
+    pub fn backward(&self) {
+        // Post-order DFS (iterative, to survive deep graphs).
+        let mut topo: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Var, bool)> = vec![(self.clone(), false)];
+        while let Some((v, children_done)) = stack.pop() {
+            let id = v.id();
+            if children_done {
+                topo.push(v);
+                continue;
+            }
+            if !visited.insert(id) {
+                continue;
+            }
+            if !v.requires_grad() {
+                continue;
+            }
+            stack.push((v.clone(), true));
+            let parents = v.inner.borrow().parents.clone();
+            for p in parents {
+                if !visited.contains(&p.id()) {
+                    stack.push((p, false));
+                }
+            }
+        }
+
+        let ones = Tensor::ones(&self.shape());
+        self.accumulate_grad(&ones);
+
+        for v in topo.iter().rev() {
+            let (grad, parents, has_backward) = {
+                let n = v.inner.borrow();
+                match (&n.grad, &n.backward) {
+                    (Some(g), Some(_)) => (g.clone(), n.parents.clone(), true),
+                    _ => (Tensor::default(), Vec::new(), false),
+                }
+            };
+            if has_backward {
+                let n = v.inner.borrow();
+                if let Some(bw) = &n.backward {
+                    bw(&grad, &parents);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_requires_grad_constant_does_not() {
+        let p = Var::parameter(Tensor::scalar(1.0));
+        let c = Var::constant(Tensor::scalar(1.0));
+        assert!(p.requires_grad());
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn backward_on_identity_gives_ones() {
+        let p = Var::parameter(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        p.backward();
+        assert_eq!(p.grad().unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_until_zeroed() {
+        let p = Var::parameter(Tensor::scalar(5.0));
+        p.backward();
+        p.backward();
+        assert_eq!(p.grad().unwrap().item(), 2.0);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn constant_subgraph_is_pruned() {
+        let a = Var::constant(Tensor::scalar(2.0));
+        let b = a.mul(&a);
+        assert!(!b.requires_grad());
+        b.backward();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = x*x + x*x = 2x² ⇒ dy/dx = 4x
+        let x = Var::parameter(Tensor::scalar(3.0));
+        let a = x.mul(&x);
+        let b = x.mul(&x);
+        let y = a.add(&b);
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 12.0);
+    }
+
+    #[test]
+    fn shared_parameter_across_two_graphs() {
+        let x = Var::parameter(Tensor::scalar(2.0));
+        let y1 = x.scale(3.0);
+        y1.backward();
+        assert_eq!(x.grad().unwrap().item(), 3.0);
+        x.zero_grad();
+        let y2 = x.mul(&x);
+        y2.backward();
+        assert_eq!(x.grad().unwrap().item(), 4.0);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let x = Var::parameter(Tensor::scalar(2.0));
+        let y = x.detach().mul(&x); // only the non-detached path contributes
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let x = Var::parameter(Tensor::scalar(1.0));
+        let mut y = x.clone();
+        for _ in 0..5_000 {
+            y = y.add_scalar(0.0);
+        }
+        y.backward();
+        assert_eq!(x.grad().unwrap().item(), 1.0);
+    }
+}

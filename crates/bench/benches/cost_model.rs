@@ -1,0 +1,41 @@
+//! Throughput of the analytical cost model (the Timeloop + Accelergy
+//! substitute): single-layer mapping, whole-network evaluation, and the
+//! precomputed table paths that make ground-truth generation cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dance::prelude::*;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = CostModel::new();
+    let cfg = AcceleratorConfig::default();
+    let layer = ConvLayer::new(128, 64, 16, 16, 3, 3, 1);
+    let template = NetworkTemplate::cifar10();
+    let network = template.instantiate(&[SlotChoice::MbConv { kernel: 5, expand: 6 }; 9]);
+    let space = HardwareSpace::new();
+    let table = CostTable::new(&template, &model, &space);
+    let choices = [SlotChoice::MbConv { kernel: 5, expand: 6 }; 9];
+
+    let mut group = c.benchmark_group("cost_model");
+    group.bench_function("map_single_layer", |b| {
+        b.iter(|| black_box(map_layer(black_box(&layer), black_box(&cfg))))
+    });
+    group.bench_function("evaluate_cifar_network", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&network), black_box(&cfg))))
+    });
+    group.bench_function("table_lookup_cost", |b| {
+        b.iter(|| black_box(table.cost(black_box(&choices), 777)))
+    });
+    group.bench_function("table_build", |b| {
+        b.iter(|| black_box(CostTable::new(&template, &model, &space)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cost_model
+}
+criterion_main!(benches);

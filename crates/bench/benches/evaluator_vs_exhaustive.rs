@@ -1,0 +1,52 @@
+//! §4.2 timing claim: "the inference time for the hardware generation
+//! network takes about 0.5 ms with a single GPU, while the exhaustive search
+//! takes about 112 s using 48 threads".
+//!
+//! Our exact toolchain is an analytical model rather than Timeloop, so the
+//! absolute gap is smaller, but the *shape* — network inference orders of
+//! magnitude faster than exact search, with branch-and-bound and the
+//! precomputed table in between — is what this bench verifies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dance::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hw_generation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let space = HardwareSpace::new();
+    let model = CostModel::new();
+    let template = NetworkTemplate::cifar10();
+    let table = CostTable::new(&template, &model, &space);
+    let choices = [SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+    let network = template.instantiate(&choices);
+    let cost_fn = CostFunction::Edap;
+
+    let hwgen = HwGenNet::new(63, 128, &mut rng);
+    let arch = Var::constant(Tensor::from_vec(encode_choices(&choices), &[1, 63]));
+
+    let mut group = c.benchmark_group("hw_generation");
+    group.bench_function("hwgen_net_inference", |b| {
+        b.iter(|| black_box(hwgen.predict(black_box(&arch), &space)))
+    });
+    group.bench_function("exhaustive_search_full_model", |b| {
+        b.iter(|| black_box(exhaustive_search(black_box(&network), &space, &model, &cost_fn)))
+    });
+    group.bench_function("exhaustive_search_cost_table", |b| {
+        b.iter(|| black_box(exhaustive_search_table(&table, black_box(&choices), &cost_fn)))
+    });
+    group.bench_function("branch_and_bound_latency_cost", |b| {
+        let lat = CostFunction::Linear(CostWeights { lambda_l: 1.0, lambda_e: 0.0, lambda_a: 0.0 });
+        b.iter(|| black_box(branch_and_bound(black_box(&network), &space, &model, &lat)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hw_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Search-loop step costs: mixture forward+backward (all candidates active)
+//! vs fixed-path forward+backward, and the evaluator's differentiable cost
+//! prediction that each architecture step adds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dance::prelude::*;
+use dance::nas::supernet::ForwardMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_supernet(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = Supernet::new(SupernetConfig::cifar(), &mut rng);
+    let arch = ArchParams::new(net.num_slots(), &mut rng);
+    let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+    let x = net.input_from(
+        &Tensor::rand_normal(&[64 * 4 * 16], 0.0, 1.0, &mut rng).into_data(),
+        64,
+    );
+    let targets: Vec<usize> = (0..64).map(|i| i % 10).collect();
+
+    let mut group = c.benchmark_group("supernet");
+    group.bench_function("mixture_forward_backward_b64", |b| {
+        b.iter(|| {
+            let logits = net.forward(black_box(&x), ForwardMode::Mixture(&arch));
+            let loss = cross_entropy(&logits, &targets, 0.1);
+            loss.backward();
+            for p in net.parameters() {
+                p.zero_grad();
+            }
+            black_box(loss.item())
+        })
+    });
+    group.bench_function("fixed_forward_backward_b64", |b| {
+        b.iter(|| {
+            let logits = net.forward(black_box(&x), ForwardMode::Fixed(&choices));
+            let loss = cross_entropy(&logits, &targets, 0.1);
+            loss.backward();
+            for p in net.parameters() {
+                p.zero_grad();
+            }
+            black_box(loss.item())
+        })
+    });
+
+    let hwgen = HwGenNet::new(63, 128, &mut rng);
+    let cost = CostNet::new(63 + ENCODED_WIDTH, 128, &mut rng);
+    let evaluator =
+        Evaluator::with_feature_forwarding(hwgen, cost, 63, HeadSampling::Gumbel { tau: 1.0 });
+    evaluator.freeze();
+    group.bench_function("evaluator_cost_prediction", |b| {
+        b.iter(|| {
+            let metrics = evaluator.predict_metrics(&arch.encode(), &mut rng);
+            let hw = cost_hw_var(&metrics, &CostFunction::Edap, 100.0);
+            hw.backward();
+            for p in arch.parameters() {
+                p.zero_grad();
+            }
+            black_box(hw.item())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_supernet
+}
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Table 1 — Performance of the Evaluator Network.
+//!
+//! Reproduces every row: hardware generation head accuracies, cost
+//! estimation with and without feature forwarding, and the overall (end to
+//! end) evaluator. Also runs the two ablations DESIGN.md calls out: MSRE vs
+//! MSE training loss, and Gumbel softmax vs plain softmax at the
+//! hwgen→cost interface.
+
+use dance::prelude::*;
+use dance_bench::{emit, evaluator_sizes, timed, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    let cost_fn = CostFunction::Edap;
+    let benchmark = Benchmark::cifar(7);
+    let arch_width = benchmark.arch_width();
+    let pipeline = Pipeline::new(benchmark, cost_fn);
+    let sizes = evaluator_sizes(scale, 7);
+
+    let mut table = ResultTable::new(
+        "Table 1: Performance of the Evaluator Network (measured)",
+        &["Network", "Objective", "Accuracy (%)"],
+    );
+
+    // --- Hardware generation network + cost nets via the pipeline -------
+    let ((eval_ff, report_ff), _) =
+        timed("evaluator w/ FF", || pipeline.train_evaluator(&sizes, true));
+    let ((_eval_no_ff, report_no_ff), _) =
+        timed("evaluator w/o FF", || pipeline.train_evaluator(&sizes, false));
+
+    for (name, acc) in [
+        ("PEX", report_ff.hwgen_head_acc[0]),
+        ("PEY", report_ff.hwgen_head_acc[1]),
+        ("RF Size", report_ff.hwgen_head_acc[2]),
+        ("Dataflow", report_ff.hwgen_head_acc[3]),
+    ] {
+        table.push_row(vec!["Hardware Generation".into(), name.into(), fmt_f(acc as f64, 1)]);
+    }
+    for (name, acc) in [
+        ("Latency", report_no_ff.cost_acc[0]),
+        ("Energy", report_no_ff.cost_acc[1]),
+        ("Area", report_no_ff.cost_acc[2]),
+    ] {
+        table.push_row(vec![
+            "Cost Estimation (w/o feature forwarding)".into(),
+            name.into(),
+            fmt_f(acc as f64, 1),
+        ]);
+    }
+    for (name, acc) in [
+        ("Latency", report_ff.cost_acc[0]),
+        ("Energy", report_ff.cost_acc[1]),
+        ("Area", report_ff.cost_acc[2]),
+    ] {
+        table.push_row(vec![
+            "Cost Estimation (w/ feature forwarding)".into(),
+            name.into(),
+            fmt_f(acc as f64, 1),
+        ]);
+    }
+    for (name, acc) in [
+        ("Latency", report_ff.overall_acc[0]),
+        ("Energy", report_ff.overall_acc[1]),
+        ("Area", report_ff.overall_acc[2]),
+    ] {
+        table.push_row(vec!["Overall Evaluator".into(), name.into(), fmt_f(acc as f64, 1)]);
+    }
+    emit(&table, "table1.csv");
+
+    // --- Ablation A: MSRE vs MSE training loss (§3.3) --------------------
+    let mut ablation = ResultTable::new(
+        "Table 1 ablations (measured)",
+        &["Variant", "Latency (%)", "Energy (%)", "Area (%)"],
+    );
+    let cost_data = generate_cost_dataset(
+        &pipeline.table,
+        &cost_fn,
+        HwSampling::Random,
+        sizes.cost_samples,
+        99,
+    );
+    let (ctrain, cval) = split(&cost_data, 0.8);
+    let cfg = TrainConfig {
+        epochs: sizes.cost_epochs,
+        batch_size: 256,
+        lr: 1e-3,
+        seed: 99,
+    };
+    for (label, loss_kind) in [("MSRE loss (paper)", RegressionLoss::Msre), ("MSE loss", RegressionLoss::Mse)] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut net = CostNet::new(arch_width + ENCODED_WIDTH, sizes.cost_width, &mut rng);
+        let acc = train_cost(&mut net, &ctrain, &cval, &cfg, CostInput::ArchPlusHw, loss_kind);
+        ablation.push_row(vec![
+            label.into(),
+            fmt_f(acc[0] as f64, 1),
+            fmt_f(acc[1] as f64, 1),
+            fmt_f(acc[2] as f64, 1),
+        ]);
+    }
+
+    // --- Ablation B: Gumbel softmax vs plain softmax at the interface ----
+    let e2e = generate_cost_dataset(&pipeline.table, &cost_fn, HwSampling::Optimal, 2_000, 123);
+    let gumbel_acc = eval_ff.end_to_end_accuracy(&e2e, 5);
+    ablation.push_row(vec![
+        "Overall w/ Gumbel softmax (paper)".into(),
+        fmt_f(gumbel_acc[0] as f64, 1),
+        fmt_f(gumbel_acc[1] as f64, 1),
+        fmt_f(gumbel_acc[2] as f64, 1),
+    ]);
+    // Rebuild the same evaluator with a plain-softmax interface.
+    {
+        let mut rng = StdRng::seed_from_u64(sizes.seed);
+        let hw_data =
+            generate_hwgen_dataset(&pipeline.table, &cost_fn, sizes.hwgen_samples, sizes.seed);
+        let (htrain, hval) = split(&hw_data, 5.0 / 6.0);
+        let hwgen = HwGenNet::new(arch_width, sizes.hwgen_width, &mut rng);
+        let hcfg = TrainConfig { epochs: sizes.hwgen_epochs, batch_size: 256, lr: 2e-3, seed: sizes.seed };
+        let _ = train_hwgen(&hwgen, &htrain, &hval, &hcfg, OptimKind::Adam);
+        let cdata = generate_cost_dataset(
+            &pipeline.table,
+            &cost_fn,
+            HwSampling::Mixed,
+            sizes.cost_samples,
+            sizes.seed ^ 0xC0FFEE,
+        );
+        let (ct, cv) = split(&cdata, 0.8);
+        let mut cnet = CostNet::new(arch_width + ENCODED_WIDTH, sizes.cost_width, &mut rng);
+        let ccfg = TrainConfig { epochs: sizes.cost_epochs, batch_size: 256, lr: 1e-3, seed: sizes.seed };
+        let _ = train_cost(&mut cnet, &ct, &cv, &ccfg, CostInput::ArchPlusHw, RegressionLoss::Msre);
+        let soft_eval = Evaluator::with_feature_forwarding(
+            hwgen,
+            cnet,
+            arch_width,
+            HeadSampling::Softmax { tau: 1.0 },
+        );
+        let soft_acc = soft_eval.end_to_end_accuracy(&e2e, 5);
+        ablation.push_row(vec![
+            "Overall w/ plain softmax".into(),
+            fmt_f(soft_acc[0] as f64, 1),
+            fmt_f(soft_acc[1] as f64, 1),
+            fmt_f(soft_acc[2] as f64, 1),
+        ]);
+    }
+    emit(&ablation, "table1_ablations.csv");
+
+    println!(
+        "Paper reference — hwgen heads ≈ 98.3–98.9%, cost w/o FF 92.8–96.3%, \
+         w/ FF ≥ 99.6%, overall ≥ 98.3%."
+    );
+}

@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+
+//! # dance-bench
+//!
+//! Experiment harness for the DANCE reproduction. One binary per paper
+//! artifact regenerates its rows:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — evaluator network accuracy (+ MSE / no-Gumbel ablations) |
+//! | `table2` | Table 2 — DANCE vs. baselines on CIFAR-10 (EDAP & linear cost) |
+//! | `table3` | Table 3 — search cost vs. RL co-exploration |
+//! | `table4` | Table 4 — ImageNet-scale comparison |
+//! | `fig5`   | Figure 5 — error-vs-EDAP frontier over a λ₂ sweep |
+//!
+//! Criterion benches cover the §4.2 timing claim (hardware-generation
+//! network inference vs. exact search) plus cost-model and supernet
+//! throughput. All binaries accept `--quick` for a smaller, faster run and
+//! write CSVs under `results/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dance::prelude::*;
+
+/// Experiment scale: `--quick` trims sizes for smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full (default) experiment sizes.
+    Full,
+    /// Reduced sizes for smoke testing.
+    Quick,
+}
+
+impl Scale {
+    /// Parses process arguments (`--quick` selects [`Scale::Quick`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Whether this is a quick run.
+    pub fn is_quick(&self) -> bool {
+        *self == Scale::Quick
+    }
+}
+
+/// Evaluator-training sizes for a scale.
+pub fn evaluator_sizes(scale: Scale, seed: u64) -> EvaluatorSizes {
+    match scale {
+        Scale::Full => EvaluatorSizes {
+            hwgen_samples: 12_000,
+            hwgen_epochs: 40,
+            hwgen_width: 128,
+            cost_samples: 30_000,
+            cost_epochs: 25,
+            cost_width: 128,
+            seed,
+        },
+        Scale::Quick => EvaluatorSizes {
+            hwgen_samples: 2_000,
+            hwgen_epochs: 10,
+            hwgen_width: 64,
+            cost_samples: 4_000,
+            cost_epochs: 8,
+            cost_width: 64,
+            seed,
+        },
+    }
+}
+
+/// Standard search configuration for a scale. `lambda2` follows the §3.4
+/// warm-up recipe (ramping over the first half of the search).
+pub fn search_config(scale: Scale, lambda2: f32, seed: u64) -> SearchConfig {
+    let epochs = if scale.is_quick() { 6 } else { 14 };
+    SearchConfig {
+        epochs,
+        batch_size: 64,
+        lambda2: LambdaWarmup::ramp(lambda2, epochs / 2),
+        seed,
+        ..SearchConfig::default()
+    }
+}
+
+/// Standard retraining configuration for a scale.
+pub fn retrain_config(scale: Scale) -> RetrainConfig {
+    RetrainConfig {
+        epochs: if scale.is_quick() { 8 } else { 20 },
+        batch_size: 64,
+        lr: 0.02,
+    }
+}
+
+/// λ₂ for the accuracy-leaning "-A" design point.
+pub const LAMBDA2_A: f32 = 0.15;
+/// λ₂ for the efficiency-leaning "-B" design point.
+pub const LAMBDA2_B: f32 = 0.6;
+/// λ₂ for the FLOPs-penalty baseline.
+pub const LAMBDA2_FLOPS: f32 = 0.3;
+
+/// The results directory (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Writes a table as CSV under `results/` and prints its markdown.
+pub fn emit(table: &ResultTable, file: &str) {
+    let path = results_dir().join(file);
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(written to {})", path.display());
+    }
+    println!("{}", table.to_markdown());
+}
+
+/// Formats a [`FinalDesign`] as a Table 2/4-style row.
+pub fn design_row(d: &FinalDesign) -> Vec<String> {
+    vec![
+        d.method.clone(),
+        fmt_f(100.0 * d.accuracy as f64, 1),
+        fmt_f(d.cost.latency_ms, 2),
+        fmt_f(d.cost.energy_mj, 2),
+        fmt_f(d.cost.edap(), 1),
+        d.config.to_string(),
+    ]
+}
+
+/// Runs `f`, printing and returning its wall-clock duration in seconds.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    let secs = t0.elapsed().as_secs_f64();
+    println!("[{label}] {secs:.1}s");
+    (out, secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_shrink_sizes() {
+        let full = evaluator_sizes(Scale::Full, 0);
+        let quick = evaluator_sizes(Scale::Quick, 0);
+        assert!(quick.hwgen_samples < full.hwgen_samples);
+        assert!(quick.cost_epochs < full.cost_epochs);
+        assert!(retrain_config(Scale::Quick).epochs < retrain_config(Scale::Full).epochs);
+        assert!(search_config(Scale::Quick, 0.1, 0).epochs < search_config(Scale::Full, 0.1, 0).epochs);
+    }
+
+    #[test]
+    fn search_config_ramps_lambda() {
+        let c = search_config(Scale::Full, 0.4, 0);
+        assert_eq!(c.lambda2.lambda_at(c.epochs), 0.4);
+        assert!(c.lambda2.lambda_at(0) < 0.4);
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # dance
+//!
+//! The core library of the DANCE reproduction — *Differentiable
+//! Accelerator/Network Co-Exploration* (Choi, Hong, Yoon, Yu, Kim & Lee,
+//! DAC 2021, arXiv:2009.06237).
+//!
+//! DANCE replaces the non-differentiable accelerator evaluation toolchain
+//! with a pair of neural networks (a hardware generation network and a cost
+//! estimation network) so that hardware cost becomes a differentiable
+//! function of the architecture parameters of a ProxylessNAS-style
+//! supernet; co-exploration then runs as backpropagation over
+//! `Loss = CE + λ₁‖w‖ + λ₂·CostHW` (Eq. 1).
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`search`] — the differentiable co-exploration loop and derived-network
+//!   retraining;
+//! * [`hw_loss`] — the differentiable `CostHW` terms (Eqs. 3–4) and the λ₂
+//!   warm-up of §3.4;
+//! * [`rl`] — the REINFORCE co-exploration baseline of Table 3;
+//! * [`pipeline`] — end-to-end flows behind every table and figure;
+//! * [`report`] — result tables (markdown/CSV).
+//!
+//! The substrates are re-exported: [`autograd`], [`accel`], [`cost`],
+//! [`hwgen`], [`data`], [`nas`], [`evaluator`].
+//!
+//! ```no_run
+//! use dance::prelude::*;
+//!
+//! let pipeline = Pipeline::new(Benchmark::cifar(0), CostFunction::Edap);
+//! let (evaluator, report) = pipeline.train_evaluator(&EvaluatorSizes::default(), true);
+//! println!("evaluator accuracy: {:?}", report.overall_acc);
+//! let design = pipeline.run_dance(
+//!     &evaluator,
+//!     &SearchConfig::default(),
+//!     &RetrainConfig::default(),
+//!     "DANCE (w/ FF)",
+//! );
+//! println!("{}: EDAP {:.1}", design.method, design.cost.edap());
+//! ```
+
+pub mod hw_loss;
+pub mod pareto;
+pub mod pipeline;
+pub mod report;
+pub mod rl;
+pub mod search;
+
+pub use dance_accel as accel;
+pub use dance_autograd as autograd;
+pub use dance_cost as cost;
+pub use dance_data as data;
+pub use dance_evaluator as evaluator;
+pub use dance_hwgen as hwgen;
+pub use dance_nas as nas;
+
+/// Convenient glob-import of the most used items across the whole stack.
+pub mod prelude {
+    pub use crate::hw_loss::{cost_hw_value, cost_hw_var, LambdaWarmup};
+    pub use crate::pipeline::{
+        BaselinePenalty, Benchmark, EvaluatorReport, EvaluatorSizes, FinalDesign, Pipeline,
+        RetrainConfig,
+    };
+    pub use crate::pareto::{front_dominates, hypervolume, pareto_front, ParetoPoint};
+    pub use crate::report::{fmt_f, ResultTable};
+    pub use crate::rl::{rl_co_exploration, RlCandidate, RlConfig, RlOutcome};
+    pub use crate::search::{
+        dance_search, evaluate_fixed, train_derived, EpochStats, Penalty, SearchConfig,
+        SearchOutcome,
+    };
+    pub use dance_accel::prelude::*;
+    pub use dance_autograd::prelude::*;
+    pub use dance_cost::prelude::*;
+    pub use dance_data::prelude::*;
+    pub use dance_evaluator::prelude::*;
+    pub use dance_hwgen::prelude::*;
+    pub use dance_nas::prelude::*;
+}

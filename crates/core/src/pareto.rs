@@ -1,0 +1,129 @@
+//! Pareto-front utilities for accuracy-vs-cost design points.
+//!
+//! Figure 5's argument is a dominance argument: DANCE's designs are not
+//! merely different trade-offs, they *dominate* the baseline's (lower error
+//! at lower EDAP). These helpers make that check precise.
+
+/// A design point in (error, cost) space — lower is better on both axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Classification error (e.g. percent).
+    pub error: f64,
+    /// Hardware cost (e.g. EDAP).
+    pub cost: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    pub fn new(error: f64, cost: f64) -> Self {
+        Self { error, cost }
+    }
+
+    /// Whether `self` dominates `other` (no worse on both axes, strictly
+    /// better on at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.error <= other.error
+            && self.cost <= other.cost
+            && (self.error < other.error || self.cost < other.cost)
+    }
+}
+
+/// Indices of the non-dominated points, sorted by ascending error.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut front: Vec<usize> = (0..points.len())
+        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&points[i])))
+        .collect();
+    front.sort_by(|&a, &b| {
+        points[a]
+            .error
+            .partial_cmp(&points[b].error)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front
+}
+
+/// Whether every point of `challengers` is dominated by *some* point of
+/// `champions` — the "DANCE dominates the baseline" test of Figure 5.
+pub fn front_dominates(champions: &[ParetoPoint], challengers: &[ParetoPoint]) -> bool {
+    challengers
+        .iter()
+        .all(|c| champions.iter().any(|d| d.dominates(c)))
+}
+
+/// Hypervolume indicator with respect to a reference (worst-case) corner:
+/// the area of (error, cost) space dominated by the front. Larger is
+/// better; a scalar summary for comparing two sweeps.
+pub fn hypervolume(points: &[ParetoPoint], reference: ParetoPoint) -> f64 {
+    let front = pareto_front(points);
+    let mut volume = 0.0;
+    let mut prev_cost = reference.cost;
+    for &i in &front {
+        let p = points[i];
+        if p.error >= reference.error || p.cost >= prev_cost {
+            continue;
+        }
+        volume += (reference.error - p.error) * (prev_cost - p.cost);
+        prev_cost = p.cost;
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = ParetoPoint::new(1.0, 1.0);
+        let b = ParetoPoint::new(2.0, 2.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "a point never dominates itself");
+    }
+
+    #[test]
+    fn front_excludes_dominated_points() {
+        let pts = vec![
+            ParetoPoint::new(1.0, 10.0),
+            ParetoPoint::new(2.0, 5.0),
+            ParetoPoint::new(3.0, 8.0), // dominated by (2, 5)
+            ParetoPoint::new(4.0, 1.0),
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn front_sorted_by_error() {
+        let pts = vec![ParetoPoint::new(5.0, 1.0), ParetoPoint::new(1.0, 5.0)];
+        let f = pareto_front(&pts);
+        assert_eq!(f, vec![1, 0]);
+    }
+
+    #[test]
+    fn front_dominates_detects_full_domination() {
+        let dance = vec![ParetoPoint::new(1.0, 2.0), ParetoPoint::new(2.0, 1.0)];
+        let baseline = vec![ParetoPoint::new(2.0, 3.0), ParetoPoint::new(3.0, 2.0)];
+        assert!(front_dominates(&dance, &baseline));
+        assert!(!front_dominates(&baseline, &dance));
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_points() {
+        let reference = ParetoPoint::new(10.0, 10.0);
+        let weak = vec![ParetoPoint::new(8.0, 8.0)];
+        let strong = vec![ParetoPoint::new(2.0, 2.0)];
+        assert!(hypervolume(&strong, reference) > hypervolume(&weak, reference));
+    }
+
+    #[test]
+    fn hypervolume_of_empty_front_is_zero() {
+        assert_eq!(hypervolume(&[], ParetoPoint::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn points_outside_reference_contribute_nothing() {
+        let reference = ParetoPoint::new(5.0, 5.0);
+        let pts = vec![ParetoPoint::new(6.0, 1.0)];
+        assert_eq!(hypervolume(&pts, reference), 0.0);
+    }
+}

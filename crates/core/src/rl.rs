@@ -1,0 +1,265 @@
+//! RL-based co-exploration baseline (paper §3.1, Figure 2; Table 3).
+//!
+//! A REINFORCE controller jointly samples a network architecture (9 × 7-way
+//! categorical) and an accelerator design (the four hardware heads). Each
+//! candidate must be *trained* to obtain its accuracy and priced by the cost
+//! toolchain — exactly the per-candidate expense that gives RL-based
+//! co-exploration its hundreds-to-thousands-of-candidates search bill, which
+//! Table 3 contrasts with DANCE's single gradient-trained supernet.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dance_accel::config::AcceleratorConfig;
+use dance_accel::workload::SlotChoice;
+use dance_cost::metrics::CostFunction;
+use dance_data::tasks::TaskData;
+use dance_hwgen::table::CostTable;
+use dance_nas::supernet::SupernetConfig;
+
+use crate::search::train_derived;
+
+/// REINFORCE controller hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlConfig {
+    /// Number of candidates to sample and train.
+    pub candidates: usize,
+    /// Quick-training epochs per candidate (proxy accuracy).
+    pub quick_epochs: usize,
+    /// Batch size for candidate training.
+    pub batch_size: usize,
+    /// Policy learning rate.
+    pub lr: f32,
+    /// Weight of the normalized hardware cost in the reward.
+    pub lambda_cost: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        Self { candidates: 20, quick_epochs: 4, batch_size: 64, lr: 0.15, lambda_cost: 0.3, seed: 0 }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct RlCandidate {
+    /// Architecture choices.
+    pub choices: Vec<SlotChoice>,
+    /// Accelerator configuration.
+    pub config: AcceleratorConfig,
+    /// Quick-trained proxy accuracy.
+    pub accuracy: f32,
+    /// Scalarized hardware cost.
+    pub cost_value: f64,
+    /// Reward = accuracy − λ·(cost / reference).
+    pub reward: f32,
+}
+
+/// Outcome of an RL co-exploration run.
+#[derive(Debug, Clone)]
+pub struct RlOutcome {
+    /// The best candidate seen.
+    pub best: RlCandidate,
+    /// Number of candidates trained (the Table 3 "#Candidates" column).
+    pub candidates_trained: usize,
+    /// Reward trace (one entry per candidate, in sample order).
+    pub rewards: Vec<f32>,
+}
+
+/// A categorical policy as raw logits updated by REINFORCE.
+#[derive(Debug, Clone)]
+struct Categorical {
+    logits: Vec<f32>,
+}
+
+impl Categorical {
+    fn new(n: usize) -> Self {
+        Self { logits: vec![0.0; n] }
+    }
+
+    fn probs(&self) -> Vec<f32> {
+        let max = self.logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = self.logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let p = self.probs();
+        let u: f32 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, &pi) in p.iter().enumerate() {
+            acc += pi;
+            if u < acc {
+                return i;
+            }
+        }
+        p.len() - 1
+    }
+
+    /// REINFORCE update: `θ += lr · advantage · (onehot − p)`.
+    fn update(&mut self, action: usize, advantage: f32, lr: f32) {
+        let p = self.probs();
+        for (i, l) in self.logits.iter_mut().enumerate() {
+            let indicator = if i == action { 1.0 } else { 0.0 };
+            *l += lr * advantage * (indicator - p[i]);
+        }
+    }
+}
+
+/// Runs REINFORCE co-exploration over architecture × hardware.
+///
+/// `reference_cost` normalizes the cost term of the reward (use the cost of
+/// a mid-weight design).
+///
+/// # Panics
+///
+/// Panics if `cfg.candidates` is zero.
+pub fn rl_co_exploration(
+    supernet_config: SupernetConfig,
+    data: &TaskData,
+    table: &CostTable,
+    cost_fn: &CostFunction,
+    reference_cost: f64,
+    cfg: &RlConfig,
+) -> RlOutcome {
+    assert!(cfg.candidates > 0, "need at least one candidate");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let num_slots = table.template().num_slots();
+
+    let mut arch_policies: Vec<Categorical> = (0..num_slots)
+        .map(|_| Categorical::new(SlotChoice::CANDIDATES.len()))
+        .collect();
+    let head_widths = [
+        dance_accel::space::PE_CARDINALITY,
+        dance_accel::space::PE_CARDINALITY,
+        dance_accel::space::RF_CARDINALITY,
+        dance_accel::space::DATAFLOW_CARDINALITY,
+    ];
+    let mut hw_policies: Vec<Categorical> =
+        head_widths.iter().map(|&w| Categorical::new(w)).collect();
+
+    let mut baseline = 0.0f32;
+    let mut best: Option<RlCandidate> = None;
+    let mut rewards = Vec::with_capacity(cfg.candidates);
+
+    for cand_idx in 0..cfg.candidates {
+        // --- Sample a candidate -----------------------------------------
+        let arch_actions: Vec<usize> =
+            arch_policies.iter().map(|p| p.sample(&mut rng)).collect();
+        let choices: Vec<SlotChoice> =
+            arch_actions.iter().map(|&a| SlotChoice::from_index(a)).collect();
+        let hw_actions: Vec<usize> = hw_policies.iter().map(|p| p.sample(&mut rng)).collect();
+        let config = table.space().from_head_indices(
+            hw_actions[0],
+            hw_actions[1],
+            hw_actions[2],
+            hw_actions[3],
+        );
+
+        // --- Evaluate: train the candidate, price the hardware ----------
+        let accuracy = train_derived(
+            supernet_config,
+            &choices,
+            data,
+            cfg.quick_epochs,
+            cfg.batch_size,
+            0.05,
+            cfg.seed ^ (cand_idx as u64 + 1),
+        );
+        let cfg_idx = table.space().index_of(&config);
+        let cost = table.cost(&choices, cfg_idx);
+        let cost_value = cost_fn.apply(&cost);
+        let reward = accuracy - cfg.lambda_cost * (cost_value / reference_cost) as f32;
+
+        // --- Policy update -----------------------------------------------
+        baseline = if cand_idx == 0 { reward } else { 0.8 * baseline + 0.2 * reward };
+        let advantage = reward - baseline;
+        for (policy, &action) in arch_policies.iter_mut().zip(&arch_actions) {
+            policy.update(action, advantage, cfg.lr);
+        }
+        for (policy, &action) in hw_policies.iter_mut().zip(&hw_actions) {
+            policy.update(action, advantage, cfg.lr);
+        }
+
+        let candidate = RlCandidate { choices, config, accuracy, cost_value, reward };
+        if best.as_ref().map_or(true, |b| reward > b.reward) {
+            best = Some(candidate);
+        }
+        rewards.push(reward);
+    }
+
+    RlOutcome {
+        best: best.expect("at least one candidate was evaluated"),
+        candidates_trained: cfg.candidates,
+        rewards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_accel::space::HardwareSpace;
+    use dance_accel::workload::NetworkTemplate;
+    use dance_cost::model::CostModel;
+    use dance_data::synth::{SynthSpec, SynthTask};
+
+    #[test]
+    fn categorical_probs_sum_to_one_and_update_shifts_mass() {
+        let mut c = Categorical::new(4);
+        let p0 = c.probs();
+        assert!((p0.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for _ in 0..50 {
+            c.update(2, 1.0, 0.5);
+        }
+        let p = c.probs();
+        assert!(p[2] > 0.8, "positive advantage did not concentrate mass: {p:?}");
+    }
+
+    #[test]
+    fn categorical_sampling_follows_distribution() {
+        let mut c = Categorical::new(3);
+        c.logits = vec![2.0, 0.0, -2.0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 3];
+        for _ in 0..1_000 {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn rl_runs_and_counts_candidates() {
+        let template = NetworkTemplate::cifar10();
+        let table = CostTable::new(&template, &CostModel::new(), &HardwareSpace::new());
+        let task = SynthTask::new(SynthSpec {
+            num_classes: 3,
+            channels: 2,
+            length: 8,
+            noise: 0.2,
+            distractor: 0.1,
+            seed: 0,
+        });
+        let data = TaskData {
+            train: task.generate(60, 1),
+            val: task.generate(30, 2),
+            test: task.generate(30, 3),
+            task,
+        };
+        let sup_cfg = SupernetConfig {
+            input_channels: 2,
+            length: 8,
+            num_classes: 3,
+            stem_width: 4,
+            stage_widths: [4, 6, 8],
+            head_width: 12,
+        };
+        let cfg = RlConfig { candidates: 3, quick_epochs: 1, ..RlConfig::default() };
+        let out = rl_co_exploration(sup_cfg, &data, &table, &CostFunction::Edap, 100.0, &cfg);
+        assert_eq!(out.candidates_trained, 3);
+        assert_eq!(out.rewards.len(), 3);
+        assert!(out.best.accuracy >= 0.0 && out.best.accuracy <= 1.0);
+    }
+}

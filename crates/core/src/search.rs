@@ -1,0 +1,360 @@
+//! The DANCE differentiable co-exploration loop (paper §3.2, Figure 3).
+//!
+//! Two-timescale optimization over one supernet: weight steps minimize
+//! cross-entropy on the training split (SGD, Nesterov momentum, cosine
+//! schedule, label smoothing — the ProxylessNAS recipe), and architecture
+//! steps on the validation split minimize
+//! `Loss = CE + λ₁‖w‖ + λ₂·CostHW(evaluator(α))` (Eq. 1), with the hardware
+//! cost flowing through the *frozen* evaluator network. After the search, a
+//! one-time exact hardware generation recovers the accelerator and the
+//! derived network is retrained from scratch.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dance_accel::workload::SlotChoice;
+use dance_autograd::loss::{accuracy, cross_entropy};
+use dance_autograd::optim::{clip_grad_norm, Adam, CosineLr, Optimizer, Sgd};
+use dance_autograd::var::Var;
+use dance_cost::metrics::CostFunction;
+use dance_data::loader::{Batch, Batcher};
+use dance_data::tasks::TaskData;
+use dance_evaluator::evaluator::Evaluator;
+use dance_nas::arch::ArchParams;
+use dance_nas::supernet::{ForwardMode, Supernet, SupernetConfig};
+
+use crate::hw_loss::{cost_hw_var, LambdaWarmup};
+
+/// Hyper-parameters of a search run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Search epochs (the paper uses 120; scaled down for CPU budgets).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Peak weight learning rate (cosine annealed).
+    pub lr_weights: f32,
+    /// Architecture (α) learning rate (Adam).
+    pub lr_arch: f32,
+    /// λ₁ weight decay on supernet weights.
+    pub weight_decay: f32,
+    /// Label smoothing for the cross-entropy.
+    pub label_smoothing: f32,
+    /// λ₂ hardware-cost weight with warm-up (paper §3.4).
+    pub lambda2: LambdaWarmup,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 16,
+            batch_size: 64,
+            lr_weights: 0.02,
+            lr_arch: 0.02,
+            weight_decay: 4e-5,
+            label_smoothing: 0.1,
+            lambda2: LambdaWarmup::ramp(1.0, 4),
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean training cross-entropy of the weight steps.
+    pub train_ce: f32,
+    /// Mean normalized hardware-cost term of the architecture steps.
+    pub hw_cost: f32,
+    /// Mean architecture entropy (nats) at epoch end.
+    pub arch_entropy: f32,
+    /// λ₂ used this epoch.
+    pub lambda2: f32,
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The derived (argmax) architecture.
+    pub choices: Vec<SlotChoice>,
+    /// Final soft architecture probabilities per slot.
+    pub probs: Vec<Vec<f32>>,
+    /// Per-epoch diagnostics.
+    pub history: Vec<EpochStats>,
+}
+
+fn batch_input(net: &Supernet, batch: &Batch) -> Var {
+    net.input_from(&batch.x, batch.batch)
+}
+
+/// The hardware-cost penalty of the search: what the architecture step adds
+/// beyond cross-entropy.
+pub enum Penalty<'a> {
+    /// No penalty (accuracy-only baseline).
+    None,
+    /// Expected-FLOPs penalty (ProxylessNAS baseline) over the given 2-D
+    /// template.
+    Flops(&'a dance_accel::workload::NetworkTemplate),
+    /// DANCE: `CostHW` through a frozen evaluator, under a cost function,
+    /// normalized by a reference cost value.
+    Evaluator {
+        /// The frozen evaluator.
+        evaluator: &'a Evaluator,
+        /// The cost function applied to its three outputs.
+        cost_fn: CostFunction,
+        /// Normalization constant (cost at the uniform architecture).
+        reference: f64,
+    },
+}
+
+/// Runs the differentiable co-exploration (or a baseline, depending on
+/// `penalty`), mutating `arch` in place.
+///
+/// # Panics
+///
+/// Panics if the supernet/arch slot counts disagree, or the data does not
+/// match the supernet input shape.
+pub fn dance_search(
+    supernet: &Supernet,
+    arch: &ArchParams,
+    data: &TaskData,
+    penalty: &Penalty<'_>,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    assert_eq!(supernet.num_slots(), arch.num_slots(), "slot count mismatch");
+    if let Penalty::Evaluator { evaluator, .. } = penalty {
+        evaluator.freeze();
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let train_batcher = Batcher::new(&data.train, cfg.batch_size);
+    let val_batcher = Batcher::new(&data.val, cfg.batch_size);
+    let schedule = CosineLr::new(cfg.lr_weights, cfg.epochs.max(1));
+    let mut w_opt = Sgd::new(supernet.parameters(), cfg.lr_weights)
+        .with_momentum(0.9)
+        .with_nesterov()
+        .with_weight_decay(cfg.weight_decay);
+    let mut a_opt = Adam::new(arch.parameters(), cfg.lr_arch);
+
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        w_opt.set_lr(schedule.lr_at(epoch));
+        let lambda2 = cfg.lambda2.lambda_at(epoch);
+        let train_batches = train_batcher.epoch(&mut rng);
+        let mut val_batches = val_batcher.epoch(&mut rng).into_iter();
+        let mut ce_sum = 0.0;
+        let mut hw_sum = 0.0;
+        let mut hw_count = 0usize;
+
+        for (step, tb) in train_batches.iter().enumerate() {
+            // --- Weight step on the training split --------------------
+            let x = batch_input(supernet, tb);
+            let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
+            let loss = cross_entropy(&logits, &tb.y, cfg.label_smoothing);
+            ce_sum += loss.item();
+            w_opt.zero_grad();
+            a_opt.zero_grad(); // mixture grads leak into α; discard them here
+            loss.backward();
+            a_opt.zero_grad();
+            clip_grad_norm(&supernet.parameters(), 5.0);
+            w_opt.step();
+
+            // --- Architecture step on the validation split ------------
+            // Alternate: one α step per two weight steps keeps the search
+            // stable on small validation splits.
+            if step % 2 == 0 {
+                let Some(vb) = val_batches.next() else { continue };
+                let x = batch_input(supernet, &vb);
+                let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
+                let mut loss = cross_entropy(&logits, &vb.y, cfg.label_smoothing);
+                match penalty {
+                    Penalty::None => {}
+                    Penalty::Flops(template) => {
+                        let p = dance_nas::flops::expected_flops_penalty(arch, template);
+                        loss = loss.add(&p.scale(lambda2).sum());
+                    }
+                    Penalty::Evaluator { evaluator, cost_fn, reference } => {
+                        let metrics = evaluator.predict_metrics(&arch.encode(), &mut rng);
+                        let hw = cost_hw_var(&metrics, cost_fn, *reference);
+                        hw_sum += hw.item();
+                        hw_count += 1;
+                        loss = loss.add(&hw.scale(lambda2).sum());
+                    }
+                }
+                a_opt.zero_grad();
+                w_opt.zero_grad(); // discard weight grads from the α step
+                loss.backward();
+                w_opt.zero_grad();
+                clip_grad_norm(&arch.parameters(), 5.0);
+                a_opt.step();
+            }
+        }
+
+        history.push(EpochStats {
+            epoch,
+            train_ce: ce_sum / train_batches.len().max(1) as f32,
+            hw_cost: if hw_count > 0 { hw_sum / hw_count as f32 } else { 0.0 },
+            arch_entropy: arch.mean_entropy(),
+            lambda2,
+        });
+    }
+
+    SearchOutcome {
+        choices: arch.derive(),
+        probs: arch.probs_matrix(),
+        history,
+    }
+}
+
+/// Trains a *derived* (fixed-path) network from scratch and returns its test
+/// accuracy — the paper's "the final network was trained from scratch"
+/// protocol.
+pub fn train_derived(
+    config: SupernetConfig,
+    choices: &[SlotChoice],
+    data: &TaskData,
+    epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    seed: u64,
+) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = Supernet::new(config, &mut rng);
+    let schedule = CosineLr::new(lr, epochs.max(1));
+    let mut opt = Sgd::new(net.parameters(), lr)
+        .with_momentum(0.9)
+        .with_nesterov()
+        .with_weight_decay(1e-4);
+    let batcher = Batcher::new(&data.train, batch_size);
+    for epoch in 0..epochs {
+        opt.set_lr(schedule.lr_at(epoch));
+        for b in batcher.epoch(&mut rng) {
+            let x = net.input_from(&b.x, b.batch);
+            let logits = net.forward(&x, ForwardMode::Fixed(choices));
+            let loss = cross_entropy(&logits, &b.y, 0.1);
+            opt.zero_grad();
+            loss.backward();
+            clip_grad_norm(&net.parameters(), 5.0);
+            opt.step();
+        }
+    }
+    evaluate_fixed(&net, choices, data)
+}
+
+/// Test accuracy of a fixed-path network.
+pub fn evaluate_fixed(net: &Supernet, choices: &[SlotChoice], data: &TaskData) -> f32 {
+    let batcher = Batcher::new(&data.test, 256);
+    let mut correct = 0.0;
+    let mut total = 0usize;
+    let full = batcher.full();
+    for start in (0..full.batch).step_by(256) {
+        let end = (start + 256).min(full.batch);
+        let idxs: Vec<usize> = (start..end).collect();
+        let b = batcher.gather(&idxs);
+        let x = net.input_from(&b.x, b.batch);
+        let logits = net.forward(&x, ForwardMode::Fixed(choices));
+        correct += accuracy(&logits.value(), &b.y) * b.batch as f32;
+        total += b.batch;
+    }
+    correct / total.max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_data::synth::{SynthSpec, SynthTask};
+
+    fn tiny_task() -> TaskData {
+        let task = SynthTask::new(SynthSpec {
+            num_classes: 3,
+            channels: 2,
+            length: 8,
+            noise: 0.2,
+            distractor: 0.1,
+            seed: 0,
+        });
+        let train = task.generate(90, 1);
+        let val = task.generate(45, 2);
+        let test = task.generate(45, 3);
+        TaskData { task, train, val, test }
+    }
+
+    fn tiny_config() -> SupernetConfig {
+        SupernetConfig {
+            input_channels: 2,
+            length: 8,
+            num_classes: 3,
+            stem_width: 4,
+            stage_widths: [4, 6, 8],
+            head_width: 12,
+        }
+    }
+
+    #[test]
+    fn search_without_penalty_improves_ce() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Supernet::new(tiny_config(), &mut rng);
+        let arch = ArchParams::new(9, &mut rng);
+        let data = tiny_task();
+        let cfg = SearchConfig {
+            epochs: 6,
+            batch_size: 32,
+            lambda2: LambdaWarmup::constant(0.0),
+            ..SearchConfig::default()
+        };
+        let out = dance_search(&net, &arch, &data, &Penalty::None, &cfg);
+        assert_eq!(out.choices.len(), 9);
+        let first = out.history.first().unwrap().train_ce;
+        let last = out.history.last().unwrap().train_ce;
+        assert!(last < first, "CE did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn flops_penalty_pushes_toward_lighter_ops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Supernet::new(tiny_config(), &mut rng);
+        let template = dance_accel::workload::NetworkTemplate::cifar10();
+        let data = tiny_task();
+        // Huge penalty: architecture should collapse toward Zero / light ops.
+        let arch = ArchParams::new(9, &mut rng);
+        let cfg = SearchConfig {
+            epochs: 20,
+            batch_size: 32,
+            lr_arch: 0.1,
+            lambda2: LambdaWarmup::constant(50.0),
+            ..SearchConfig::default()
+        };
+        let out = dance_search(&net, &arch, &data, &Penalty::Flops(&template), &cfg);
+        let flops = dance_nas::flops::expected_flops_penalty(&arch, &template).item();
+        assert!(flops < 0.25, "expected light architecture, penalty {flops}");
+        let _ = out;
+    }
+
+    #[test]
+    fn derived_training_beats_chance() {
+        let data = tiny_task();
+        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 3 }; 9];
+        let acc = train_derived(tiny_config(), &choices, &data, 25, 32, 0.02, 7);
+        assert!(acc > 0.5, "derived accuracy {acc} at or below chance (0.33)");
+    }
+
+    #[test]
+    fn history_records_lambda_schedule() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Supernet::new(tiny_config(), &mut rng);
+        let arch = ArchParams::new(9, &mut rng);
+        let data = tiny_task();
+        let cfg = SearchConfig {
+            epochs: 4,
+            batch_size: 32,
+            lambda2: LambdaWarmup::ramp(2.0, 2),
+            ..SearchConfig::default()
+        };
+        let out = dance_search(&net, &arch, &data, &Penalty::None, &cfg);
+        assert!(out.history[0].lambda2 < out.history[3].lambda2);
+        assert_eq!(out.history.len(), 4);
+    }
+}

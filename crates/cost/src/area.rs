@@ -1,0 +1,55 @@
+//! Silicon area model.
+//!
+//! Area grows with the PE array (each PE carries a MAC unit plus its register
+//! file), the shared on-chip SRAM, and the network-on-chip wiring. Constants
+//! are calibrated so the paper's space spans roughly 1–4 mm², matching the
+//! EDAP magnitudes reported in Tables 2 and 4.
+
+use dance_accel::config::AcceleratorConfig;
+
+/// Area of one PE's arithmetic (MAC + control), in mm².
+pub const PE_MM2: f64 = 0.002;
+/// Area per register-file word, in mm².
+pub const RF_WORD_MM2: f64 = 0.00005;
+/// Area of the shared global SRAM buffer, in mm².
+pub const SRAM_MM2: f64 = 0.8;
+/// NoC wiring area per PE, in mm².
+pub const NOC_PER_PE_MM2: f64 = 0.0004;
+
+/// Total die area of a configuration, in mm².
+pub fn area_mm2(config: &AcceleratorConfig) -> f64 {
+    let pes = config.num_pes() as f64;
+    pes * (PE_MM2 + RF_WORD_MM2 * config.rf_size() as f64) + SRAM_MM2 + NOC_PER_PE_MM2 * pes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_accel::config::Dataflow;
+
+    fn cfg(px: usize, py: usize, rf: usize) -> AcceleratorConfig {
+        AcceleratorConfig::new(px, py, rf, Dataflow::RowStationary).unwrap()
+    }
+
+    #[test]
+    fn area_grows_with_pes_and_rf() {
+        assert!(area_mm2(&cfg(24, 24, 16)) > area_mm2(&cfg(8, 8, 16)));
+        assert!(area_mm2(&cfg(16, 16, 64)) > area_mm2(&cfg(16, 16, 4)));
+    }
+
+    #[test]
+    fn area_is_dataflow_independent() {
+        for df in Dataflow::ALL {
+            let c = AcceleratorConfig::new(12, 18, 32, df).unwrap();
+            assert_eq!(area_mm2(&c), area_mm2(&cfg(12, 18, 32)));
+        }
+    }
+
+    #[test]
+    fn area_spans_paper_magnitude() {
+        let lo = area_mm2(&cfg(8, 8, 4));
+        let hi = area_mm2(&cfg(24, 24, 64));
+        assert!(lo > 0.5 && lo < 2.0, "min area {lo}");
+        assert!(hi > 2.0 && hi < 10.0, "max area {hi}");
+    }
+}

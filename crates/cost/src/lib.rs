@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # dance-cost
+//!
+//! Analytical accelerator cost model — the Timeloop + Accelergy substitute
+//! of the DANCE reproduction (Choi et al., DAC 2021).
+//!
+//! Given a [`dance_accel::layer::ConvLayer`] workload and an
+//! [`dance_accel::config::AcceleratorConfig`], [`model::CostModel`] produces
+//! the three hardware metrics of the paper (latency, energy, area) by
+//! composing a dataflow-aware loop [`mapping`], an Accelergy-style per-access
+//! [`energy`] model, and an [`area`] model. [`metrics`] provides the two
+//! `CostHW` scalarizations of paper §3.5.
+//!
+//! ```
+//! use dance_accel::prelude::*;
+//! use dance_cost::prelude::*;
+//!
+//! let net = NetworkTemplate::cifar10()
+//!     .instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 6 }; 9]);
+//! let cost = CostModel::new().evaluate(&net, &AcceleratorConfig::default());
+//! assert!(cost.edap() > 0.0);
+//! ```
+
+pub mod area;
+pub mod energy;
+pub mod mapping;
+pub mod metrics;
+pub mod model;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::mapping::{map_layer, Mapping};
+    pub use crate::metrics::{CostFunction, CostWeights};
+    pub use crate::model::{CostModel, HardwareCost, LayerCost, CLOCK_GHZ};
+}

@@ -1,0 +1,108 @@
+//! Hardware cost functions (paper §3.5).
+//!
+//! Two `CostHW` definitions drive the search: a weighted linear combination
+//! of the three metrics (Eq. 3), and the hyper-parameter-free energy–delay–
+//! area product (Eq. 4).
+
+use std::fmt;
+
+use crate::model::HardwareCost;
+
+/// Weights of the linear cost function `λ_E·E + λ_L·L + λ_A·A` (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Latency weight `λ_L`.
+    pub lambda_l: f64,
+    /// Energy weight `λ_E`.
+    pub lambda_e: f64,
+    /// Area weight `λ_A`.
+    pub lambda_a: f64,
+}
+
+impl CostWeights {
+    /// The weights used in Table 2: `λ_L = 4.1, λ_E = 4.8, λ_A = 1.0`.
+    pub fn table2() -> Self {
+        Self { lambda_l: 4.1, lambda_e: 4.8, lambda_a: 1.0 }
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+/// A scalar hardware cost function over the three metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostFunction {
+    /// Weighted linear combination (Eq. 3).
+    Linear(CostWeights),
+    /// Energy–delay–area product (Eq. 4) — unitless and hyper-parameter
+    /// free.
+    Edap,
+}
+
+impl CostFunction {
+    /// Evaluates the cost function on a set of metrics.
+    pub fn apply(&self, cost: &HardwareCost) -> f64 {
+        match self {
+            CostFunction::Linear(w) => {
+                w.lambda_l * cost.latency_ms + w.lambda_e * cost.energy_mj + w.lambda_a * cost.area_mm2
+            }
+            CostFunction::Edap => cost.edap(),
+        }
+    }
+
+    /// Evaluates the cost function on raw `[latency, energy, area]` values
+    /// (used on differentiable evaluator outputs, mirroring [`Self::apply`]).
+    pub fn apply_array(&self, metrics: [f64; 3]) -> f64 {
+        self.apply(&HardwareCost::from_array(metrics))
+    }
+}
+
+impl fmt::Display for CostFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostFunction::Linear(w) => write!(
+                f,
+                "linear(λL={}, λE={}, λA={})",
+                w.lambda_l, w.lambda_e, w.lambda_a
+            ),
+            CostFunction::Edap => f.write_str("EDAP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_combination_matches_eq3() {
+        let c = HardwareCost { latency_ms: 2.0, energy_mj: 1.0, area_mm2: 3.0 };
+        let f = CostFunction::Linear(CostWeights { lambda_l: 4.1, lambda_e: 4.8, lambda_a: 1.0 });
+        assert!((f.apply(&c) - (4.1 * 2.0 + 4.8 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edap_matches_eq4() {
+        let c = HardwareCost { latency_ms: 2.0, energy_mj: 5.0, area_mm2: 3.0 };
+        assert!((CostFunction::Edap.apply(&c) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_array_equals_apply() {
+        let c = HardwareCost { latency_ms: 1.5, energy_mj: 2.5, area_mm2: 0.5 };
+        for f in [CostFunction::Edap, CostFunction::Linear(CostWeights::table2())] {
+            assert_eq!(f.apply(&c), f.apply_array(c.to_array()));
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(CostFunction::Edap.to_string(), "EDAP");
+        assert!(CostFunction::Linear(CostWeights::table2())
+            .to_string()
+            .contains("λL=4.1"));
+    }
+}

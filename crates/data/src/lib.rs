@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # dance-data
+//!
+//! Synthetic, capacity-sensitive classification datasets — the CIFAR-10 and
+//! ImageNet substitutes of the DANCE reproduction (see DESIGN.md §1 for the
+//! substitution rationale). [`synth`] builds class-template signal tasks,
+//! [`tasks`] provides the calibrated SynthCifar / SynthImageNet benchmarks,
+//! and [`loader`] supplies shuffled mini-batches.
+//!
+//! ```
+//! use dance_data::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let data = synth_cifar(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let batches = Batcher::new(&data.train, 64).epoch(&mut rng);
+//! assert_eq!(batches[0].channels, 4);
+//! ```
+
+pub mod loader;
+pub mod synth;
+pub mod tasks;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::loader::{Batch, Batcher};
+    pub use crate::synth::{Dataset, SynthSpec, SynthTask};
+    pub use crate::tasks::{synth_cifar, synth_imagenet, TaskData};
+}

@@ -1,0 +1,145 @@
+//! Shuffled mini-batch iteration.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::synth::Dataset;
+
+/// One mini-batch of flattened signals (`batch × channels × length`,
+/// channel-major per sample) and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Flattened signal data.
+    pub x: Vec<f32>,
+    /// Labels, one per sample.
+    pub y: Vec<usize>,
+    /// Samples in this batch.
+    pub batch: usize,
+    /// Signal channels.
+    pub channels: usize,
+    /// Signal length.
+    pub length: usize,
+}
+
+/// Produces shuffled mini-batches from a [`Dataset`].
+#[derive(Debug)]
+pub struct Batcher<'a> {
+    data: &'a Dataset,
+    batch_size: usize,
+}
+
+impl<'a> Batcher<'a> {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(data: &'a Dataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { data, batch_size }
+    }
+
+    /// Number of batches per epoch (final partial batch included).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.data.len().div_ceil(self.batch_size)
+    }
+
+    /// One shuffled epoch of batches.
+    pub fn epoch(&self, rng: &mut StdRng) -> Vec<Batch> {
+        let n = self.data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+            .chunks(self.batch_size)
+            .map(|idxs| self.gather(idxs))
+            .collect()
+    }
+
+    /// A single batch over explicit indices (e.g. the whole set for eval).
+    pub fn gather(&self, idxs: &[usize]) -> Batch {
+        let (c, l) = (self.data.channels(), self.data.length());
+        let mut x = Vec::with_capacity(idxs.len() * c * l);
+        let mut y = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            x.extend_from_slice(self.data.signal(i));
+            y.push(self.data.label(i));
+        }
+        Batch { x, y, batch: idxs.len(), channels: c, length: l }
+    }
+
+    /// The whole dataset as one batch (for evaluation).
+    pub fn full(&self) -> Batch {
+        let idxs: Vec<usize> = (0..self.data.len()).collect();
+        self.gather(&idxs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthSpec, SynthTask};
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        SynthTask::new(SynthSpec {
+            num_classes: 3,
+            channels: 2,
+            length: 8,
+            noise: 0.1,
+            distractor: 0.1,
+            seed: 0,
+        })
+        .generate(25, 1)
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let d = data();
+        let b = Batcher::new(&d, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = b.epoch(&mut rng);
+        assert_eq!(batches.len(), 4); // 8+8+8+1
+        let total: usize = batches.iter().map(|b| b.batch).sum();
+        assert_eq!(total, 25);
+        let mut label_counts = vec![0usize; 3];
+        for batch in &batches {
+            for &y in &batch.y {
+                label_counts[y] += 1;
+            }
+        }
+        let expected: Vec<usize> = (0..3)
+            .map(|c| d.labels().iter().filter(|&&y| y == c).count())
+            .collect();
+        assert_eq!(label_counts, expected);
+    }
+
+    #[test]
+    fn batch_layout_is_channel_major() {
+        let d = data();
+        let b = Batcher::new(&d, 4).gather(&[3, 7]);
+        assert_eq!(b.x.len(), 2 * 2 * 8);
+        assert_eq!(&b.x[..16], d.signal(3));
+        assert_eq!(&b.x[16..], d.signal(7));
+    }
+
+    #[test]
+    fn shuffling_differs_across_epochs() {
+        let d = data();
+        let b = Batcher::new(&d, 25);
+        let mut rng = StdRng::seed_from_u64(3);
+        let e1 = b.epoch(&mut rng);
+        let e2 = b.epoch(&mut rng);
+        assert_ne!(e1[0].y, e2[0].y, "two epochs produced identical order");
+    }
+
+    #[test]
+    fn full_batch_is_in_order() {
+        let d = data();
+        let f = Batcher::new(&d, 4).full();
+        assert_eq!(f.batch, 25);
+        assert_eq!(f.y, d.labels());
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # dance-evaluator
+//!
+//! The differentiable evaluator network of DANCE (Choi et al., DAC 2021,
+//! §3.3 / Figure 4): a [`hwgen_net::HwGenNet`] that models exhaustive
+//! hardware search as classification with Gumbel-softmax heads, a
+//! [`cost_net::CostNet`] regression network trained with the MSRE loss of
+//! Eq. 2 (optionally consuming the forwarded hardware features), and the
+//! composed frozen [`evaluator::Evaluator`] that gives the NAS loss a
+//! gradient path from hardware cost back to architecture parameters.
+//!
+//! ```
+//! use dance_evaluator::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let hwgen = HwGenNet::new(63, 64, &mut rng);
+//! let cost = CostNet::new(63 + 42, 64, &mut rng);
+//! let eval = Evaluator::with_feature_forwarding(
+//!     hwgen, cost, 63, HeadSampling::Gumbel { tau: 1.0 });
+//! eval.freeze();
+//! ```
+
+pub mod cost_net;
+pub mod evaluator;
+pub mod hwgen_net;
+pub mod metrics;
+pub mod persist;
+pub mod train;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::cost_net::CostNet;
+    pub use crate::evaluator::Evaluator;
+    pub use crate::hwgen_net::{HeadSampling, HwGenNet, HEAD_WIDTHS};
+    pub use crate::metrics::{head_accuracy, relative_accuracy};
+    pub use crate::train::{
+        eval_cost, eval_hwgen, train_cost, train_hwgen, CostInput, OptimKind, RegressionLoss,
+        TrainConfig,
+    };
+}

@@ -1,0 +1,71 @@
+//! Accuracy metrics for the evaluator networks (paper Table 1).
+
+use dance_autograd::tensor::Tensor;
+
+/// Per-metric *relative accuracy* in percent: `100 · (1 − mean(|ŷ−y| / y))`,
+/// the regression analogue the paper reports for the cost estimation
+/// network.
+///
+/// # Panics
+///
+/// Panics if shapes differ or are not `[batch, 3]`.
+pub fn relative_accuracy(pred: &Tensor, target: &Tensor) -> [f32; 3] {
+    assert_eq!(pred.shape(), target.shape(), "prediction/target shape mismatch");
+    assert_eq!(pred.ndim(), 2, "expected [batch, metrics]");
+    assert_eq!(pred.shape()[1], 3, "expected 3 metrics");
+    let b = pred.shape()[0];
+    let mut err = [0.0f64; 3];
+    for i in 0..b {
+        for m in 0..3 {
+            let y = target.at2(i, m);
+            let e = (pred.at2(i, m) - y).abs() / y.abs().max(1e-9);
+            err[m] += e as f64;
+        }
+    }
+    let n = b.max(1) as f64;
+    [
+        (100.0 * (1.0 - err[0] / n)) as f32,
+        (100.0 * (1.0 - err[1] / n)) as f32,
+        (100.0 * (1.0 - err[2] / n)) as f32,
+    ]
+}
+
+/// Classification accuracy (percent) of one head.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn head_accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    100.0 * dance_autograd::loss::accuracy(logits, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_100() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let acc = relative_accuracy(&t, &t);
+        for a in acc {
+            assert!((a - 100.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ten_percent_error_gives_90() {
+        let y = Tensor::from_vec(vec![10.0, 10.0, 10.0], &[1, 3]);
+        let p = Tensor::from_vec(vec![11.0, 9.0, 10.0], &[1, 3]);
+        let acc = relative_accuracy(&p, &y);
+        assert!((acc[0] - 90.0).abs() < 1e-3);
+        assert!((acc[1] - 90.0).abs() < 1e-3);
+        assert!((acc[2] - 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn head_accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]);
+        assert!((head_accuracy(&logits, &[0, 1]) - 100.0).abs() < 1e-4);
+        assert!((head_accuracy(&logits, &[1, 1]) - 50.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,243 @@
+//! Saving and loading trained evaluators.
+//!
+//! Ground-truth generation plus evaluator training is the expensive step of
+//! DANCE, so a trained [`Evaluator`] can be persisted to a single text file
+//! (the bit-exact format of [`dance_autograd::serialize`]) and re-attached
+//! to a freshly constructed network of the same architecture.
+
+use std::io;
+use std::path::Path;
+
+use dance_autograd::serialize::{load_tensors, save_tensors};
+use dance_autograd::tensor::Tensor;
+
+use crate::cost_net::CostNet;
+use crate::evaluator::Evaluator;
+use crate::hwgen_net::HwGenNet;
+
+fn params_to_items(prefix: &str, params: &[dance_autograd::var::Var]) -> Vec<(String, Tensor)> {
+    params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (format!("{prefix}.{i}"), p.value()))
+        .collect()
+}
+
+fn load_params_into(
+    items: &[(String, Tensor)],
+    prefix: &str,
+    params: &[dance_autograd::var::Var],
+) -> io::Result<()> {
+    for (i, p) in params.iter().enumerate() {
+        let key = format!("{prefix}.{i}");
+        let tensor = items
+            .iter()
+            .find(|(n, _)| *n == key)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("missing tensor {key}"))
+            })?;
+        if tensor.shape() != p.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for {key}: {:?} vs {:?}", tensor.shape(), p.shape()),
+            ));
+        }
+        p.set_value(tensor);
+    }
+    Ok(())
+}
+
+impl HwGenNet {
+    /// Writes all weights to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        save_tensors(path, &params_to_items("hwgen", &self.parameters()))
+    }
+
+    /// Loads weights saved by [`HwGenNet::save`] into this (same-shaped)
+    /// network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is unreadable, tensors are missing,
+    /// or shapes disagree.
+    pub fn load(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let items = load_tensors(path)?;
+        load_params_into(&items, "hwgen", &self.parameters())
+    }
+}
+
+impl CostNet {
+    /// Full state as named tensors: weights, batch-norm running statistics
+    /// and the normalizer.
+    pub fn state_items(&self) -> Vec<(String, Tensor)> {
+        let mut items = params_to_items("cost", &self.parameters());
+        for (i, (mean, var)) in self.running_stats().into_iter().enumerate() {
+            items.push((format!("cost.bn{i}.mean"), mean));
+            items.push((format!("cost.bn{i}.var"), var));
+        }
+        items.push((
+            "cost.normalizer".to_string(),
+            Tensor::from_vec(self.normalizer().to_vec(), &[3]),
+        ));
+        items
+    }
+
+    /// Writes the full state (weights, running stats, normalizer) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        save_tensors(path, &self.state_items())
+    }
+
+    /// Restores state saved by [`CostNet::save`] into this (same-shaped)
+    /// network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is unreadable, tensors are missing,
+    /// or shapes disagree.
+    pub fn load(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let items = load_tensors(path)?;
+        self.load_state_items(&items)
+    }
+
+    /// Restores state from pre-loaded items (shared-file case).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when tensors are missing or shapes disagree.
+    pub fn load_state_items(&mut self, items: &[(String, Tensor)]) -> io::Result<()> {
+        load_params_into(items, "cost", &self.parameters())?;
+        let find = |key: &str| {
+            items
+                .iter()
+                .find(|(n, _)| n == key)
+                .map(|(_, t)| t.clone())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("missing tensor {key}"))
+                })
+        };
+        let n_bn = self.running_stats().len();
+        let mut stats = Vec::with_capacity(n_bn);
+        for i in 0..n_bn {
+            stats.push((find(&format!("cost.bn{i}.mean"))?, find(&format!("cost.bn{i}.var"))?));
+        }
+        self.set_running_stats(stats);
+        let norm = find("cost.normalizer")?;
+        if norm.numel() != 3 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "normalizer must have 3 values"));
+        }
+        self.set_normalizer([norm.data()[0], norm.data()[1], norm.data()[2]]);
+        Ok(())
+    }
+}
+
+impl Evaluator {
+    /// Writes both component networks to one file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut items = params_to_items("hwgen", &self.hwgen().parameters());
+        items.extend(self.cost_net().state_items());
+        save_tensors(path, &items)
+    }
+
+    /// Restores both component networks from a file written by
+    /// [`Evaluator::save`] into this (same-shaped) evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file is unreadable, tensors are missing,
+    /// or shapes disagree.
+    pub fn load(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let items = load_tensors(path)?;
+        load_params_into(&items, "hwgen", &self.hwgen().parameters())?;
+        self.cost_net_mut().load_state_items(&items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hwgen_net::HeadSampling;
+    use dance_autograd::var::Var;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dance_persist_{name}_{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn evaluator_roundtrip_reproduces_predictions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let hwgen = HwGenNet::new(63, 32, &mut rng);
+        let mut cost = CostNet::new(63 + 42, 32, &mut rng);
+        cost.set_normalizer([2.0, 3.0, 4.0]);
+        let original =
+            Evaluator::with_feature_forwarding(hwgen, cost, 63, HeadSampling::Softmax { tau: 1.0 });
+        original.freeze();
+
+        let x = Var::constant(Tensor::rand_uniform(&[2, 63], 0.0, 1.0, &mut rng));
+        let mut r1 = StdRng::seed_from_u64(5);
+        let before = original.predict_metrics(&x, &mut r1).value();
+
+        let path = temp("evaluator");
+        original.save(&path).unwrap();
+
+        // A fresh evaluator with different weights...
+        let mut rng2 = StdRng::seed_from_u64(999);
+        let hwgen2 = HwGenNet::new(63, 32, &mut rng2);
+        let cost2 = CostNet::new(63 + 42, 32, &mut rng2);
+        let mut restored =
+            Evaluator::with_feature_forwarding(hwgen2, cost2, 63, HeadSampling::Softmax { tau: 1.0 });
+        restored.load(&path).unwrap();
+        restored.freeze();
+
+        let mut r2 = StdRng::seed_from_u64(5);
+        let after = restored.predict_metrics(&x, &mut r2).value();
+        assert!(before.approx_eq(&after, 1e-6), "restored evaluator diverges");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = HwGenNet::new(63, 16, &mut rng);
+        let big = HwGenNet::new(63, 32, &mut rng);
+        let path = temp("mismatch");
+        small.save(&path).unwrap();
+        let err = big.load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cost_net_roundtrip_preserves_running_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = CostNet::new(10, 16, &mut rng);
+        // Push some batches through to move the running stats.
+        for _ in 0..5 {
+            let x = Var::constant(Tensor::rand_normal(&[8, 10], 2.0, 1.0, &mut rng));
+            let _ = net.forward(&x);
+        }
+        let path = temp("costnet");
+        net.save(&path).unwrap();
+        let mut other = CostNet::new(10, 16, &mut rng);
+        other.load(&path).unwrap();
+        net.set_training(false);
+        other.set_training(false);
+        let x = Var::constant(Tensor::rand_normal(&[4, 10], 2.0, 1.0, &mut rng));
+        assert!(net.forward(&x).value().approx_eq(&other.forward(&x).value(), 1e-6));
+        let _ = std::fs::remove_file(path);
+    }
+}

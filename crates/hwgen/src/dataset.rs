@@ -1,0 +1,335 @@
+//! Ground-truth dataset generation for the evaluator networks (paper §3.3).
+//!
+//! "We generate random networks within the network architecture space A as
+//! inputs, and the output of the toolchain will become ground-truth for
+//! training the components for evaluator network."
+//!
+//! The architecture encoding contract shared with `dance-nas`: a network is
+//! the concatenation of one per-slot block of
+//! [`dance_accel::workload::SlotChoice::CANDIDATES`]-ordered probabilities
+//! (one-hot for discrete networks), slot-major — 9 × 7 = 63 values for the
+//! paper backbones.
+
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dance_accel::workload::SlotChoice;
+use dance_cost::metrics::CostFunction;
+
+use crate::table::CostTable;
+
+/// Number of candidates per slot (7 for the paper space).
+pub const CHOICES_PER_SLOT: usize = SlotChoice::CANDIDATES.len();
+
+/// Width of the architecture encoding for a template with `num_slots` slots.
+pub fn arch_encoded_width(num_slots: usize) -> usize {
+    num_slots * CHOICES_PER_SLOT
+}
+
+/// One-hot encodes a discrete architecture (slot-major).
+pub fn encode_choices(choices: &[SlotChoice]) -> Vec<f32> {
+    let mut v = vec![0.0; arch_encoded_width(choices.len())];
+    for (slot, choice) in choices.iter().enumerate() {
+        v[slot * CHOICES_PER_SLOT + choice.index()] = 1.0;
+    }
+    v
+}
+
+/// Decodes an architecture encoding (possibly soft) by per-slot argmax.
+///
+/// # Panics
+///
+/// Panics if the encoding length is not a multiple of [`CHOICES_PER_SLOT`].
+pub fn decode_choices(encoding: &[f32]) -> Vec<SlotChoice> {
+    assert_eq!(
+        encoding.len() % CHOICES_PER_SLOT,
+        0,
+        "encoding length {} not a multiple of {CHOICES_PER_SLOT}",
+        encoding.len()
+    );
+    encoding
+        .chunks(CHOICES_PER_SLOT)
+        .map(|row| {
+            let idx = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            SlotChoice::from_index(idx)
+        })
+        .collect()
+}
+
+/// Samples a uniformly random discrete architecture.
+pub fn random_choices(num_slots: usize, rng: &mut StdRng) -> Vec<SlotChoice> {
+    (0..num_slots)
+        .map(|_| SlotChoice::from_index(rng.gen_range(0..CHOICES_PER_SLOT)))
+        .collect()
+}
+
+/// Training sample for the hardware generation network: architecture → the
+/// categorical indices of the optimal configuration's four heads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwGenSample {
+    /// Architecture encoding (one-hot, slot-major).
+    pub arch: Vec<f32>,
+    /// Target `(PE_X, PE_Y, RF, dataflow)` head indices.
+    pub heads: (usize, usize, usize, usize),
+}
+
+/// Training sample for the cost estimation network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSample {
+    /// Architecture encoding (one-hot, slot-major).
+    pub arch: Vec<f32>,
+    /// Hardware one-hot encoding (width 42).
+    pub hw: Vec<f32>,
+    /// Ground-truth `[latency_ms, energy_mj, area_mm2]`.
+    pub metrics: [f32; 3],
+}
+
+/// How the hardware side of a [`CostSample`] is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwSampling {
+    /// Uniformly random configuration — trains the *with feature
+    /// forwarding* cost network, which receives an explicit design.
+    Random,
+    /// The optimal configuration under a cost function — trains the
+    /// *without feature forwarding* network, which must internally model
+    /// the hardware generation step.
+    Optimal,
+    /// Half random, half optimal configurations: dense coverage of the
+    /// whole space *and* of the optimal-hardware manifold the search
+    /// actually visits — used for the *with feature forwarding* network.
+    Mixed,
+}
+
+/// Generates `n` hardware-generation samples, in parallel.
+pub fn generate_hwgen_dataset(
+    table: &CostTable,
+    cost_fn: &CostFunction,
+    n: usize,
+    seed: u64,
+) -> Vec<HwGenSample> {
+    parallel_generate(n, seed, |rng| {
+        let choices = random_choices(table.template().num_slots(), rng);
+        let (idx, _) = table.optimal(&choices, cost_fn);
+        let config = table.space().config_at(idx);
+        HwGenSample {
+            arch: encode_choices(&choices),
+            heads: table.space().head_indices(&config),
+        }
+    })
+}
+
+/// Generates `n` cost-estimation samples, in parallel.
+pub fn generate_cost_dataset(
+    table: &CostTable,
+    cost_fn: &CostFunction,
+    sampling: HwSampling,
+    n: usize,
+    seed: u64,
+) -> Vec<CostSample> {
+    parallel_generate(n, seed, |rng| {
+        let choices = random_choices(table.template().num_slots(), rng);
+        let cfg_idx = match sampling {
+            HwSampling::Random => rng.gen_range(0..table.space().len()),
+            HwSampling::Optimal => table.optimal(&choices, cost_fn).0,
+            HwSampling::Mixed => {
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(0..table.space().len())
+                } else {
+                    table.optimal(&choices, cost_fn).0
+                }
+            }
+        };
+        let cost = table.cost(&choices, cfg_idx);
+        CostSample {
+            arch: encode_choices(&choices),
+            hw: table.space().encode_one_hot(&table.space().config_at(cfg_idx)),
+            metrics: [cost.latency_ms as f32, cost.energy_mj as f32, cost.area_mm2 as f32],
+        }
+    })
+}
+
+/// Splits a dataset into `(train, validation)` at `train_frac`.
+///
+/// # Panics
+///
+/// Panics if `train_frac` is outside `(0, 1)`.
+pub fn split<T: Clone>(data: &[T], train_frac: f64) -> (Vec<T>, Vec<T>) {
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train fraction {train_frac} must be in (0, 1)"
+    );
+    let cut = ((data.len() as f64) * train_frac).round() as usize;
+    (data[..cut].to_vec(), data[cut..].to_vec())
+}
+
+/// Mean of each metric over a cost dataset (for normalization).
+pub fn metric_means(data: &[CostSample]) -> [f32; 3] {
+    let mut sums = [0.0f64; 3];
+    for s in data {
+        for (acc, &m) in sums.iter_mut().zip(s.metrics.iter()) {
+            *acc += m as f64;
+        }
+    }
+    let n = data.len().max(1) as f64;
+    [
+        (sums[0] / n) as f32,
+        (sums[1] / n) as f32,
+        (sums[2] / n) as f32,
+    ]
+}
+
+/// Runs `make` across all available threads, preserving determinism: sample
+/// `i` is always produced from the RNG stream seeded by `(seed, i)`.
+fn parallel_generate<T: Send>(
+    n: usize,
+    seed: u64,
+    make: impl Fn(&mut StdRng) -> T + Sync,
+) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let make = &make;
+                let end = (start + chunk).min(n);
+                scope.spawn(move || {
+                    (start..end)
+                        .map(|i| {
+                            let mut rng = StdRng::seed_from_u64(
+                                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                            make(&mut rng)
+                        })
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("generator thread panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_accel::space::HardwareSpace;
+    use dance_accel::workload::NetworkTemplate;
+    use dance_cost::model::CostModel;
+
+    fn table() -> CostTable {
+        CostTable::new(&NetworkTemplate::cifar10(), &CostModel::new(), &HardwareSpace::new())
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = random_choices(9, &mut rng);
+            assert_eq!(decode_choices(&encode_choices(&c)), c);
+        }
+    }
+
+    #[test]
+    fn encoding_is_one_hot_per_slot() {
+        let c = vec![SlotChoice::Zero; 9];
+        let e = encode_choices(&c);
+        assert_eq!(e.len(), 63);
+        assert_eq!(e.iter().sum::<f32>(), 9.0);
+    }
+
+    #[test]
+    fn hwgen_dataset_targets_are_optimal() {
+        let t = table();
+        let data = generate_hwgen_dataset(&t, &CostFunction::Edap, 8, 7);
+        assert_eq!(data.len(), 8);
+        for s in &data {
+            let choices = decode_choices(&s.arch);
+            let (idx, _) = t.optimal(&choices, &CostFunction::Edap);
+            assert_eq!(s.heads, t.space().head_indices(&t.space().config_at(idx)));
+        }
+    }
+
+    #[test]
+    fn cost_dataset_metrics_match_table() {
+        let t = table();
+        let data = generate_cost_dataset(&t, &CostFunction::Edap, HwSampling::Random, 8, 9);
+        for s in &data {
+            let choices = decode_choices(&s.arch);
+            let cfg = t.space().decode_one_hot(&s.hw);
+            let cost = t.cost(&choices, t.space().index_of(&cfg));
+            assert!((s.metrics[0] - cost.latency_ms as f32).abs() < 1e-5);
+            assert!((s.metrics[1] - cost.energy_mj as f32).abs() < 1e-5);
+            assert!((s.metrics[2] - cost.area_mm2 as f32).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn optimal_sampling_yields_optimal_hw() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let data = generate_cost_dataset(&t, &cf, HwSampling::Optimal, 5, 11);
+        for s in &data {
+            let choices = decode_choices(&s.arch);
+            let (idx, _) = t.optimal(&choices, &cf);
+            assert_eq!(t.space().decode_one_hot(&s.hw), t.space().config_at(idx));
+        }
+    }
+
+    #[test]
+    fn mixed_sampling_contains_both_kinds() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let data = generate_cost_dataset(&t, &cf, HwSampling::Mixed, 40, 13);
+        let mut optimal = 0;
+        for s in &data {
+            let choices = decode_choices(&s.arch);
+            let (idx, _) = t.optimal(&choices, &cf);
+            if t.space().decode_one_hot(&s.hw) == t.space().config_at(idx) {
+                optimal += 1;
+            }
+        }
+        // Roughly half the samples sit at the optimum; require both kinds.
+        assert!(optimal >= 8, "too few optimal samples: {optimal}/40");
+        assert!(optimal <= 32, "too few random samples: {}/40", 40 - optimal);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t = table();
+        let a = generate_hwgen_dataset(&t, &CostFunction::Edap, 16, 5);
+        let b = generate_hwgen_dataset(&t, &CostFunction::Edap, 16, 5);
+        assert_eq!(a, b);
+        let c = generate_hwgen_dataset(&t, &CostFunction::Edap, 16, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_fractions() {
+        let data: Vec<u32> = (0..10).collect();
+        let (tr, va) = split(&data, 0.8);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(va.len(), 2);
+    }
+
+    #[test]
+    fn metric_means_are_averages() {
+        let samples = vec![
+            CostSample { arch: vec![], hw: vec![], metrics: [1.0, 2.0, 3.0] },
+            CostSample { arch: vec![], hw: vec![], metrics: [3.0, 4.0, 5.0] },
+        ];
+        assert_eq!(metric_means(&samples), [2.0, 3.0, 4.0]);
+    }
+}

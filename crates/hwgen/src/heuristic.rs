@@ -1,0 +1,239 @@
+//! Heuristic hardware search: random sampling and hill climbing.
+//!
+//! The paper's space (4335 points) is small enough for the exact algorithms
+//! in [`crate::exhaustive`]; these heuristics exist for two reasons. They
+//! scale to spaces where enumeration stops being an option (more parameters,
+//! finer grids), and they provide *quality anchors*: the evaluator network's
+//! proposals can be compared against what a cheap heuristic finds with the
+//! same number of cost evaluations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dance_accel::space::{DATAFLOW_CARDINALITY, PE_CARDINALITY, RF_CARDINALITY};
+use dance_accel::workload::SlotChoice;
+use dance_cost::metrics::CostFunction;
+
+use crate::exhaustive::SearchResult;
+use crate::table::CostTable;
+
+/// Uniform random search: samples `budget` configurations and keeps the
+/// best.
+///
+/// # Panics
+///
+/// Panics if `budget` is zero.
+pub fn random_search(
+    table: &CostTable,
+    choices: &[SlotChoice],
+    cost_fn: &CostFunction,
+    budget: usize,
+    seed: u64,
+) -> SearchResult {
+    assert!(budget > 0, "random search needs a positive budget");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = table.space();
+    let mut best: Option<SearchResult> = None;
+    for _ in 0..budget {
+        let idx = rng.gen_range(0..space.len());
+        let cost = table.cost(choices, idx);
+        let value = cost_fn.apply(&cost);
+        if best.as_ref().map_or(true, |b| value < b.value) {
+            best = Some(SearchResult {
+                config: space.config_at(idx),
+                config_index: idx,
+                cost,
+                value,
+                evaluated: 0,
+            });
+        }
+    }
+    let mut r = best.expect("budget is positive");
+    r.evaluated = budget;
+    r
+}
+
+/// First-improvement hill climbing over the four head axes with random
+/// restarts. Neighbours differ by ±1 step on one head (PE_X, PE_Y, RF index
+/// or dataflow index).
+///
+/// # Panics
+///
+/// Panics if `restarts` is zero.
+pub fn hill_climb(
+    table: &CostTable,
+    choices: &[SlotChoice],
+    cost_fn: &CostFunction,
+    restarts: usize,
+    seed: u64,
+) -> SearchResult {
+    assert!(restarts > 0, "hill climbing needs at least one restart");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = table.space();
+    let mut evaluated = 0usize;
+    let mut best: Option<SearchResult> = None;
+
+    let eval = |heads: (usize, usize, usize, usize), evaluated: &mut usize| {
+        let cfg = space.from_head_indices(heads.0, heads.1, heads.2, heads.3);
+        let idx = space.index_of(&cfg);
+        *evaluated += 1;
+        let cost = table.cost(choices, idx);
+        (cfg, idx, cost, cost_fn.apply(&cost))
+    };
+
+    for _ in 0..restarts {
+        let mut heads = (
+            rng.gen_range(0..PE_CARDINALITY),
+            rng.gen_range(0..PE_CARDINALITY),
+            rng.gen_range(0..RF_CARDINALITY),
+            rng.gen_range(0..DATAFLOW_CARDINALITY),
+        );
+        let (mut cfg, mut idx, mut cost, mut value) = eval(heads, &mut evaluated);
+        loop {
+            let mut improved = false;
+            let neighbours = neighbour_heads(heads);
+            for nb in neighbours {
+                let (ncfg, nidx, ncost, nvalue) = eval(nb, &mut evaluated);
+                if nvalue < value {
+                    heads = nb;
+                    cfg = ncfg;
+                    idx = nidx;
+                    cost = ncost;
+                    value = nvalue;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if best.as_ref().map_or(true, |b| value < b.value) {
+            best = Some(SearchResult { config: cfg, config_index: idx, cost, value, evaluated });
+        }
+    }
+    let mut r = best.expect("restarts is positive");
+    r.evaluated = evaluated;
+    r
+}
+
+/// All head tuples at Hamming-like distance one (±1 per axis, in range).
+fn neighbour_heads(
+    (px, py, rf, df): (usize, usize, usize, usize),
+) -> Vec<(usize, usize, usize, usize)> {
+    let mut out = Vec::with_capacity(8);
+    let axis = |v: usize, max: usize| {
+        let mut steps = Vec::with_capacity(2);
+        if v > 0 {
+            steps.push(v - 1);
+        }
+        if v + 1 < max {
+            steps.push(v + 1);
+        }
+        steps
+    };
+    for v in axis(px, PE_CARDINALITY) {
+        out.push((v, py, rf, df));
+    }
+    for v in axis(py, PE_CARDINALITY) {
+        out.push((px, v, rf, df));
+    }
+    for v in axis(rf, RF_CARDINALITY) {
+        out.push((px, py, v, df));
+    }
+    for v in axis(df, DATAFLOW_CARDINALITY) {
+        out.push((px, py, rf, v));
+    }
+    out
+}
+
+/// Convenience: the relative optimality gap of a heuristic result against
+/// the exact optimum, `(heuristic − optimal) / optimal` (0 = optimal).
+pub fn optimality_gap(table: &CostTable, choices: &[SlotChoice], cost_fn: &CostFunction, result: &SearchResult) -> f64 {
+    let (_, opt_cost) = table.optimal(choices, cost_fn);
+    let opt = cost_fn.apply(&opt_cost);
+    (result.value - opt) / opt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_accel::space::HardwareSpace;
+    use dance_accel::workload::NetworkTemplate;
+    use dance_cost::model::CostModel;
+
+    fn table() -> CostTable {
+        CostTable::new(&NetworkTemplate::cifar10(), &CostModel::new(), &HardwareSpace::new())
+    }
+
+    fn choices() -> Vec<SlotChoice> {
+        vec![SlotChoice::MbConv { kernel: 3, expand: 6 }; 9]
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let small = random_search(&t, &choices(), &cf, 5, 1);
+        let large = random_search(&t, &choices(), &cf, 500, 1);
+        assert!(large.value <= small.value);
+        assert_eq!(large.evaluated, 500);
+    }
+
+    #[test]
+    fn random_search_with_full_budget_is_near_optimal() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let r = random_search(&t, &choices(), &cf, 2_000, 2);
+        let gap = optimality_gap(&t, &choices(), &cf, &r);
+        assert!(gap < 0.5, "2000 random samples land {gap:.2} above optimum");
+    }
+
+    #[test]
+    fn hill_climb_beats_its_own_starting_points() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let hc = hill_climb(&t, &choices(), &cf, 4, 3);
+        let rnd = random_search(&t, &choices(), &cf, 4, 3);
+        // Same number of restarts as random samples: climbing must not lose.
+        assert!(hc.value <= rnd.value);
+    }
+
+    #[test]
+    fn hill_climb_reaches_small_optimality_gap() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let hc = hill_climb(&t, &choices(), &cf, 8, 4);
+        let gap = optimality_gap(&t, &choices(), &cf, &hc);
+        assert!(gap < 0.25, "hill climbing stuck {gap:.2} above optimum");
+        assert!(
+            hc.evaluated < t.space().len(),
+            "hill climbing evaluated the whole space"
+        );
+    }
+
+    #[test]
+    fn neighbours_respect_bounds() {
+        let corner = neighbour_heads((0, 16, 0, 2));
+        assert!(corner.iter().all(|&(px, py, rf, df)| {
+            px < PE_CARDINALITY && py < PE_CARDINALITY && rf < RF_CARDINALITY && df < DATAFLOW_CARDINALITY
+        }));
+        // Interior point has the full 8 neighbours.
+        assert_eq!(neighbour_heads((5, 5, 2, 1)).len(), 8);
+    }
+
+    #[test]
+    fn optimality_gap_of_exact_optimum_is_zero() {
+        let t = table();
+        let cf = CostFunction::Edap;
+        let (idx, cost) = t.optimal(&choices(), &cf);
+        let exact = SearchResult {
+            config: t.space().config_at(idx),
+            config_index: idx,
+            cost,
+            value: cf.apply(&cost),
+            evaluated: t.space().len(),
+        };
+        assert!(optimality_gap(&t, &choices(), &cf, &exact).abs() < 1e-12);
+    }
+}

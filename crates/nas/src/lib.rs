@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # dance-nas
+//!
+//! The differentiable supernet of the DANCE reproduction (Choi et al., DAC
+//! 2021): a ProxylessNAS-style 13-stage network over 1-D MBConv candidate
+//! operations (kernel ∈ {3,5,7} × expansion ∈ {3,6} + Zero, with an
+//! ever-present skip path), trainable architecture parameters with softmax
+//! relaxation, and the expected-FLOPs baseline penalty.
+//!
+//! The searchable slots line up one-to-one with the 2-D backbone slots of
+//! [`dance_accel::workload::NetworkTemplate`], so an architecture found here
+//! maps directly onto the accelerator workload the cost model prices — see
+//! DESIGN.md §1 for the MBConv-1D substitution rationale.
+//!
+//! ```
+//! use dance_nas::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = Supernet::new(SupernetConfig::cifar(), &mut rng);
+//! let arch = ArchParams::new(net.num_slots(), &mut rng);
+//! let x = net.input_from(&vec![0.0; 2 * 4 * 16], 2);
+//! let logits = net.forward(&x, ForwardMode::Mixture(&arch));
+//! assert_eq!(logits.shape(), vec![2, 10]);
+//! ```
+
+pub mod arch;
+pub mod block;
+pub mod flops;
+pub mod supernet;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::arch::ArchParams;
+    pub use crate::block::{MbConv1d, SearchBlock, SkipPath};
+    pub use crate::flops::{expected_flops, expected_flops_penalty, max_flops, slot_flops};
+    pub use crate::supernet::{ForwardMode, Supernet, SupernetConfig};
+}

@@ -1,0 +1,98 @@
+//! Train the differentiable evaluator from scratch and inspect it: head
+//! accuracies, cost-estimation fidelity, the effect of feature forwarding,
+//! and the gradient it provides to architecture parameters.
+//!
+//! ```sh
+//! cargo run --release --example evaluator_training
+//! ```
+
+use dance::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let cost_fn = CostFunction::Edap;
+    let template = NetworkTemplate::cifar10();
+    let table = CostTable::new(&template, &CostModel::new(), &HardwareSpace::new());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+
+    // --- Ground truth from the exact toolchain ---------------------------
+    println!("generating ground truth from the exact toolchain...");
+    let hw_data = generate_hwgen_dataset(&table, &cost_fn, 6_000, 1);
+    let (htrain, hval) = split(&hw_data, 5.0 / 6.0);
+    let cost_data = generate_cost_dataset(&table, &cost_fn, HwSampling::Random, 12_000, 2);
+    let (ctrain, cval) = split(&cost_data, 0.8);
+
+    // --- Hardware generation network -------------------------------------
+    println!("training the hardware generation network...");
+    let hwgen = HwGenNet::new(63, 128, &mut rng);
+    let hcfg = TrainConfig { epochs: 25, batch_size: 256, lr: 2e-3, seed: 3 };
+    let head_acc = train_hwgen(&hwgen, &htrain, &hval, &hcfg, OptimKind::Adam);
+    println!(
+        "  head accuracies: PEX {:.1}%  PEY {:.1}%  RF {:.1}%  dataflow {:.1}%",
+        head_acc[0], head_acc[1], head_acc[2], head_acc[3]
+    );
+
+    // --- Cost estimation network (with feature forwarding) ---------------
+    println!("training the cost estimation network (w/ feature forwarding)...");
+    let mut cost_net = CostNet::new(63 + ENCODED_WIDTH, 128, &mut rng);
+    let ccfg = TrainConfig { epochs: 20, batch_size: 256, lr: 1e-3, seed: 4 };
+    let cost_acc = train_cost(
+        &mut cost_net,
+        &ctrain,
+        &cval,
+        &ccfg,
+        CostInput::ArchPlusHw,
+        RegressionLoss::Msre,
+    );
+    println!(
+        "  relative accuracy: latency {:.1}%  energy {:.1}%  area {:.1}%",
+        cost_acc[0], cost_acc[1], cost_acc[2]
+    );
+
+    // --- Compose and inspect the evaluator -------------------------------
+    let evaluator = Evaluator::with_feature_forwarding(
+        hwgen,
+        cost_net,
+        63,
+        HeadSampling::Gumbel { tau: 1.0 },
+    );
+    evaluator.freeze();
+
+    // Predict for a concrete architecture and compare with the toolchain.
+    let choices = [SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+    let arch = Var::constant(Tensor::from_vec(encode_choices(&choices), &[1, 63]));
+    let predicted = evaluator.predict_metrics(&arch, &mut rng).value();
+    let (opt_idx, exact) = (
+        exhaustive_search_table(&table, &choices, &cost_fn).config_index,
+        exhaustive_search_table(&table, &choices, &cost_fn).cost,
+    );
+    println!("\narchitecture: all MB3x3_e6");
+    println!(
+        "  evaluator predicts: {:.2} ms, {:.2} mJ, {:.2} mm²",
+        predicted.at2(0, 0),
+        predicted.at2(0, 1),
+        predicted.at2(0, 2)
+    );
+    println!(
+        "  exact toolchain:    {:.2} ms, {:.2} mJ, {:.2} mm² at {}",
+        exact.latency_ms,
+        exact.energy_mj,
+        exact.area_mm2,
+        table.space().config_at(opt_idx)
+    );
+    println!(
+        "  hwgen net proposes: {}",
+        evaluator.predict_configs(&arch, &HardwareSpace::new())[0]
+    );
+
+    // The whole point: the prediction is differentiable w.r.t. α.
+    let alpha = Var::parameter(Tensor::full(&[1, 63], 1.0 / 7.0));
+    let metrics = evaluator.predict_metrics(&alpha, &mut rng);
+    let cost = cost_hw_var(&metrics, &cost_fn, 100.0);
+    cost.backward();
+    let g = alpha.grad().expect("gradient reaches architecture parameters");
+    println!(
+        "\ngradient of CostHW w.r.t. the 63 architecture inputs: |g| = {:.4} (nonzero ✓)",
+        g.sq_norm().sqrt()
+    );
+}

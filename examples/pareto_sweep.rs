@@ -1,0 +1,63 @@
+//! Accuracy-vs-cost Pareto sweep: run DANCE at several λ₂ values and print
+//! the frontier together with the no-penalty baseline — a miniature version
+//! of the paper's Figure 5 experiment.
+//!
+//! ```sh
+//! cargo run --release --example pareto_sweep
+//! ```
+
+use dance::prelude::*;
+
+fn main() {
+    let pipeline = Pipeline::new(Benchmark::cifar(42), CostFunction::Edap);
+    println!("training evaluator (small sizes for the example)...");
+    let sizes = EvaluatorSizes {
+        hwgen_samples: 4_000,
+        hwgen_epochs: 15,
+        hwgen_width: 96,
+        cost_samples: 8_000,
+        cost_epochs: 12,
+        cost_width: 96,
+        seed: 0,
+    };
+    let (evaluator, _) = pipeline.train_evaluator(&sizes, true);
+    let retrain = RetrainConfig { epochs: 10, ..RetrainConfig::default() };
+
+    let mut rows: Vec<(String, f32, f64)> = Vec::new();
+
+    println!("running no-penalty baseline...");
+    let base = pipeline.run_baseline(
+        BaselinePenalty::None,
+        &SearchConfig { epochs: 8, seed: 1, ..SearchConfig::default() },
+        &retrain,
+        "baseline",
+    );
+    rows.push(("baseline (λ₂=0)".into(), base.accuracy, base.cost.edap()));
+
+    for (i, l2) in [0.1f32, 0.4, 1.5].into_iter().enumerate() {
+        println!("running DANCE at λ₂ = {l2}...");
+        let cfg = SearchConfig {
+            epochs: 8,
+            lambda2: LambdaWarmup::ramp(l2, 4),
+            seed: 2 + i as u64,
+            ..SearchConfig::default()
+        };
+        let d = pipeline.run_dance(&evaluator, &cfg, &retrain, "DANCE");
+        rows.push((format!("DANCE (λ₂={l2})"), d.accuracy, d.cost.edap()));
+    }
+
+    println!("\n{:<20} {:>10} {:>10}", "method", "acc (%)", "EDAP");
+    for (name, acc, edap) in &rows {
+        println!("{:<20} {:>10.1} {:>10.1}", name, 100.0 * acc, edap);
+    }
+
+    // Which points are Pareto-optimal (minimize error and EDAP)?
+    let points: Vec<ParetoPoint> = rows
+        .iter()
+        .map(|(_, acc, edap)| ParetoPoint::new(100.0 * (1.0 - *acc as f64), *edap))
+        .collect();
+    println!("\nPareto-optimal points:");
+    for i in pareto_front(&points) {
+        println!("  {}", rows[i].0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: price a network on an accelerator, find the optimal design,
+//! and run a miniature differentiable co-exploration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dance::prelude::*;
+
+fn main() {
+    // 1. Describe a network in the paper's architecture space: the CIFAR-10
+    //    backbone with MBConv5x5 (expand 6) in every searchable slot.
+    let template = NetworkTemplate::cifar10();
+    let choices = [SlotChoice::MbConv { kernel: 5, expand: 6 }; 9];
+    let network = template.instantiate(&choices);
+    println!(
+        "network: {} conv layers, {:.1} M MACs",
+        network.len(),
+        network.total_macs() as f64 / 1e6
+    );
+
+    // 2. Price it on a hand-picked accelerator with the analytical cost
+    //    model (the Timeloop + Accelergy substitute).
+    let model = CostModel::new();
+    let config = AcceleratorConfig::default();
+    let cost = model.evaluate(&network, &config);
+    println!(
+        "on {config}: {:.2} ms, {:.2} mJ, {:.2} mm² (EDAP {:.1})",
+        cost.latency_ms,
+        cost.energy_mj,
+        cost.area_mm2,
+        cost.edap()
+    );
+
+    // 3. Exact hardware generation: the optimal accelerator in the paper's
+    //    4335-point space under the EDAP cost function.
+    let space = HardwareSpace::new();
+    let best = exhaustive_search(&network, &space, &model, &CostFunction::Edap);
+    println!(
+        "optimal accelerator: {} -> EDAP {:.1} ({} configs searched)",
+        best.config,
+        best.cost.edap(),
+        best.evaluated
+    );
+
+    // 4. A miniature DANCE co-exploration: train a small evaluator and run
+    //    a short differentiable search on the synthetic CIFAR task.
+    let pipeline = Pipeline::new(Benchmark::cifar(0), CostFunction::Edap);
+    let sizes = EvaluatorSizes {
+        hwgen_samples: 2_000,
+        hwgen_epochs: 10,
+        hwgen_width: 64,
+        cost_samples: 4_000,
+        cost_epochs: 8,
+        cost_width: 64,
+        seed: 0,
+    };
+    println!("training a small evaluator (this takes a few seconds)...");
+    let (evaluator, report) = pipeline.train_evaluator(&sizes, true);
+    println!(
+        "evaluator ready: hwgen heads {:?} %, cost estimation {:?} %",
+        report.hwgen_head_acc, report.cost_acc
+    );
+    let search = SearchConfig {
+        epochs: 6,
+        lambda2: LambdaWarmup::ramp(0.15, 3),
+        ..SearchConfig::default()
+    };
+    let retrain = RetrainConfig { epochs: 8, ..RetrainConfig::default() };
+    let design = pipeline.run_dance(&evaluator, &search, &retrain, "DANCE quickstart");
+    println!(
+        "co-explored design: acc {:.1} %, {}, EDAP {:.1}",
+        100.0 * design.accuracy,
+        design.config,
+        design.cost.edap()
+    );
+    println!(
+        "chosen ops: {}",
+        design
+            .choices
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates every table and figure of the DANCE reproduction.
+set -x
+cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
+cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
+cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log
+cargo run --release -p dance-bench --bin table4 2>&1 | tee results/table4.log
+cargo run --release -p dance-bench --bin fig5 -- --no-warmup 2>&1 | tee results/fig5.log
+echo ALL_EXPERIMENTS_DONE

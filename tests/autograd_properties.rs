@@ -1,0 +1,117 @@
+//! Property-based tests on the autodiff substrate: algebraic identities and
+//! gradient invariants over random tensors.
+
+use dance::prelude::*;
+use proptest::prelude::*;
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_matmul_distributes_over_addition(a in arb_tensor(3, 4), b in arb_tensor(3, 4), c in arb_tensor(4, 2)) {
+        // (A + B)·C = A·C + B·C
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn prop_transpose_of_product(a in arb_tensor(3, 4), b in arb_tensor(4, 2)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn prop_softmax_rows_are_distributions(t in arb_tensor(4, 6)) {
+        let s = t.softmax_rows();
+        for i in 0..4 {
+            let sum: f32 = (0..6).map(|j| s.at2(i, j)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn prop_sum_gradient_is_ones(t in arb_tensor(3, 5)) {
+        let x = Var::parameter(t);
+        x.sum().backward();
+        let g = x.grad().expect("gradient exists");
+        prop_assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn prop_linearity_of_gradients(t in arb_tensor(2, 3), c in -3.0f32..3.0) {
+        // d(c·sum(x))/dx = c everywhere.
+        let x = Var::parameter(t);
+        x.sum().scale(c).backward();
+        let g = x.grad().expect("gradient exists");
+        prop_assert!(g.data().iter().all(|&v| (v - c).abs() < 1e-5));
+    }
+
+    #[test]
+    fn prop_relu_output_nonnegative_and_grad_masked(t in arb_tensor(3, 3)) {
+        let x = Var::parameter(t.clone());
+        let y = x.relu();
+        prop_assert!(y.value().data().iter().all(|&v| v >= 0.0));
+        y.sum().backward();
+        let g = x.grad().expect("gradient exists");
+        for (gi, xi) in g.data().iter().zip(t.data()) {
+            if *xi > 0.0 {
+                prop_assert!((gi - 1.0).abs() < 1e-6);
+            } else {
+                prop_assert_eq!(*gi, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_weighted_sum_is_convex_combination(
+        a in arb_tensor(2, 3), b in arb_tensor(2, 3), w in 0.0f32..1.0,
+    ) {
+        let va = Var::constant(a.clone());
+        let vb = Var::constant(b.clone());
+        let weights = Var::constant(Tensor::from_vec(vec![w, 1.0 - w], &[2]));
+        let mix = Var::weighted_sum(&[&va, &vb], &weights).value();
+        let expect = a.scale(w).add(&b.scale(1.0 - w));
+        prop_assert!(mix.approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn prop_cross_entropy_nonnegative_and_zero_only_when_confident(
+        logits in arb_tensor(2, 4), target in 0usize..4,
+    ) {
+        let x = Var::constant(logits);
+        let loss = cross_entropy(&x, &[target, target], 0.0);
+        prop_assert!(loss.item() >= 0.0);
+    }
+
+    #[test]
+    fn prop_gumbel_softmax_preserves_simplex(t in arb_tensor(2, 5), tau in 0.2f32..3.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let x = Var::constant(t);
+        let y = gumbel_softmax(&x, tau, &mut rng).value();
+        for i in 0..2 {
+            let sum: f32 = (0..5).map(|j| y.at2(i, j)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn prop_msre_is_scale_invariant(p in prop::collection::vec(0.5f32..5.0, 6), scale in 0.5f32..10.0) {
+        // MSRE(k·ŷ, k·y) = MSRE(ŷ, y): the property that motivates Eq. 2.
+        let target = Tensor::from_vec(p.iter().map(|x| x + 0.5).collect(), &[6]);
+        let pred = Var::constant(Tensor::from_vec(p.clone(), &[6]));
+        let base = msre(&pred, &target).item();
+        let scaled_pred = Var::constant(Tensor::from_vec(p.iter().map(|x| x * scale).collect(), &[6]));
+        let scaled = msre(&scaled_pred, &target.scale(scale)).item();
+        prop_assert!((base - scaled).abs() < 1e-4, "{base} vs {scaled}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the analytical cost model: invariants that must
+//! hold for *every* layer × configuration pair, not just the unit-test
+//! examples.
+
+use dance::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = AcceleratorConfig> {
+    (8usize..=24, 8usize..=24, 0usize..5, 0usize..3).prop_map(|(px, py, rf, df)| {
+        AcceleratorConfig::new(px, py, RF_CHOICES[rf], Dataflow::from_index(df))
+            .expect("strategy produces valid configs")
+    })
+}
+
+fn arb_layer() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..=256,  // k
+        1usize..=128,  // c
+        1usize..=32,   // h = w
+        prop::sample::select(vec![1usize, 3, 5, 7]),
+        1usize..=2,    // stride
+    )
+        .prop_map(|(k, c, hw, rs, stride)| ConvLayer::new(k, c, hw, hw, rs, rs, stride))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_costs_are_positive_and_finite(layer in arb_layer(), cfg in arb_config()) {
+        let model = CostModel::new();
+        let net = Network::from_layers(vec![layer]);
+        let cost = model.evaluate(&net, &cfg);
+        prop_assert!(cost.latency_ms > 0.0 && cost.latency_ms.is_finite());
+        prop_assert!(cost.energy_mj > 0.0 && cost.energy_mj.is_finite());
+        prop_assert!(cost.area_mm2 > 0.0 && cost.area_mm2.is_finite());
+        prop_assert!(cost.edap() > 0.0);
+    }
+
+    #[test]
+    fn prop_utilization_is_a_fraction(layer in arb_layer(), cfg in arb_config()) {
+        let m = map_layer(&layer, &cfg);
+        prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9,
+            "utilization {}", m.utilization);
+    }
+
+    #[test]
+    fn prop_sram_traffic_at_least_compulsory(layer in arb_layer(), cfg in arb_config()) {
+        let m = map_layer(&layer, &cfg);
+        prop_assert!(m.sram_weight >= layer.weight_words());
+        prop_assert!(m.sram_input >= layer.input_words());
+        prop_assert!(m.sram_output >= layer.output_words());
+        prop_assert!(m.dram_words >= layer.weight_words() + layer.input_words() + layer.output_words());
+    }
+
+    #[test]
+    fn prop_total_cycles_at_least_compute(layer in arb_layer(), cfg in arb_config()) {
+        let m = map_layer(&layer, &cfg);
+        prop_assert!(m.total_cycles >= m.compute_cycles);
+        prop_assert_eq!(m.total_cycles, m.compute_cycles + m.stall_cycles
+            + dance::cost::mapping::FILL_DRAIN_CYCLES + cfg.pe_x() as u64 + cfg.pe_y() as u64);
+    }
+
+    #[test]
+    fn prop_bigger_rf_never_more_sram(layer in arb_layer(), px in 8usize..=24, py in 8usize..=24, df in 0usize..3) {
+        let dataflow = Dataflow::from_index(df);
+        let mut prev = u64::MAX;
+        for rf in RF_CHOICES {
+            let cfg = AcceleratorConfig::new(px, py, rf, dataflow).expect("valid");
+            let m = map_layer(&layer, &cfg);
+            prop_assert!(m.sram_total() <= prev,
+                "rf {} increased SRAM traffic {} -> {}", rf, prev, m.sram_total());
+            prev = m.sram_total();
+        }
+    }
+
+    #[test]
+    fn prop_area_monotone_in_pes_and_rf(cfg in arb_config()) {
+        let bigger_pe = AcceleratorConfig::new(
+            (cfg.pe_x() + 1).min(24),
+            cfg.pe_y(),
+            cfg.rf_size(),
+            cfg.dataflow(),
+        ).expect("valid");
+        prop_assert!(dance::cost::area::area_mm2(&bigger_pe) >= dance::cost::area::area_mm2(&cfg));
+    }
+
+    #[test]
+    fn prop_network_cost_additive_over_layers(a in arb_layer(), b in arb_layer(), cfg in arb_config()) {
+        let model = CostModel::new();
+        let both = model.evaluate(&Network::from_layers(vec![a, b]), &cfg);
+        let one = model.evaluate(&Network::from_layers(vec![a]), &cfg);
+        let two = model.evaluate(&Network::from_layers(vec![b]), &cfg);
+        prop_assert!((both.latency_ms - one.latency_ms - two.latency_ms).abs() < 1e-9);
+        prop_assert!((both.energy_mj - one.energy_mj - two.energy_mj).abs() < 1e-9);
+        prop_assert!((both.area_mm2 - one.area_mm2).abs() < 1e-12, "area is per-config");
+    }
+
+    #[test]
+    fn prop_cost_functions_monotone_in_each_metric(
+        lat in 0.1f64..50.0, e in 0.1f64..50.0, a in 0.1f64..10.0, delta in 0.01f64..5.0,
+    ) {
+        for cf in [CostFunction::Edap, CostFunction::Linear(CostWeights::table2())] {
+            let base = cf.apply_array([lat, e, a]);
+            prop_assert!(cf.apply_array([lat + delta, e, a]) > base);
+            prop_assert!(cf.apply_array([lat, e + delta, a]) > base);
+            prop_assert!(cf.apply_array([lat, e, a + delta]) > base);
+        }
+    }
+}

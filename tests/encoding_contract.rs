@@ -1,0 +1,115 @@
+//! Cross-crate contract tests: the architecture/hardware encodings shared
+//! between `dance-nas`, `dance-hwgen`, `dance-evaluator` and the search loop
+//! must agree exactly, or the frozen evaluator would silently read garbage.
+
+use dance::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn arch_params_encoding_matches_hwgen_encoding() {
+    // A sharp ArchParams must encode to (approximately) the same vector the
+    // dataset generator produces for the discrete architecture.
+    let choices = vec![
+        SlotChoice::MbConv { kernel: 3, expand: 3 },
+        SlotChoice::MbConv { kernel: 7, expand: 6 },
+        SlotChoice::Zero,
+        SlotChoice::MbConv { kernel: 5, expand: 3 },
+        SlotChoice::Zero,
+        SlotChoice::MbConv { kernel: 5, expand: 6 },
+        SlotChoice::MbConv { kernel: 3, expand: 6 },
+        SlotChoice::MbConv { kernel: 7, expand: 3 },
+        SlotChoice::Zero,
+    ];
+    let arch = ArchParams::from_choices(&choices, 60.0);
+    let soft = arch.encode().value();
+    let hard = encode_choices(&choices);
+    assert_eq!(soft.numel(), hard.len());
+    for (s, h) in soft.data().iter().zip(hard.iter()) {
+        assert!((s - h).abs() < 1e-3, "encoding mismatch: {s} vs {h}");
+    }
+    // And the decoder recovers the same architecture.
+    assert_eq!(decode_choices(soft.data()), choices);
+}
+
+#[test]
+fn hardware_one_hot_width_matches_evaluator_expectations() {
+    let space = HardwareSpace::new();
+    let cfg = AcceleratorConfig::default();
+    assert_eq!(space.encode_one_hot(&cfg).len(), ENCODED_WIDTH);
+    assert_eq!(
+        ENCODED_WIDTH,
+        2 * PE_CARDINALITY + RF_CARDINALITY + DATAFLOW_CARDINALITY
+    );
+    // HwGenNet head order must match the space's head order.
+    assert_eq!(
+        HEAD_WIDTHS,
+        [PE_CARDINALITY, PE_CARDINALITY, RF_CARDINALITY, DATAFLOW_CARDINALITY]
+    );
+}
+
+#[test]
+fn supernet_slots_line_up_with_template_slots() {
+    for (sup_cfg, template) in [
+        (SupernetConfig::cifar(), NetworkTemplate::cifar10()),
+        (SupernetConfig::imagenet(), NetworkTemplate::imagenet()),
+    ] {
+        let sup_slots = sup_cfg.slots();
+        let tmpl_slots = template.slots();
+        assert_eq!(sup_slots.len(), tmpl_slots.len());
+        for (s, t) in sup_slots.iter().zip(tmpl_slots.iter()) {
+            assert_eq!(s.stride, t.stride, "stride pattern diverged");
+            // Channel *growth pattern* matches even though absolute widths
+            // differ (the 1-D supernet is a scaled-down proxy).
+            assert_eq!(
+                s.c_in == s.c_out,
+                t.c_in == t.c_out,
+                "width-change pattern diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluator_consumes_arch_params_encoding_directly() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let hwgen = HwGenNet::new(63, 32, &mut rng);
+    let cost = CostNet::new(63 + ENCODED_WIDTH, 32, &mut rng);
+    let evaluator =
+        Evaluator::with_feature_forwarding(hwgen, cost, 63, HeadSampling::Gumbel { tau: 1.0 });
+    evaluator.freeze();
+    let arch = ArchParams::new(9, &mut rng);
+    let metrics = evaluator.predict_metrics(&arch.encode(), &mut rng);
+    assert_eq!(metrics.shape(), vec![1, 3]);
+    // Gradients must reach every α through the frozen evaluator.
+    metrics.sqr().sum().backward();
+    for (i, a) in arch.parameters().iter().enumerate() {
+        assert!(a.grad().is_some(), "slot {i} got no gradient");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_encode_decode_roundtrip(indices in prop::collection::vec(0usize..7, 9)) {
+        let choices: Vec<SlotChoice> =
+            indices.iter().map(|&i| SlotChoice::from_index(i)).collect();
+        prop_assert_eq!(decode_choices(&encode_choices(&choices)), choices);
+    }
+
+    #[test]
+    fn prop_space_index_roundtrip(idx in 0usize..4335) {
+        let space = HardwareSpace::new();
+        let cfg = space.config_at(idx);
+        prop_assert_eq!(space.index_of(&cfg), idx);
+        prop_assert_eq!(space.decode_one_hot(&space.encode_one_hot(&cfg)), cfg);
+    }
+
+    #[test]
+    fn prop_head_indices_roundtrip(px in 0usize..17, py in 0usize..17, rf in 0usize..5, df in 0usize..3) {
+        let space = HardwareSpace::new();
+        let cfg = space.from_head_indices(px, py, rf, df);
+        prop_assert_eq!(space.head_indices(&cfg), (px, py, rf, df));
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration tests: miniature versions of the paper's flows,
+//! spanning every crate in the workspace.
+
+use dance::prelude::*;
+
+fn quick_sizes() -> EvaluatorSizes {
+    EvaluatorSizes {
+        hwgen_samples: 1_200,
+        hwgen_epochs: 8,
+        hwgen_width: 48,
+        cost_samples: 2_500,
+        cost_epochs: 8,
+        cost_width: 48,
+        seed: 0,
+    }
+}
+
+#[test]
+fn evaluator_pipeline_beats_chance_end_to_end() {
+    let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
+    let (_evaluator, report) = pipeline.train_evaluator(&quick_sizes(), true);
+    // Chance for the PE heads is ~5.9%, RF 20%, dataflow 33%; even a small
+    // evaluator must be far above that, and relative cost accuracy > 60%.
+    assert!(report.hwgen_head_acc[0] > 30.0, "PE_X {:?}", report.hwgen_head_acc);
+    assert!(report.hwgen_head_acc[3] > 60.0, "dataflow {:?}", report.hwgen_head_acc);
+    for (i, a) in report.cost_acc.iter().enumerate() {
+        assert!(*a > 60.0, "cost metric {i} accuracy {a}");
+    }
+}
+
+#[test]
+fn dance_search_responds_to_lambda2() {
+    // With a large λ₂ the discovered design must be cheaper than with λ₂≈0 —
+    // the core co-exploration behaviour.
+    let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
+    let (evaluator, _) = pipeline.train_evaluator(&quick_sizes(), true);
+    let retrain = RetrainConfig { epochs: 4, batch_size: 64, lr: 0.02 };
+
+    let mk = |l2: f32, seed: u64| SearchConfig {
+        epochs: 6,
+        batch_size: 64,
+        lambda2: LambdaWarmup::ramp(l2, 2),
+        seed,
+        ..SearchConfig::default()
+    };
+    let light = pipeline.run_dance(&evaluator, &mk(3.0, 1), &retrain, "heavy-penalty");
+    let free = pipeline.run_baseline(BaselinePenalty::None, &mk(0.0, 1), &retrain, "no-penalty");
+    assert!(
+        light.cost.edap() < free.cost.edap(),
+        "λ₂ had no effect: {} vs {}",
+        light.cost.edap(),
+        free.cost.edap()
+    );
+}
+
+#[test]
+fn exact_hwgen_agrees_between_algorithms_on_searched_architecture() {
+    let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
+    let choices = vec![
+        SlotChoice::MbConv { kernel: 3, expand: 6 },
+        SlotChoice::Zero,
+        SlotChoice::MbConv { kernel: 5, expand: 3 },
+        SlotChoice::MbConv { kernel: 7, expand: 6 },
+        SlotChoice::Zero,
+        SlotChoice::MbConv { kernel: 3, expand: 3 },
+        SlotChoice::MbConv { kernel: 5, expand: 6 },
+        SlotChoice::Zero,
+        SlotChoice::MbConv { kernel: 7, expand: 3 },
+    ];
+    let network = pipeline.benchmark.template.instantiate(&choices);
+    let space = HardwareSpace::new();
+    let model = CostModel::new();
+    let cf = CostFunction::Edap;
+    let ex = exhaustive_search(&network, &space, &model, &cf);
+    let bb = branch_and_bound(&network, &space, &model, &cf);
+    let tb = exhaustive_search_table(&pipeline.table, &choices, &cf);
+    assert_eq!(ex.config, bb.config);
+    assert_eq!(ex.config, tb.config);
+    assert!((ex.value - tb.value).abs() < 1e-9);
+}
+
+#[test]
+fn rl_baseline_improves_its_reward() {
+    let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
+    let reference = pipeline.reference_cost();
+    let cfg = RlConfig { candidates: 6, quick_epochs: 1, batch_size: 64, lr: 0.3, lambda_cost: 0.3, seed: 3 };
+    let out = rl_co_exploration(
+        pipeline.benchmark.supernet,
+        &pipeline.benchmark.data,
+        &pipeline.table,
+        &CostFunction::Edap,
+        reference,
+        &cfg,
+    );
+    assert_eq!(out.candidates_trained, 6);
+    // The best candidate's reward must be at least the first sample's.
+    assert!(out.best.reward >= out.rewards[0]);
+}
+
+#[test]
+fn derived_network_accuracy_tracks_capacity() {
+    // A heavier derived architecture should not do worse than the all-Zero
+    // one after equal training — the capacity sensitivity the datasets are
+    // built to provide.
+    let data = synth_cifar(9);
+    let cfg = SupernetConfig::cifar();
+    let zero = train_derived(cfg, &[SlotChoice::Zero; 9], &data, 6, 64, 0.02, 1);
+    let heavy = train_derived(
+        cfg,
+        &[SlotChoice::MbConv { kernel: 5, expand: 6 }; 9],
+        &data,
+        6,
+        64,
+        0.02,
+        1,
+    );
+    assert!(
+        heavy >= zero - 0.02,
+        "capacity did not help: zero {zero} vs heavy {heavy}"
+    );
+}
