@@ -93,15 +93,26 @@ impl AcceleratorConfig {
         dataflow: Dataflow,
     ) -> Result<Self, ConfigError> {
         if !(PE_MIN..=PE_MAX).contains(&pe_x) {
-            return Err(ConfigError::PeOutOfRange { axis: 'x', value: pe_x });
+            return Err(ConfigError::PeOutOfRange {
+                axis: 'x',
+                value: pe_x,
+            });
         }
         if !(PE_MIN..=PE_MAX).contains(&pe_y) {
-            return Err(ConfigError::PeOutOfRange { axis: 'y', value: pe_y });
+            return Err(ConfigError::PeOutOfRange {
+                axis: 'y',
+                value: pe_y,
+            });
         }
         if !RF_CHOICES.contains(&rf_size) {
             return Err(ConfigError::InvalidRfSize(rf_size));
         }
-        Ok(Self { pe_x, pe_y, rf_size, dataflow })
+        Ok(Self {
+            pe_x,
+            pe_y,
+            rf_size,
+            dataflow,
+        })
     }
 
     /// PE-array width.
@@ -134,7 +145,12 @@ impl Default for AcceleratorConfig {
     /// The Eyeriss-like midpoint of the space: 14×12 PEs, RF 16, row
     /// stationary.
     fn default() -> Self {
-        Self { pe_x: 14, pe_y: 12, rf_size: 16, dataflow: Dataflow::RowStationary }
+        Self {
+            pe_x: 14,
+            pe_y: 12,
+            rf_size: 16,
+            dataflow: Dataflow::RowStationary,
+        }
     }
 }
 
@@ -193,11 +209,17 @@ mod tests {
     fn out_of_range_pe_rejected() {
         assert_eq!(
             AcceleratorConfig::new(7, 12, 16, Dataflow::RowStationary),
-            Err(ConfigError::PeOutOfRange { axis: 'x', value: 7 })
+            Err(ConfigError::PeOutOfRange {
+                axis: 'x',
+                value: 7
+            })
         );
         assert_eq!(
             AcceleratorConfig::new(8, 25, 16, Dataflow::RowStationary),
-            Err(ConfigError::PeOutOfRange { axis: 'y', value: 25 })
+            Err(ConfigError::PeOutOfRange {
+                axis: 'y',
+                value: 25
+            })
         );
     }
 

@@ -42,7 +42,17 @@ impl ConvLayer {
     ///
     /// Panics if any dimension is zero.
     pub fn new(k: usize, c: usize, h: usize, w: usize, r: usize, s: usize, stride: usize) -> Self {
-        let layer = Self { n: 1, k, c, h, w, r, s, stride, groups: 1 };
+        let layer = Self {
+            n: 1,
+            k,
+            c,
+            h,
+            w,
+            r,
+            s,
+            stride,
+            groups: 1,
+        };
         layer.validate();
         layer
     }
@@ -52,7 +62,14 @@ impl ConvLayer {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn depthwise(channels: usize, h: usize, w: usize, r: usize, s: usize, stride: usize) -> Self {
+    pub fn depthwise(
+        channels: usize,
+        h: usize,
+        w: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+    ) -> Self {
         let layer = Self {
             n: 1,
             k: channels,
@@ -89,8 +106,13 @@ impl ConvLayer {
                 && self.stride > 0,
             "conv layer has a zero dimension: {self:?}"
         );
-        assert!(self.groups > 0 && self.k % self.groups == 0 && self.c % self.groups == 0,
-            "groups {} must divide k {} and c {}", self.groups, self.k, self.c);
+        assert!(
+            self.groups > 0 && self.k % self.groups == 0 && self.c % self.groups == 0,
+            "groups {} must divide k {} and c {}",
+            self.groups,
+            self.k,
+            self.c
+        );
     }
 
     /// Output feature-map height (same padding, then stride).

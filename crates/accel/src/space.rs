@@ -47,7 +47,11 @@ impl HardwareSpace {
     ///
     /// Panics if `i >= self.len()`.
     pub fn config_at(&self, i: usize) -> AcceleratorConfig {
-        assert!(i < self.len(), "index {i} out of space of size {}", self.len());
+        assert!(
+            i < self.len(),
+            "index {i} out of space of size {}",
+            self.len()
+        );
         let df = i % DATAFLOW_CARDINALITY;
         let rest = i / DATAFLOW_CARDINALITY;
         let rf = rest % RF_CARDINALITY;
@@ -94,10 +98,22 @@ impl HardwareSpace {
     /// # Panics
     ///
     /// Panics if any index exceeds its head's cardinality.
-    pub fn from_head_indices(&self, px: usize, py: usize, rf: usize, df: usize) -> AcceleratorConfig {
-        assert!(px < PE_CARDINALITY && py < PE_CARDINALITY, "PE head index out of range");
+    pub fn from_head_indices(
+        &self,
+        px: usize,
+        py: usize,
+        rf: usize,
+        df: usize,
+    ) -> AcceleratorConfig {
+        assert!(
+            px < PE_CARDINALITY && py < PE_CARDINALITY,
+            "PE head index out of range"
+        );
         assert!(rf < RF_CARDINALITY, "RF head index out of range");
-        assert!(df < DATAFLOW_CARDINALITY, "dataflow head index out of range");
+        assert!(
+            df < DATAFLOW_CARDINALITY,
+            "dataflow head index out of range"
+        );
         AcceleratorConfig::new(
             PE_MIN + px,
             PE_MIN + py,
@@ -125,7 +141,12 @@ impl HardwareSpace {
     ///
     /// Panics if `encoded.len() != ENCODED_WIDTH`.
     pub fn decode_one_hot(&self, encoded: &[f32]) -> AcceleratorConfig {
-        assert_eq!(encoded.len(), ENCODED_WIDTH, "encoded width {}", encoded.len());
+        assert_eq!(
+            encoded.len(),
+            ENCODED_WIDTH,
+            "encoded width {}",
+            encoded.len()
+        );
         let argmax = |s: &[f32]| {
             s.iter()
                 .enumerate()

@@ -32,12 +32,30 @@ impl SlotChoice {
     /// The six MBConv variants plus Zero, in the paper's canonical order:
     /// MB3x3_e3, MB3x3_e6, MB5x5_e3, MB5x5_e6, MB7x7_e3, MB7x7_e6, Zero.
     pub const CANDIDATES: [SlotChoice; 7] = [
-        SlotChoice::MbConv { kernel: 3, expand: 3 },
-        SlotChoice::MbConv { kernel: 3, expand: 6 },
-        SlotChoice::MbConv { kernel: 5, expand: 3 },
-        SlotChoice::MbConv { kernel: 5, expand: 6 },
-        SlotChoice::MbConv { kernel: 7, expand: 3 },
-        SlotChoice::MbConv { kernel: 7, expand: 6 },
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 3,
+        },
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 6,
+        },
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 3,
+        },
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6,
+        },
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 3,
+        },
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 6,
+        },
         SlotChoice::Zero,
     ];
 
@@ -119,7 +137,12 @@ impl Slot {
                     ConvLayer::depthwise(mid, self.h, self.w, kernel, kernel, self.stride),
                 ];
                 let dw = layers[1];
-                layers.push(ConvLayer::pointwise(self.c_out, mid, dw.h_out(), dw.w_out()));
+                layers.push(ConvLayer::pointwise(
+                    self.c_out,
+                    mid,
+                    dw.h_out(),
+                    dw.w_out(),
+                ));
                 layers
             }
         }
@@ -180,18 +203,77 @@ impl NetworkTemplate {
     pub fn cifar10() -> Self {
         let stem = vec![ConvLayer::new(32, 3, 32, 32, 3, 3, 1)];
         let slots = vec![
-            Slot { h: 32, w: 32, c_in: 32, c_out: 64, stride: 2 },
-            Slot { h: 16, w: 16, c_in: 64, c_out: 64, stride: 1 },
-            Slot { h: 16, w: 16, c_in: 64, c_out: 64, stride: 1 },
-            Slot { h: 16, w: 16, c_in: 64, c_out: 128, stride: 2 },
-            Slot { h: 8, w: 8, c_in: 128, c_out: 128, stride: 1 },
-            Slot { h: 8, w: 8, c_in: 128, c_out: 128, stride: 1 },
-            Slot { h: 8, w: 8, c_in: 128, c_out: 256, stride: 2 },
-            Slot { h: 4, w: 4, c_in: 256, c_out: 256, stride: 1 },
-            Slot { h: 4, w: 4, c_in: 256, c_out: 256, stride: 1 },
+            Slot {
+                h: 32,
+                w: 32,
+                c_in: 32,
+                c_out: 64,
+                stride: 2,
+            },
+            Slot {
+                h: 16,
+                w: 16,
+                c_in: 64,
+                c_out: 64,
+                stride: 1,
+            },
+            Slot {
+                h: 16,
+                w: 16,
+                c_in: 64,
+                c_out: 64,
+                stride: 1,
+            },
+            Slot {
+                h: 16,
+                w: 16,
+                c_in: 64,
+                c_out: 128,
+                stride: 2,
+            },
+            Slot {
+                h: 8,
+                w: 8,
+                c_in: 128,
+                c_out: 128,
+                stride: 1,
+            },
+            Slot {
+                h: 8,
+                w: 8,
+                c_in: 128,
+                c_out: 128,
+                stride: 1,
+            },
+            Slot {
+                h: 8,
+                w: 8,
+                c_in: 128,
+                c_out: 256,
+                stride: 2,
+            },
+            Slot {
+                h: 4,
+                w: 4,
+                c_in: 256,
+                c_out: 256,
+                stride: 1,
+            },
+            Slot {
+                h: 4,
+                w: 4,
+                c_in: 256,
+                c_out: 256,
+                stride: 1,
+            },
         ];
         let head = vec![ConvLayer::pointwise(512, 256, 4, 4)];
-        Self { name: "cifar10", stem, slots, head }
+        Self {
+            name: "cifar10",
+            stem,
+            slots,
+            head,
+        }
     }
 
     /// The ImageNet-scale ProxylessNAS backbone: 224×224 input, strided stem
@@ -203,18 +285,77 @@ impl NetworkTemplate {
             ConvLayer::pointwise(32, 32, 56, 56),
         ];
         let slots = vec![
-            Slot { h: 56, w: 56, c_in: 32, c_out: 48, stride: 2 },
-            Slot { h: 28, w: 28, c_in: 48, c_out: 48, stride: 1 },
-            Slot { h: 28, w: 28, c_in: 48, c_out: 48, stride: 1 },
-            Slot { h: 28, w: 28, c_in: 48, c_out: 96, stride: 2 },
-            Slot { h: 14, w: 14, c_in: 96, c_out: 96, stride: 1 },
-            Slot { h: 14, w: 14, c_in: 96, c_out: 96, stride: 1 },
-            Slot { h: 14, w: 14, c_in: 96, c_out: 192, stride: 2 },
-            Slot { h: 7, w: 7, c_in: 192, c_out: 192, stride: 1 },
-            Slot { h: 7, w: 7, c_in: 192, c_out: 192, stride: 1 },
+            Slot {
+                h: 56,
+                w: 56,
+                c_in: 32,
+                c_out: 48,
+                stride: 2,
+            },
+            Slot {
+                h: 28,
+                w: 28,
+                c_in: 48,
+                c_out: 48,
+                stride: 1,
+            },
+            Slot {
+                h: 28,
+                w: 28,
+                c_in: 48,
+                c_out: 48,
+                stride: 1,
+            },
+            Slot {
+                h: 28,
+                w: 28,
+                c_in: 48,
+                c_out: 96,
+                stride: 2,
+            },
+            Slot {
+                h: 14,
+                w: 14,
+                c_in: 96,
+                c_out: 96,
+                stride: 1,
+            },
+            Slot {
+                h: 14,
+                w: 14,
+                c_in: 96,
+                c_out: 96,
+                stride: 1,
+            },
+            Slot {
+                h: 14,
+                w: 14,
+                c_in: 96,
+                c_out: 192,
+                stride: 2,
+            },
+            Slot {
+                h: 7,
+                w: 7,
+                c_in: 192,
+                c_out: 192,
+                stride: 1,
+            },
+            Slot {
+                h: 7,
+                w: 7,
+                c_in: 192,
+                c_out: 192,
+                stride: 1,
+            },
         ];
         let head = vec![ConvLayer::pointwise(960, 192, 7, 7)];
-        Self { name: "imagenet", stem, slots, head }
+        Self {
+            name: "imagenet",
+            stem,
+            slots,
+            head,
+        }
     }
 
     /// Template name ("cifar10" / "imagenet").
@@ -256,7 +397,13 @@ impl NetworkTemplate {
     /// The network with every slot at its heaviest op (MB7x7_e6) — an upper
     /// bound used for normalization.
     pub fn max_network(&self) -> Network {
-        let choices = vec![SlotChoice::MbConv { kernel: 7, expand: 6 }; self.slots.len()];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 7,
+                expand: 6
+            };
+            self.slots.len()
+        ];
         self.instantiate(&choices)
     }
 }
@@ -288,8 +435,17 @@ mod tests {
 
     #[test]
     fn mbconv_expands_to_three_layers() {
-        let slot = Slot { h: 8, w: 8, c_in: 16, c_out: 16, stride: 1 };
-        let layers = slot.layers(SlotChoice::MbConv { kernel: 5, expand: 6 });
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 16,
+            c_out: 16,
+            stride: 1,
+        };
+        let layers = slot.layers(SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6,
+        });
         assert_eq!(layers.len(), 3);
         assert_eq!(layers[0].k, 96); // expand
         assert!(layers[1].is_depthwise());
@@ -299,13 +455,25 @@ mod tests {
 
     #[test]
     fn zero_on_identity_slot_emits_nothing() {
-        let slot = Slot { h: 8, w: 8, c_in: 16, c_out: 16, stride: 1 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 16,
+            c_out: 16,
+            stride: 1,
+        };
         assert!(slot.layers(SlotChoice::Zero).is_empty());
     }
 
     #[test]
     fn zero_on_reduction_slot_emits_adapter() {
-        let slot = Slot { h: 8, w: 8, c_in: 16, c_out: 32, stride: 2 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 16,
+            c_out: 32,
+            stride: 2,
+        };
         let layers = slot.layers(SlotChoice::Zero);
         assert_eq!(layers.len(), 1);
         assert_eq!(layers[0].k, 32);
@@ -315,7 +483,13 @@ mod tests {
     #[test]
     fn instantiate_stitches_shapes_consistently() {
         let t = NetworkTemplate::cifar10();
-        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 3 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 3
+            };
+            9
+        ];
         let net = t.instantiate(&choices);
         // Consecutive layers must agree: output channels feed input channels
         // within each MBConv triple; across slots the template guarantees it.
@@ -324,13 +498,21 @@ mod tests {
             assert!(layer.h <= h, "feature map grew: {layer}");
             h = layer.h_out().max(layer.h / layer.stride);
         }
-        assert!(net.total_macs() > 10_000_000, "CIFAR net suspiciously small");
+        assert!(
+            net.total_macs() > 10_000_000,
+            "CIFAR net suspiciously small"
+        );
     }
 
     #[test]
     fn heavier_ops_cost_more_macs() {
         let t = NetworkTemplate::cifar10();
-        let light = t.instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 3 }; 9]);
+        let light = t.instantiate(
+            &[SlotChoice::MbConv {
+                kernel: 3,
+                expand: 3,
+            }; 9],
+        );
         let heavy = t.max_network();
         assert!(heavy.total_macs() > light.total_macs());
     }
@@ -339,7 +521,12 @@ mod tests {
     fn all_zero_network_is_cheapest() {
         let t = NetworkTemplate::cifar10();
         let zero = t.instantiate(&[SlotChoice::Zero; 9]);
-        let light = t.instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 3 }; 9]);
+        let light = t.instantiate(
+            &[SlotChoice::MbConv {
+                kernel: 3,
+                expand: 3,
+            }; 9],
+        );
         assert!(zero.total_macs() < light.total_macs());
         assert!(!zero.is_empty(), "stem/head/adapters remain");
     }

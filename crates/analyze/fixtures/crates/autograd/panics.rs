@@ -1,0 +1,11 @@
+//! Seeded `panic-doc` violation. The relative path of this file contains
+//! `crates/autograd/`, which puts it inside the hot-path scope where every
+//! `panic!` must be documented with a `# Panics` section.
+
+/// Divides without documenting that it can panic.
+pub fn seeded_undocumented_panic(a: f32, b: f32) -> f32 {
+    if b.abs() < f32::EPSILON {
+        panic!("division by zero in seeded fixture");
+    }
+    a / b
+}

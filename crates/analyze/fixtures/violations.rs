@@ -1,0 +1,30 @@
+//! Seeded source-lint violations. This tree is excluded from the repo-wide
+//! walk (the walker skips directories named `fixtures`) and exists so tests
+//! and CI can point `dance-analyze --source` at it and assert a non-zero
+//! exit with one diagnostic per rule.
+//!
+//! Expected findings in this file: `no-unwrap`, `expect-message`,
+//! `float-eq`, `must-use`.
+
+/// Violates `no-unwrap`: library code must propagate or justify the error.
+pub fn seeded_unwrap(values: &[f32]) -> f32 {
+    *values.first().unwrap()
+}
+
+/// Violates `expect-message`: the message is too short to explain anything.
+pub fn seeded_short_expect(values: &[f32]) -> f32 {
+    *values.last().expect("no")
+}
+
+/// Violates `float-eq`: exact equality against a float literal.
+pub fn seeded_float_eq(x: f32) -> bool {
+    x == 0.5
+}
+
+/// Violates `must-use`: a `pub fn` returning `Var` without `#[must_use]`.
+pub fn seeded_missing_must_use() -> Var {
+    Var
+}
+
+/// Stand-in so the fixture is a self-contained parse target.
+pub struct Var;

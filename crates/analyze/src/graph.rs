@@ -1,0 +1,462 @@
+//! Pass 1: the autodiff-graph linter.
+//!
+//! [`lint_graph`] walks a built tape from a loss root and re-derives what the
+//! [`dance_autograd::opspec`] registry says must hold at every node. All
+//! checks are structural — no tensor math is re-executed — so linting a full
+//! supernet + evaluator + hardware-loss graph costs microseconds and can run
+//! at the start of every search.
+//!
+//! | rule                      | severity | meaning                                             |
+//! |---------------------------|----------|-----------------------------------------------------|
+//! | `graph-shape`             | error    | node shape contradicts the op's symbolic shape rule |
+//! | `graph-arity`             | error    | wrong number of parents for the op                  |
+//! | `graph-unreachable-param` | error    | named trainable param has no gradient path to loss  |
+//! | `graph-no-grad-root`      | error    | the loss depends on no trainable parameter at all   |
+//! | `graph-unknown-op`        | warning  | op name missing from the registry                   |
+//! | `graph-dead-subgraph`     | warning  | constant-folded subgraph recomputed every step      |
+//! | `graph-nan-prone`         | warning  | `ln` fed by `softmax`/`div` (catastrophic underflow)|
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use dance_autograd::opspec::op_spec;
+use dance_autograd::var::Var;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Training on this graph is refused.
+    Error,
+    /// Suspicious but trainable; fatal unless explicitly allowed.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding of the graph linter.
+#[derive(Debug, Clone)]
+pub struct GraphDiagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Machine-readable rule name (`graph-shape`, `graph-arity`, …).
+    pub rule: &'static str,
+    /// Tape id of the offending node.
+    pub node: u64,
+    /// Op name of the offending node.
+    pub op: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for GraphDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} node#{} [{}]: {}",
+            self.severity, self.rule, self.node, self.op, self.message
+        )
+    }
+}
+
+/// The outcome of one [`lint_graph`] run.
+#[derive(Debug, Clone, Default)]
+pub struct GraphReport {
+    /// Every finding, errors first.
+    pub diagnostics: Vec<GraphDiagnostic>,
+    /// Number of nodes walked.
+    pub nodes_visited: usize,
+}
+
+impl GraphReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether the graph passed with no findings at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any rule matched at error severity.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// One diagnostic per line, suitable for logs and panic messages.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.diagnostics.iter().map(|d| format!("{d}\n")).collect()
+    }
+
+    /// Gate for training loops: `Err` if the report has errors, or has
+    /// warnings while `allow_warnings` is false. The `Err` payload lists
+    /// every diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered diagnostics when the graph is rejected.
+    pub fn enforce(&self, allow_warnings: bool) -> Result<(), String> {
+        if self.has_errors() || (!allow_warnings && !self.is_clean()) {
+            Err(format!(
+                "graph lint rejected the computation graph ({} errors, {} warnings):\n{}",
+                self.error_count(),
+                self.warning_count(),
+                self.render()
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Ops whose output is flagged when it feeds `ln` directly: both can emit
+/// exact zeros (softmax underflow, division hitting 0/denominator sign
+/// flips), and `ln` of a clamped zero kills the gradient on that element.
+const NAN_FEEDERS: &[&str] = &["softmax", "div"];
+
+/// Pure data-movement ops: folding them saves no arithmetic, so a constant
+/// subgraph made only of these (e.g. the input batch reshaped into layout
+/// before the first conv) is normal plumbing, not a missed constant fold.
+const LAYOUT_OPS: &[&str] = &["reshape", "to_channels_last", "from_channels_last"];
+
+/// Whether the subtree rooted at `v` performs any arithmetic on its constant
+/// inputs, as opposed to merely rearranging them.
+fn subtree_has_compute(v: &Var) -> bool {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack = vec![v.clone()];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n.id()) {
+            continue;
+        }
+        if !n.is_leaf() && !LAYOUT_OPS.contains(&n.op()) {
+            return true;
+        }
+        stack.extend(n.parents());
+    }
+    false
+}
+
+/// Lints the graph rooted at `root`.
+///
+/// `named_params` associates display names with the trainable leaves the
+/// caller is about to optimize; each must be reachable from `root`, else the
+/// optimizer would silently never update it (`graph-unreachable-param`).
+#[must_use]
+pub fn lint_graph(root: &Var, named_params: &[(String, Var)]) -> GraphReport {
+    let mut report = GraphReport::default();
+
+    // Collect every node reachable from the root (iterative DFS; graphs can
+    // be thousands of nodes deep).
+    let mut nodes: HashMap<u64, Var> = HashMap::new();
+    let mut stack = vec![root.clone()];
+    while let Some(v) = stack.pop() {
+        if nodes.insert(v.id(), v.clone()).is_some() {
+            continue;
+        }
+        stack.extend(v.parents());
+    }
+    report.nodes_visited = nodes.len();
+
+    let mut diags: Vec<GraphDiagnostic> = Vec::new();
+
+    if !root.requires_grad() {
+        diags.push(GraphDiagnostic {
+            severity: Severity::Error,
+            rule: "graph-no-grad-root",
+            node: root.id(),
+            op: root.op().to_string(),
+            message: "loss does not depend on any trainable parameter; \
+                      backward() would be a no-op"
+                .to_string(),
+        });
+    }
+
+    for (name, p) in named_params {
+        if !nodes.contains_key(&p.id()) {
+            diags.push(GraphDiagnostic {
+                severity: Severity::Error,
+                rule: "graph-unreachable-param",
+                node: p.id(),
+                op: p.op().to_string(),
+                message: format!(
+                    "trainable parameter `{name}` has no gradient path to the loss; \
+                     the optimizer would never update it"
+                ),
+            });
+        }
+    }
+
+    // Interior constant subgraphs: a !requires_grad non-leaf feeding a
+    // requires_grad node is recomputed every forward pass although its value
+    // never changes. Report each such frontier node once.
+    let mut dead_reported: HashSet<u64> = HashSet::new();
+
+    let mut ids: Vec<u64> = nodes.keys().copied().collect();
+    ids.sort_unstable(); // deterministic diagnostic order
+    for id in ids {
+        let v = &nodes[&id];
+        if v.is_leaf() {
+            continue;
+        }
+        let parents = v.parents();
+        let op = v.op();
+
+        if v.requires_grad() {
+            for p in &parents {
+                if !p.requires_grad()
+                    && !p.is_leaf()
+                    && subtree_has_compute(p)
+                    && dead_reported.insert(p.id())
+                {
+                    diags.push(GraphDiagnostic {
+                        severity: Severity::Warning,
+                        rule: "graph-dead-subgraph",
+                        node: p.id(),
+                        op: p.op().to_string(),
+                        message: "constant subgraph feeds the gradient path; its value \
+                                  never changes, so it could be folded into a constant"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+
+        if op == "ln" {
+            for p in &parents {
+                if NAN_FEEDERS.contains(&p.op()) {
+                    diags.push(GraphDiagnostic {
+                        severity: Severity::Warning,
+                        rule: "graph-nan-prone",
+                        node: id,
+                        op: op.to_string(),
+                        message: format!(
+                            "`ln` consumes the output of `{}`, which can underflow to \
+                             exact zero; prefer a fused log (e.g. log_softmax_rows) or \
+                             guard the operand",
+                            p.op()
+                        ),
+                    });
+                }
+            }
+        }
+
+        let Some(spec) = op_spec(op) else {
+            diags.push(GraphDiagnostic {
+                severity: Severity::Warning,
+                rule: "graph-unknown-op",
+                node: id,
+                op: op.to_string(),
+                message: "op is not in the opspec registry; its shapes cannot be verified"
+                    .to_string(),
+            });
+            continue;
+        };
+
+        if !spec.arity.accepts(parents.len()) {
+            diags.push(GraphDiagnostic {
+                severity: Severity::Error,
+                rule: "graph-arity",
+                node: id,
+                op: op.to_string(),
+                message: format!(
+                    "op takes {:?} parents but node has {}",
+                    spec.arity,
+                    parents.len()
+                ),
+            });
+            continue; // shape rule assumes the arity holds
+        }
+
+        let parent_shapes: Vec<Vec<usize>> = parents.iter().map(Var::shape).collect();
+        if let Err(why) = (spec.shape_rule)(&parent_shapes, &v.shape()) {
+            diags.push(GraphDiagnostic {
+                severity: Severity::Error,
+                rule: "graph-shape",
+                node: id,
+                op: op.to_string(),
+                message: why,
+            });
+        }
+    }
+
+    diags.sort_by_key(|d| (d.severity == Severity::Warning, d.node));
+    report.diagnostics.extend(diags);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_autograd::tensor::Tensor;
+
+    fn param(shape: &[usize]) -> Var {
+        Var::parameter(Tensor::ones(shape))
+    }
+
+    #[test]
+    fn clean_graph_reports_nothing() {
+        let w = param(&[4, 2]);
+        let x = Var::constant(Tensor::ones(&[3, 4]));
+        let loss = x.matmul(&w).relu().sum();
+        let named = vec![("w".to_string(), w)];
+        let report = lint_graph(&loss, &named);
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.nodes_visited >= 4);
+        assert!(report.enforce(false).is_ok());
+    }
+
+    #[test]
+    fn shape_violation_is_an_error() {
+        let a = param(&[2, 3]);
+        let b = param(&[3, 4]);
+        // Claim a [5, 5] output for a [2,3]×[3,4] matmul.
+        let bad = Var::raw_for_testing("matmul", Tensor::ones(&[5, 5]), vec![a, b]);
+        let report = lint_graph(&bad.sum(), &[]);
+        assert!(report.has_errors());
+        assert!(report.diagnostics.iter().any(|d| d.rule == "graph-shape"));
+        assert!(report.enforce(true).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let a = param(&[2, 2]);
+        let bad = Var::raw_for_testing("add", Tensor::ones(&[2, 2]), vec![a]);
+        let report = lint_graph(&bad.sum(), &[]);
+        assert!(report.diagnostics.iter().any(|d| d.rule == "graph-arity"));
+    }
+
+    #[test]
+    fn unknown_op_is_a_warning() {
+        let a = param(&[2, 2]);
+        let odd = Var::raw_for_testing("mystery_op", Tensor::ones(&[2, 2]), vec![a]);
+        let report = lint_graph(&odd.sum(), &[]);
+        assert!(!report.has_errors());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "graph-unknown-op"));
+        assert!(report.enforce(false).is_err());
+        assert!(report.enforce(true).is_ok());
+    }
+
+    #[test]
+    fn unreachable_parameter_is_an_error() {
+        let used = param(&[2, 2]);
+        let orphan = param(&[2, 2]);
+        let loss = used.sum();
+        let named = vec![("used".to_string(), used), ("orphan".to_string(), orphan)];
+        let report = lint_graph(&loss, &named);
+        let hits: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "graph-unreachable-param")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("orphan"));
+    }
+
+    #[test]
+    fn detached_parameter_is_unreachable() {
+        let w = param(&[2, 2]);
+        let loss = w.detach().sum(); // gradient path deliberately severed
+        let report = lint_graph(&loss, &[("w".to_string(), w)]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "graph-unreachable-param"));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "graph-no-grad-root"));
+    }
+
+    #[test]
+    fn constant_subgraph_is_flagged_as_dead() {
+        let c = Var::constant(Tensor::ones(&[2, 2]));
+        let folded = c.relu(); // interior node with constant ancestry
+        let w = param(&[2, 2]);
+        let loss = w.mul(&folded).sum();
+        let report = lint_graph(&loss, &[]);
+        assert!(!report.has_errors());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "graph-dead-subgraph"));
+    }
+
+    #[test]
+    fn constant_layout_plumbing_is_not_dead() {
+        // Reshaping the (constant) input batch into the layout the first
+        // matmul expects is normal plumbing, not a missed constant fold.
+        let x = Var::constant(Tensor::ones(&[2, 3, 4]));
+        let w = param(&[4 * 3, 1]);
+        let loss = x.reshape(&[2, 12]).matmul(&w).sum();
+        let report = lint_graph(&loss, &[]);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == "graph-dead-subgraph"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn ln_of_softmax_is_nan_prone() {
+        let w = param(&[2, 4]);
+        let loss = w.softmax_rows().ln().sum();
+        let report = lint_graph(&loss, &[]);
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == "graph-nan-prone")
+            .expect("expected a nan-prone warning");
+        assert!(hit.message.contains("log_softmax_rows"));
+        // The fused op does not trigger it.
+        let fused = w.log_softmax_rows().sum();
+        assert!(lint_graph(&fused, &[]).is_clean());
+    }
+
+    #[test]
+    fn ln_of_div_is_nan_prone() {
+        let a = param(&[3]);
+        let b = param(&[3]);
+        let loss = a.div(&b).ln().sum();
+        let report = lint_graph(&loss, &[]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "graph-nan-prone"));
+    }
+
+    #[test]
+    fn all_constant_root_is_an_error() {
+        let c = Var::constant(Tensor::ones(&[2]));
+        let report = lint_graph(&c.sum(), &[]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "graph-no-grad-root"));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # dance-analyze
+//!
+//! Static analysis for the DANCE reproduction, in two passes:
+//!
+//! 1. **Graph linting** ([`graph`]): walks a built autodiff tape — supernet
+//!    mixture forward, evaluator cost network, hardware loss — and re-checks
+//!    every node against the [`dance_autograd::opspec`] registry *before*
+//!    training starts. Shape-rule violations, wrong arities, trainable
+//!    parameters with no gradient path to the loss, constant-folded dead
+//!    subgraphs, and NaN-prone patterns (a `ln` fed by an unguarded
+//!    `softmax`/`div`) are reported statically instead of panicking (or
+//!    silently mis-training) mid-epoch. `dance::search::dance_search` runs
+//!    this pass on a probe batch and refuses to train on errors.
+//!
+//! 2. **Source linting** ([`source`]): a hand-rolled, dependency-free line
+//!    lexer over `crates/` enforcing workspace conventions — no `unwrap()`
+//!    in non-test library code, no float `==` comparisons, `panic!` in the
+//!    `dance-cost`/`dance-autograd` hot paths requires a `# Panics` doc
+//!    section, and public functions returning `Var` must be `#[must_use]`.
+//!    Diagnostics are machine-readable (`file:line rule message`) and the
+//!    CLI exits non-zero for CI.
+//!
+//! Run both passes over the repository with:
+//!
+//! ```text
+//! cargo run -p dance-analyze -- --all
+//! ```
+
+pub mod graph;
+pub mod source;
+
+pub use graph::{lint_graph, GraphDiagnostic, GraphReport, Severity};
+pub use source::{lint_file, lint_tree, SourceDiagnostic};

@@ -1,0 +1,190 @@
+//! `dance-analyze` — the workspace's static analysis CLI.
+//!
+//! ```text
+//! cargo run -p dance-analyze -- --all                 # both passes, repo root
+//! cargo run -p dance-analyze -- --source [PATH]       # source linter only
+//! cargo run -p dance-analyze -- --graph               # graph linter only
+//! cargo run -p dance-analyze -- --all --allow-graph-warnings
+//! ```
+//!
+//! Exit status is non-zero when any source diagnostic fires or the graph
+//! pass is rejected, so CI can gate on it. Diagnostics print one per line as
+//! `file:line rule message` (source) or `severity: rule node#N [op]: …`
+//! (graph).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dance_analyze::graph::{lint_graph, GraphReport};
+use dance_analyze::source::lint_tree;
+use dance_autograd::loss::cross_entropy;
+use dance_autograd::var::Var;
+use dance_evaluator::cost_net::CostNet;
+use dance_evaluator::evaluator::Evaluator;
+use dance_evaluator::hwgen_net::{HeadSampling, HwGenNet};
+use dance_nas::arch::ArchParams;
+use dance_nas::supernet::{ForwardMode, Supernet, SupernetConfig};
+
+struct Options {
+    source: bool,
+    graph: bool,
+    allow_graph_warnings: bool,
+    root: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: dance-analyze [--all] [--source] [--graph] [--allow-graph-warnings] [PATH]\n\
+     \n\
+     --all                    run both passes (default if no pass is chosen)\n\
+     --source                 lint workspace sources (PATH overrides the root)\n\
+     --graph                  lint representative autodiff graphs\n\
+     --allow-graph-warnings   graph warnings do not fail the run\n"
+}
+
+fn parse_args() -> Result<Options, String> {
+    // Default root: the workspace that contains this crate.
+    let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve workspace root: {e}"))?;
+    let mut opts = Options {
+        source: false,
+        graph: false,
+        allow_graph_warnings: false,
+        root: workspace_root,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--all" => {
+                opts.source = true;
+                opts.graph = true;
+            }
+            "--source" => opts.source = true,
+            "--graph" => opts.graph = true,
+            "--allow-graph-warnings" => opts.allow_graph_warnings = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if !other.starts_with('-') => opts.root = PathBuf::from(other),
+            other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
+        }
+    }
+    if !opts.source && !opts.graph {
+        opts.source = true;
+        opts.graph = true;
+    }
+    Ok(opts)
+}
+
+/// Builds and lints the search loss graph: supernet mixture forward +
+/// cross-entropy, with every supernet weight and architecture logit named.
+fn lint_search_graph() -> GraphReport {
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = SupernetConfig {
+        input_channels: 2,
+        length: 8,
+        num_classes: 3,
+        stem_width: 4,
+        stage_widths: [4, 6, 8],
+        head_width: 12,
+    };
+    let net = Supernet::new(config, &mut rng);
+    let arch = ArchParams::new(net.num_slots(), &mut rng);
+    let batch = 4;
+    let x = net.input_from(&vec![0.1; batch * 2 * 8], batch);
+    let logits = net.forward(&x, ForwardMode::Mixture(&arch));
+    let loss = cross_entropy(&logits, &vec![0; batch], 0.1);
+
+    let mut named: Vec<(String, Var)> = Vec::new();
+    for (i, p) in net.parameters().into_iter().enumerate() {
+        named.push((format!("supernet[{i}]"), p));
+    }
+    for (i, p) in arch.parameters().into_iter().enumerate() {
+        named.push((format!("alpha[{i}]"), p));
+    }
+    lint_graph(&loss, &named)
+}
+
+/// Builds and lints the evaluator graph: frozen hwgen + cost networks
+/// consuming a differentiable architecture encoding (the hardware-loss path
+/// of the search).
+fn lint_evaluator_graph() -> GraphReport {
+    let mut rng = StdRng::seed_from_u64(1);
+    let slots = 3;
+    let arch_width = slots * 7;
+    let hwgen = HwGenNet::new(arch_width, 16, &mut rng);
+    let cost = CostNet::new(arch_width + dance_accel::space::ENCODED_WIDTH, 16, &mut rng);
+    let evaluator = Evaluator::with_feature_forwarding(
+        hwgen,
+        cost,
+        arch_width,
+        HeadSampling::Gumbel { tau: 1.0 },
+    );
+    evaluator.freeze();
+    let arch = ArchParams::new(slots, &mut rng);
+    let metrics = evaluator.predict_metrics(&arch.encode(), &mut rng);
+    let pseudo_loss = metrics.sum();
+
+    let named: Vec<(String, Var)> = arch
+        .parameters()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (format!("alpha[{i}]"), p))
+        .collect();
+    lint_graph(&pseudo_loss, &named)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let mut failed = false;
+
+    if opts.source {
+        let diags = lint_tree(&opts.root)
+            .map_err(|e| format!("source lint failed on {}: {e}", opts.root.display()))?;
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!(
+            "source lint: {} diagnostic(s) in {}",
+            diags.len(),
+            opts.root.display()
+        );
+        failed |= !diags.is_empty();
+    }
+
+    if opts.graph {
+        for (name, report) in [
+            (
+                "search loss (supernet mixture + cross-entropy)",
+                lint_search_graph(),
+            ),
+            ("hardware loss (frozen evaluator)", lint_evaluator_graph()),
+        ] {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            let verdict = report.enforce(opts.allow_graph_warnings);
+            eprintln!(
+                "graph lint [{name}]: {} nodes, {} error(s), {} warning(s)",
+                report.nodes_visited,
+                report.error_count(),
+                report.warning_count()
+            );
+            failed |= verdict.is_err();
+        }
+    }
+
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! Pass 2: the source linter.
+//!
+//! A hand-rolled, dependency-free line lexer (no `syn`, no regex) that walks
+//! the workspace's `.rs` files and enforces the conventions the DANCE crates
+//! follow. Per line, the lexer blanks out comments and string-literal
+//! contents (so patterns inside strings or docs never match), tracks
+//! `#[cfg(test)]` blocks by brace depth (test code is exempt from every
+//! rule), and keeps the comment text so `// lint: allow(<rule>)` suppressions
+//! on the same or the preceding line work.
+//!
+//! | rule          | applies to                   | meaning                                       |
+//! |---------------|------------------------------|-----------------------------------------------|
+//! | `no-unwrap`   | all library code             | `.unwrap()` forbidden; use `expect`/`Result`  |
+//! | `expect-message` | all library code          | `.expect("…")` needs a ≥ 5-char reason        |
+//! | `float-eq`    | all library code             | `==`/`!=` against a float literal             |
+//! | `panic-doc`   | `crates/cost`, `crates/autograd` | `panic!` needs `# Panics` on the enclosing fn |
+//! | `must-use`    | all library code             | `pub fn … -> Var` must be `#[must_use]`       |
+//!
+//! Diagnostics print as `file:line rule message` — one per line, greppable,
+//! and the CLI exits non-zero when any are present.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding of the source linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDiagnostic {
+    /// File the finding is in (as given to [`lint_file`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Machine-readable rule name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for SourceDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A source line after lexing: executable code with comments/strings blanked,
+/// plus the comment text (for suppressions).
+#[derive(Debug, Clone, Default)]
+struct LexedLine {
+    /// Code with comment text and string-literal *contents* replaced by
+    /// spaces (quotes are kept, so token boundaries survive).
+    code: String,
+    /// The text of any `//` comment on the line.
+    comment: String,
+    /// Whether the line is (part of) a doc comment (`///` or `//!`).
+    is_doc: bool,
+    /// Doc-comment text (`///` body), used by the `panic-doc` rule.
+    doc_text: String,
+}
+
+/// Strips comments and string contents line by line, tracking multi-line
+/// block comments. Purely line-oriented: a string literal spanning lines is
+/// not supported (none exist in this workspace), but block comments are.
+fn lex(content: &str) -> Vec<LexedLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for raw in content.lines() {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut is_doc = false;
+        let mut doc_text = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                code.push(' ');
+                continue;
+            }
+            let c = bytes[i];
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    let rest: String = bytes[i..].iter().collect();
+                    if rest.starts_with("///") || rest.starts_with("//!") {
+                        is_doc = true;
+                        doc_text = rest[3..].to_string();
+                    }
+                    comment = rest;
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    in_block_comment = true;
+                    code.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    // String literal: keep the quotes, blank the contents.
+                    let raw_string = i > 0 && bytes[i - 1] == 'r';
+                    code.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        if !raw_string && bytes[i] == '\\' {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        if bytes[i] == '"' {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal ('x' / '\n') vs. lifetime ('a in &'a T).
+                    let is_char_lit = matches!(
+                        (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)),
+                        (Some('\\'), _, Some('\''))
+                    ) || matches!(
+                        (bytes.get(i + 1), bytes.get(i + 2)),
+                        (Some(x), Some('\'')) if *x != '\\'
+                    );
+                    if is_char_lit {
+                        let end = if bytes.get(i + 1) == Some(&'\\') {
+                            i + 3
+                        } else {
+                            i + 2
+                        };
+                        for _ in i..=end.min(bytes.len() - 1) {
+                            code.push(' ');
+                        }
+                        i = end + 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(LexedLine {
+            code,
+            comment,
+            is_doc,
+            doc_text,
+        });
+    }
+    out
+}
+
+/// Whether line `idx` (or the line before it) carries a
+/// `lint: allow(<rule>)` suppression comment.
+fn is_allowed(lines: &[LexedLine], idx: usize, token: &str) -> bool {
+    let needle = format!("lint: allow({token})");
+    if lines[idx].comment.contains(&needle) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].comment.contains(&needle)
+}
+
+/// Whether `tok` looks like a floating-point literal (`0.0`, `1e-6`,
+/// `2.5f32`, `1_000.0`).
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok
+        .trim_end_matches("f32")
+        .trim_end_matches("f64")
+        .trim_end_matches('_');
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let mantissa_dot = t.contains('.');
+    let exponent = t.contains('e') || t.contains('E');
+    (mantissa_dot || exponent || tok.ends_with("f32") || tok.ends_with("f64"))
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || "._eE+-".contains(c))
+}
+
+/// The identifier-ish token immediately left of byte position `pos`.
+fn token_before(code: &str, pos: usize) -> &str {
+    let head = code[..pos].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || "._+-".contains(c)))
+        .map_or(0, |p| p + 1);
+    &head[start..]
+}
+
+/// The identifier-ish token immediately right of byte position `pos`.
+fn token_after(code: &str, pos: usize) -> &str {
+    let tail = code[pos..].trim_start();
+    // A leading sign belongs to a numeric literal (`== -1.0`).
+    let tail = tail.strip_prefix('-').unwrap_or(tail);
+    let end = tail
+        .find(|c: char| !(c.is_ascii_alphanumeric() || "._+-".contains(c)))
+        .unwrap_or(tail.len());
+    &tail[..end]
+}
+
+/// Walks upward from `idx` over contiguous attribute/doc lines, returning
+/// `true` if any attribute line contains `needle`.
+fn preceding_attrs_contain(lines: &[LexedLine], idx: usize, needle: &str) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let code = lines[i].code.trim();
+        if lines[i].is_doc || code.is_empty() && !lines[i].comment.is_empty() {
+            continue;
+        }
+        if code.starts_with("#[") {
+            if lines[i].code.contains(needle) {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Whether the doc comment block attached to the `fn` enclosing line `idx`
+/// contains a `# Panics` section.
+fn enclosing_fn_documents_panics(lines: &[LexedLine], idx: usize) -> bool {
+    // Find the nearest preceding fn definition line.
+    let mut fn_line = None;
+    for i in (0..=idx).rev() {
+        let code = lines[i].code.trim_start();
+        let is_fn = code.starts_with("fn ")
+            || code.starts_with("pub fn ")
+            || code.starts_with("pub(crate) fn ")
+            || code.starts_with("pub(super) fn ")
+            || code.starts_with("const fn ")
+            || code.starts_with("pub const fn ");
+        if is_fn {
+            fn_line = Some(i);
+            break;
+        }
+    }
+    let Some(fn_line) = fn_line else { return false };
+    // Scan upward over the contiguous doc/attribute block.
+    let mut i = fn_line;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        let code = line.code.trim();
+        if line.is_doc {
+            if line.doc_text.contains("# Panics") {
+                return true;
+            }
+            continue;
+        }
+        if code.starts_with("#[") || (code.is_empty() && !line.comment.is_empty()) {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Options controlling which rules apply to a file.
+#[derive(Debug, Clone, Copy, Default)]
+struct FileRules {
+    /// `panic-doc` only guards the numeric hot paths.
+    panic_doc: bool,
+}
+
+fn rules_for(path: &str) -> FileRules {
+    let normalized = path.replace('\\', "/");
+    FileRules {
+        panic_doc: normalized.contains("crates/cost/") || normalized.contains("crates/autograd/"),
+    }
+}
+
+/// Lints one file's contents. `path` is used for diagnostics and to decide
+/// path-scoped rules (`panic-doc`).
+#[must_use]
+pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
+    let rules = rules_for(path);
+    let lines = lex(content);
+    let mut diags = Vec::new();
+
+    // Test-block tracking: `#[cfg(test)]` exempts its whole brace block.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_exit_depth: Option<i64> = None;
+
+    let mut emit = |line: usize, rule: &'static str, message: String| {
+        diags.push(SourceDiagnostic {
+            file: path.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+
+    for idx in 0..lines.len() {
+        let code = lines[idx].code.clone();
+        let depth_before = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+
+        if code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        let in_test = test_exit_depth.is_some() || pending_test_attr;
+        if pending_test_attr && depth > depth_before {
+            test_exit_depth = Some(depth_before);
+            pending_test_attr = false;
+        }
+        if let Some(d) = test_exit_depth {
+            if depth <= d {
+                test_exit_depth = None;
+            }
+        }
+        if in_test {
+            continue;
+        }
+
+        // --- no-unwrap ----------------------------------------------------
+        if code.contains(".unwrap()") && !is_allowed(&lines, idx, "unwrap") {
+            emit(
+                idx,
+                "no-unwrap",
+                "`.unwrap()` in library code; use `.expect(\"reason\")`, return a \
+                 Result, or add `// lint: allow(unwrap)` with a rationale"
+                    .to_string(),
+            );
+        }
+
+        // --- expect-message -----------------------------------------------
+        // The lexed code keeps quotes but blanks contents, so measure the
+        // message length as the distance between the quotes.
+        let mut search = 0;
+        while let Some(rel) = code[search..].find(".expect(") {
+            let open = search + rel + ".expect(".len();
+            search = open;
+            let rest = &code[open..];
+            let Some(q1) = rest.find('"') else { continue };
+            let Some(q2) = rest[q1 + 1..].find('"') else {
+                continue;
+            };
+            if q2 < 5 && !is_allowed(&lines, idx, "expect") {
+                emit(
+                    idx,
+                    "expect-message",
+                    format!("`.expect` message is only {q2} chars; explain what invariant failed"),
+                );
+            }
+        }
+
+        // --- float-eq -----------------------------------------------------
+        for pat in ["==", "!="] {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(pat) {
+                let pos = from + rel;
+                from = pos + 2;
+                // Skip `<=`, `>=`, `!==`-like contexts and pattern arms.
+                let lhs = token_before(&code, pos);
+                let rhs = token_after(&code, pos + 2);
+                if (is_float_literal(lhs) || is_float_literal(rhs))
+                    && !is_allowed(&lines, idx, "float-eq")
+                {
+                    emit(
+                        idx,
+                        "float-eq",
+                        format!(
+                            "exact float comparison `{lhs} {pat} {rhs}`; compare against an \
+                             epsilon or add `// lint: allow(float-eq)` with a rationale"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // --- panic-doc ----------------------------------------------------
+        if rules.panic_doc
+            && code.contains("panic!(")
+            && !is_allowed(&lines, idx, "panic-doc")
+            && !enclosing_fn_documents_panics(&lines, idx)
+        {
+            emit(
+                idx,
+                "panic-doc",
+                "`panic!` in a hot-path crate requires a `# Panics` section on the \
+                 enclosing function's doc comment"
+                    .to_string(),
+            );
+        }
+
+        // --- must-use -----------------------------------------------------
+        if let Some(col) = code.find("pub fn ") {
+            // Join the (possibly multi-line) signature up to its body/semi.
+            let mut sig = code[col..].to_string();
+            let mut look = idx;
+            while !sig.contains('{')
+                && !sig.contains(';')
+                && look + 1 < lines.len()
+                && look < idx + 8
+            {
+                look += 1;
+                sig.push(' ');
+                sig.push_str(lines[look].code.trim());
+            }
+            let returns_var = sig
+                .split("->")
+                .nth(1)
+                .map(|ret| {
+                    let ret = ret.trim_start();
+                    ret == "Var"
+                        || ret.starts_with("Var ")
+                        || ret.starts_with("Var{")
+                        || ret.starts_with("Var ")
+                })
+                .unwrap_or(false);
+            if returns_var
+                && !preceding_attrs_contain(&lines, idx, "must_use")
+                && !is_allowed(&lines, idx, "must-use")
+            {
+                emit(
+                    idx,
+                    "must-use",
+                    "public function returns a freshly built `Var` graph node; mark it \
+                     `#[must_use]` so dropped results are caught"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Directories never linted: generated output, fixtures with seeded
+/// violations, and test/bench code (exempt by design).
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "tests", "benches", "examples", ".git"];
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every non-test `.rs` file under `root`, returning diagnostics with
+/// paths relative to `root`.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<SourceDiagnostic>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for path in files {
+        let content = fs::read_to_string(&path)?;
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_file(&display, &content));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_file(path, src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let d = lint_file("crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-unwrap");
+        assert_eq!(d[0].line, 2);
+        assert_eq!(format!("{}", d[0]).split(' ').nth(1), Some("no-unwrap"));
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_allow_comment_suppresses() {
+        let same = "fn f() { Some(1).unwrap(); } // lint: allow(unwrap) infallible here\n";
+        let before = "// lint: allow(unwrap) checked two lines up\nfn f() { Some(1).unwrap(); }\n";
+        assert!(rules_hit("a.rs", same).is_empty());
+        assert!(rules_hit("a.rs", before).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_string_or_comment_is_ignored() {
+        let src = "fn f() {\n    // explains .unwrap() usage\n    let s = \".unwrap()\";\n    let _ = s;\n}\n";
+        assert!(rules_hit("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn short_expect_message_is_flagged() {
+        let bad = "fn f() { Some(1).expect(\"no\"); }\n";
+        let good = "fn f() { Some(1).expect(\"slot index is bounds-checked above\"); }\n";
+        assert_eq!(rules_hit("a.rs", bad), vec!["expect-message"]);
+        assert!(rules_hit("a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn float_equality_is_flagged() {
+        let bad = "fn f(x: f32) -> bool { x == 0.0 }\n";
+        let bad2 = "fn f(x: f64) -> bool { 1e-6 != x }\n";
+        let good = "fn f(x: f32) -> bool { (x - 0.0).abs() < 1e-6 }\n";
+        let int = "fn f(x: usize) -> bool { x == 0 }\n";
+        assert_eq!(rules_hit("a.rs", bad), vec!["float-eq"]);
+        assert_eq!(rules_hit("a.rs", bad2), vec!["float-eq"]);
+        assert!(rules_hit("a.rs", good).is_empty());
+        assert!(rules_hit("a.rs", int).is_empty());
+    }
+
+    #[test]
+    fn float_eq_allow_comment_suppresses() {
+        let src = "fn f(w: f32) -> bool {\n    // lint: allow(float-eq) exact sparsity check\n    w == 0.0\n}\n";
+        assert!(rules_hit("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_without_doc_in_hot_path_is_flagged() {
+        let src = "pub fn f(x: usize) {\n    if x > 3 { panic!(\"x too large\"); }\n}\n";
+        assert_eq!(
+            rules_hit("crates/cost/src/model.rs", src),
+            vec!["panic-doc"]
+        );
+        // Outside the hot-path crates, the rule does not apply.
+        assert!(rules_hit("crates/data/src/loader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_with_doc_section_passes() {
+        let src = "/// Does things.\n///\n/// # Panics\n///\n/// Panics if `x > 3`.\npub fn f(x: usize) {\n    if x > 3 { panic!(\"x too large\"); }\n}\n";
+        assert!(rules_hit("crates/autograd/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pub_fn_returning_var_needs_must_use() {
+        let bad = "pub fn relu(x: &Var) -> Var {\n    x.clone()\n}\n";
+        let good = "#[must_use]\npub fn relu(x: &Var) -> Var {\n    x.clone()\n}\n";
+        let doc_between = "#[must_use]\n/// docs\npub fn relu(x: &Var) -> Var { x.clone() }\n";
+        let other_ret = "pub fn shapes(x: &Var) -> Vec<Var> {\n    vec![x.clone()]\n}\n";
+        assert_eq!(rules_hit("a.rs", bad), vec!["must-use"]);
+        assert!(rules_hit("a.rs", good).is_empty());
+        assert!(rules_hit("a.rs", doc_between).is_empty());
+        assert!(rules_hit("a.rs", other_ret).is_empty());
+    }
+
+    #[test]
+    fn multi_line_signature_returning_var_is_caught() {
+        let src = "pub fn weighted(\n    ops: &[&Var],\n    weights: &Var,\n) -> Var {\n    weights.clone()\n}\n";
+        assert_eq!(rules_hit("a.rs", src), vec!["must-use"]);
+    }
+
+    #[test]
+    fn lexer_handles_block_comments_and_char_literals() {
+        let src = "fn f() {\n    /* .unwrap() in a block\n       comment */\n    let c = 'x';\n    let q = '\"';\n    let s = \"quote \\\" inside\";\n    let _ = (c, q, s);\n}\n";
+        assert!(
+            rules_hit("a.rs", src).is_empty(),
+            "{:?}",
+            lint_file("a.rs", src)
+        );
+    }
+
+    #[test]
+    fn diagnostics_format_is_machine_readable() {
+        let d = SourceDiagnostic {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            rule: "no-unwrap",
+            message: "m".to_string(),
+        };
+        assert_eq!(format!("{d}"), "crates/x/src/lib.rs:7 no-unwrap m");
+    }
+}

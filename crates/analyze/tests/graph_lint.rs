@@ -1,0 +1,123 @@
+//! Integration tests for the graph linter: random valid graphs must pass,
+//! deliberately broken graphs must be rejected with the right rules.
+
+use dance_analyze::graph::lint_graph;
+use dance_autograd::tensor::Tensor;
+use dance_autograd::var::Var;
+use proptest::prelude::*;
+
+fn filled(shape: &[usize], base: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec((0..n).map(|i| base + 0.1 * i as f32).collect(), shape)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chain of valid ops over well-shaped parameters lints clean:
+    /// every node's op is registered, arities match, and the recorded
+    /// shapes satisfy each op's symbolic shape rule.
+    #[test]
+    fn random_valid_op_chains_lint_clean(
+        rows in 1usize..4,
+        cols in 2usize..5,
+        codes in prop::collection::vec(0usize..9, 6),
+    ) {
+        let mut params = vec![Var::parameter(filled(&[rows, cols], 0.3))];
+        let mut x = params[0].clone();
+        let mut c = cols;
+        for (step, code) in codes.iter().enumerate() {
+            x = match code {
+                0 => x.relu(),
+                1 => x.sigmoid(),
+                2 => x.tanh(),
+                3 => x.exp(),
+                4 => x.scale(1.3),
+                5 => x.add_scalar(0.7),
+                6 => {
+                    let p = Var::parameter(filled(&[rows, c], -0.2));
+                    params.push(p.clone());
+                    x.mul(&p)
+                }
+                7 => {
+                    let k = (step % 3) + 2;
+                    let p = Var::parameter(filled(&[c, k], 0.1));
+                    params.push(p.clone());
+                    c = k;
+                    x.matmul(&p)
+                }
+                _ => x.softmax_rows(),
+            };
+        }
+        let loss = x.sum();
+        let named: Vec<(String, Var)> = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("p{i}"), p.clone()))
+            .collect();
+        let report = lint_graph(&loss, &named);
+        prop_assert!(report.is_clean(), "{}", report.render());
+        prop_assert!(report.enforce(false).is_ok());
+    }
+}
+
+/// The acceptance scenario from the issue: a graph seeded with both a shape
+/// mismatch and an unreachable parameter is rejected, and both rules fire.
+#[test]
+fn broken_graph_reports_shape_and_unreachable_param() {
+    let a = Var::parameter(Tensor::ones(&[2, 3]));
+    let b = Var::parameter(Tensor::ones(&[3, 4]));
+    // A [2,3]×[3,4] matmul that claims a [7,7] output.
+    let bad = Var::raw_for_testing("matmul", Tensor::ones(&[7, 7]), vec![a.clone(), b]);
+    let loss = bad.sum();
+    let orphan = Var::parameter(Tensor::ones(&[5]));
+    let named = vec![("a".to_string(), a), ("orphan".to_string(), orphan)];
+
+    let report = lint_graph(&loss, &named);
+    assert!(report.has_errors());
+    assert!(report.diagnostics.iter().any(|d| d.rule == "graph-shape"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "graph-unreachable-param" && d.message.contains("orphan")));
+
+    let rejection = report.enforce(true).unwrap_err();
+    assert!(rejection.contains("graph-shape"));
+    assert!(rejection.contains("graph-unreachable-param"));
+}
+
+/// The real search loss must stay clean end to end; this is the same graph
+/// `dance_search` lints before its first step.
+#[test]
+fn mixture_search_loss_lints_clean() {
+    use dance_autograd::loss::cross_entropy;
+    use dance_nas::arch::ArchParams;
+    use dance_nas::supernet::{ForwardMode, Supernet, SupernetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let config = SupernetConfig {
+        input_channels: 2,
+        length: 8,
+        num_classes: 3,
+        stem_width: 4,
+        stage_widths: [4, 6, 8],
+        head_width: 12,
+    };
+    let net = Supernet::new(config, &mut rng);
+    let arch = ArchParams::new(net.num_slots(), &mut rng);
+    let x = net.input_from(&vec![0.05; 4 * 2 * 8], 4);
+    let logits = net.forward(&x, ForwardMode::Mixture(&arch));
+    let loss = cross_entropy(&logits, &[0, 1, 2, 0], 0.1);
+
+    let mut named: Vec<(String, Var)> = Vec::new();
+    for (i, p) in net.parameters().into_iter().enumerate() {
+        named.push((format!("supernet[{i}]"), p));
+    }
+    for (i, p) in arch.parameters().into_iter().enumerate() {
+        named.push((format!("alpha[{i}]"), p));
+    }
+    let report = lint_graph(&loss, &named);
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -32,8 +32,12 @@ pub fn gumbel_noise(shape: &[usize], rng: &mut StdRng) -> Tensor {
 /// # Panics
 ///
 /// Panics if `logits` is not 2-D or `tau` is not positive.
+#[must_use]
 pub fn gumbel_softmax(logits: &Var, tau: f32, rng: &mut StdRng) -> Var {
-    assert!(tau > 0.0, "gumbel_softmax temperature must be positive, got {tau}");
+    assert!(
+        tau > 0.0,
+        "gumbel_softmax temperature must be positive, got {tau}"
+    );
     let shape = logits.shape();
     assert_eq!(shape.len(), 2, "gumbel_softmax logits shape {shape:?}");
     let noise = Var::constant(gumbel_noise(&shape, rng));
@@ -46,6 +50,7 @@ pub fn gumbel_softmax(logits: &Var, tau: f32, rng: &mut StdRng) -> Var {
 /// # Panics
 ///
 /// Panics if `logits` is not 2-D or `tau` is not positive.
+#[must_use]
 pub fn softmax_with_temperature(logits: &Var, tau: f32) -> Var {
     assert!(tau > 0.0, "temperature must be positive, got {tau}");
     logits.scale(1.0 / tau).softmax_rows()
@@ -58,15 +63,22 @@ pub fn softmax_with_temperature(logits: &Var, tau: f32) -> Var {
 /// # Panics
 ///
 /// Panics if `soft` is not 2-D.
+#[must_use]
 pub fn straight_through_onehot(soft: &Var) -> Var {
     let soft_val = soft.value();
-    assert_eq!(soft_val.ndim(), 2, "straight_through_onehot shape {:?}", soft_val.shape());
+    assert_eq!(
+        soft_val.ndim(),
+        2,
+        "straight_through_onehot shape {:?}",
+        soft_val.shape()
+    );
     let (m, n) = (soft_val.shape()[0], soft_val.shape()[1]);
     let mut hard = Tensor::zeros(&[m, n]);
     for (i, j) in soft_val.argmax_rows().into_iter().enumerate() {
         hard.data_mut()[i * n + j] = 1.0;
     }
     Var::from_op(
+        "straight_through_onehot",
         hard,
         vec![soft.clone()],
         Box::new(|g, parents| parents[0].accumulate_grad(g)),
@@ -89,7 +101,10 @@ mod tests {
     #[test]
     fn gumbel_softmax_rows_sum_to_one() {
         let mut rng = StdRng::seed_from_u64(6);
-        let logits = Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0], &[2, 3]));
+        let logits = Var::constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0],
+            &[2, 3],
+        ));
         let y = gumbel_softmax(&logits, 1.0, &mut rng).value();
         for i in 0..2 {
             let s: f32 = (0..3).map(|j| y.at2(i, j)).sum();

@@ -29,6 +29,7 @@ pub mod init;
 pub mod loss;
 pub mod nn;
 pub mod ops;
+pub mod opspec;
 pub mod optim;
 pub mod serialize;
 pub mod tensor;

@@ -17,13 +17,28 @@ use crate::var::Var;
 /// # Panics
 ///
 /// Panics on shape mismatches or a target index out of range.
+#[must_use]
 pub fn cross_entropy(logits: &Var, targets: &[usize], label_smoothing: f32) -> Var {
     let logit_val = logits.value();
-    assert_eq!(logit_val.ndim(), 2, "cross_entropy logits shape {:?}", logit_val.shape());
+    assert_eq!(
+        logit_val.ndim(),
+        2,
+        "cross_entropy logits shape {:?}",
+        logit_val.shape()
+    );
     let (b, c) = (logit_val.shape()[0], logit_val.shape()[1]);
-    assert_eq!(targets.len(), b, "cross_entropy batch {} vs targets {}", b, targets.len());
+    assert_eq!(
+        targets.len(),
+        b,
+        "cross_entropy batch {} vs targets {}",
+        b,
+        targets.len()
+    );
     for &t in targets {
-        assert!(t < c, "cross_entropy target {t} out of range for {c} classes");
+        assert!(
+            t < c,
+            "cross_entropy target {t} out of range for {c} classes"
+        );
     }
     // Smoothed target distribution: (1-ε) on the label + ε/C everywhere.
     let off = label_smoothing / c as f32;
@@ -43,6 +58,7 @@ pub fn cross_entropy(logits: &Var, targets: &[usize], label_smoothing: f32) -> V
 
     let targets: Vec<usize> = targets.to_vec();
     Var::from_op(
+        "cross_entropy",
         Tensor::scalar(loss),
         vec![logits.clone()],
         Box::new(move |g, parents| {
@@ -66,6 +82,7 @@ pub fn cross_entropy(logits: &Var, targets: &[usize], label_smoothing: f32) -> V
 /// # Panics
 ///
 /// Panics if shapes differ.
+#[must_use]
 pub fn mse(pred: &Var, target: &Tensor) -> Var {
     let t = Var::constant(target.clone());
     pred.sub(&t).sqr().mean()
@@ -79,6 +96,7 @@ pub fn mse(pred: &Var, target: &Tensor) -> Var {
 /// # Panics
 ///
 /// Panics if shapes differ.
+#[must_use]
 pub fn msre(pred: &Var, target: &Tensor) -> Var {
     let inv = Var::constant(target.map(|y| 1.0 / y.abs().max(1e-9) * y.signum()));
     let ones = Var::constant(Tensor::ones(target.shape()));
@@ -101,6 +119,7 @@ pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
 }
 
 /// Sum of squared parameter norms — the `‖w‖` weight-decay term of Eq. 1.
+#[must_use]
 pub fn l2_penalty(params: &[Var]) -> Var {
     let mut acc: Option<Var> = None;
     for p in params {
@@ -122,7 +141,10 @@ mod tests {
 
     #[test]
     fn cross_entropy_perfect_prediction_is_small() {
-        let logits = Var::constant(Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]));
+        let logits = Var::constant(Tensor::from_vec(
+            vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0],
+            &[2, 3],
+        ));
         let loss = cross_entropy(&logits, &[0, 1], 0.0);
         assert!(loss.item() < 1e-3, "loss {}", loss.item());
     }
@@ -138,14 +160,24 @@ mod tests {
     fn cross_entropy_grad_check() {
         let mut rng = StdRng::seed_from_u64(31);
         let logits = Var::parameter(Tensor::rand_normal(&[3, 5], 0.0, 1.0, &mut rng));
-        numeric_grad(&[&logits], || cross_entropy(&logits, &[0, 3, 4], 0.0), 1e-2, 3e-2);
+        numeric_grad(
+            &[&logits],
+            || cross_entropy(&logits, &[0, 3, 4], 0.0),
+            1e-2,
+            3e-2,
+        );
     }
 
     #[test]
     fn cross_entropy_label_smoothing_grad_check() {
         let mut rng = StdRng::seed_from_u64(32);
         let logits = Var::parameter(Tensor::rand_normal(&[2, 4], 0.0, 1.0, &mut rng));
-        numeric_grad(&[&logits], || cross_entropy(&logits, &[1, 2], 0.1), 1e-2, 3e-2);
+        numeric_grad(
+            &[&logits],
+            || cross_entropy(&logits, &[1, 2], 0.1),
+            1e-2,
+            3e-2,
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ impl Linear {
             rng,
         ));
         let bias = Var::parameter(Tensor::zeros(&[out_features]));
-        Self { weight, bias, in_features, out_features }
+        Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
     }
 
     /// Input width.
@@ -184,6 +189,7 @@ impl BatchNorm1d {
         let x_hat_saved = x_hat;
         let inv_std_saved = inv_std;
         Var::from_op(
+            "batch_norm",
             out,
             vec![input.clone(), self.gamma.clone(), self.beta.clone()],
             Box::new(move |g, parents| {
@@ -240,12 +246,24 @@ impl BatchNorm1d {
 /// # Panics
 ///
 /// Panics if `x` is not 2-D or `row` length differs from the columns.
+#[must_use]
 pub fn mul_row_broadcast(x: &Var, row: &Var) -> Var {
     let x_val = x.value();
     let r_val = row.value();
-    assert_eq!(x_val.ndim(), 2, "mul_row_broadcast lhs shape {:?}", x_val.shape());
+    assert_eq!(
+        x_val.ndim(),
+        2,
+        "mul_row_broadcast lhs shape {:?}",
+        x_val.shape()
+    );
     let (m, n) = (x_val.shape()[0], x_val.shape()[1]);
-    assert_eq!(r_val.numel(), n, "row length {} vs columns {}", r_val.numel(), n);
+    assert_eq!(
+        r_val.numel(),
+        n,
+        "row length {} vs columns {}",
+        r_val.numel(),
+        n
+    );
     let mut out = x_val.clone();
     for i in 0..m {
         for j in 0..n {
@@ -253,6 +271,7 @@ pub fn mul_row_broadcast(x: &Var, row: &Var) -> Var {
         }
     }
     Var::from_op(
+        "mul_row_broadcast",
         out,
         vec![x.clone(), row.clone()],
         Box::new(move |g, parents| {
@@ -310,7 +329,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], rng: &mut StdRng) -> Self {
-        assert!(widths.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -458,6 +480,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let x = Var::parameter(Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng));
         let r = Var::parameter(Tensor::rand_normal(&[4], 0.0, 1.0, &mut rng));
-        numeric_grad(&[&x, &r], || mul_row_broadcast(&x, &r).sqr().sum(), 1e-2, 5e-2);
+        numeric_grad(
+            &[&x, &r],
+            || mul_row_broadcast(&x, &r).sqr().sum(),
+            1e-2,
+            5e-2,
+        );
     }
 }

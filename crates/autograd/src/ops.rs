@@ -14,9 +14,11 @@ impl Var {
     /// # Panics
     ///
     /// Panics if shapes differ.
+    #[must_use]
     pub fn add(&self, other: &Var) -> Var {
         let value = self.with_value(|a| other.with_value(|b| a.add(b)));
         Var::from_op(
+            "add",
             value,
             vec![self.clone(), other.clone()],
             Box::new(|g, parents| {
@@ -31,9 +33,11 @@ impl Var {
     /// # Panics
     ///
     /// Panics if shapes differ.
+    #[must_use]
     pub fn sub(&self, other: &Var) -> Var {
         let value = self.with_value(|a| other.with_value(|b| a.sub(b)));
         Var::from_op(
+            "sub",
             value,
             vec![self.clone(), other.clone()],
             Box::new(|g, parents| {
@@ -48,11 +52,13 @@ impl Var {
     /// # Panics
     ///
     /// Panics if shapes differ.
+    #[must_use]
     pub fn mul(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
         let value = a_val.mul(&b_val);
         Var::from_op(
+            "mul",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
@@ -62,10 +68,46 @@ impl Var {
         )
     }
 
+    /// Element-wise quotient. Shapes must match.
+    ///
+    /// No zero guard is applied: dividing by a value that can reach zero
+    /// produces `inf`/NaN, which is exactly what the graph linter's
+    /// NaN-propagation rule flags when a `ln` consumes this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[must_use]
+    pub fn div(&self, other: &Var) -> Var {
+        let a_val = self.value();
+        let b_val = other.value();
+        assert_eq!(a_val.shape(), b_val.shape(), "div shape mismatch");
+        let mut value = a_val.clone();
+        for (o, &b) in value.data_mut().iter_mut().zip(b_val.data()) {
+            *o /= b;
+        }
+        Var::from_op(
+            "div",
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let da = g.mul(&b_val.map(|b| 1.0 / b));
+                let mut db = g.mul(&a_val);
+                for (o, &b) in db.data_mut().iter_mut().zip(b_val.data()) {
+                    *o *= -1.0 / (b * b);
+                }
+                parents[0].accumulate_grad(&da);
+                parents[1].accumulate_grad(&db);
+            }),
+        )
+    }
+
     /// Multiplies every element by the scalar `c`.
+    #[must_use]
     pub fn scale(&self, c: f32) -> Var {
         let value = self.with_value(|a| a.scale(c));
         Var::from_op(
+            "scale",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(c))),
@@ -73,9 +115,11 @@ impl Var {
     }
 
     /// Adds the scalar `c` to every element.
+    #[must_use]
     pub fn add_scalar(&self, c: f32) -> Var {
         let value = self.with_value(|a| a.map(|x| x + c));
         Var::from_op(
+            "add_scalar",
             value,
             vec![self.clone()],
             Box::new(|g, parents| parents[0].accumulate_grad(g)),
@@ -83,6 +127,7 @@ impl Var {
     }
 
     /// Negation.
+    #[must_use]
     pub fn neg(&self) -> Var {
         self.scale(-1.0)
     }
@@ -92,6 +137,7 @@ impl Var {
     /// # Panics
     ///
     /// Panics if `self` is not 2-D or `bias` length differs from the columns.
+    #[must_use]
     pub fn add_row_broadcast(&self, bias: &Var) -> Var {
         let value = self.with_value(|x| {
             bias.with_value(|b| {
@@ -114,6 +160,7 @@ impl Var {
             })
         });
         Var::from_op(
+            "add_row_broadcast",
             value,
             vec![self.clone(), bias.clone()],
             Box::new(|g, parents| {
@@ -128,11 +175,13 @@ impl Var {
     /// # Panics
     ///
     /// Panics if either operand is not 2-D or inner dimensions disagree.
+    #[must_use]
     pub fn matmul(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
         let value = a_val.matmul(&b_val);
         Var::from_op(
+            "matmul",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
@@ -143,10 +192,12 @@ impl Var {
     }
 
     /// Rectified linear unit, `max(x, 0)`.
+    #[must_use]
     pub fn relu(&self) -> Var {
         let x_val = self.value();
         let value = x_val.map(|x| x.max(0.0));
         Var::from_op(
+            "relu",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -157,10 +208,12 @@ impl Var {
     }
 
     /// Logistic sigmoid.
+    #[must_use]
     pub fn sigmoid(&self) -> Var {
         let value = self.with_value(|a| a.map(|x| 1.0 / (1.0 + (-x).exp())));
         let y_val = value.clone();
         Var::from_op(
+            "sigmoid",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -171,10 +224,12 @@ impl Var {
     }
 
     /// Hyperbolic tangent.
+    #[must_use]
     pub fn tanh(&self) -> Var {
         let value = self.with_value(|a| a.map(f32::tanh));
         let y_val = value.clone();
         Var::from_op(
+            "tanh",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -185,10 +240,12 @@ impl Var {
     }
 
     /// Element-wise exponential.
+    #[must_use]
     pub fn exp(&self) -> Var {
         let value = self.with_value(|a| a.map(f32::exp));
         let y_val = value.clone();
         Var::from_op(
+            "exp",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| parents[0].accumulate_grad(&g.mul(&y_val))),
@@ -196,10 +253,12 @@ impl Var {
     }
 
     /// Element-wise natural logarithm (inputs clamped to `1e-12` for safety).
+    #[must_use]
     pub fn ln(&self) -> Var {
         let x_val = self.value();
         let value = x_val.map(|x| x.max(1e-12).ln());
         Var::from_op(
+            "ln",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -210,15 +269,18 @@ impl Var {
     }
 
     /// Element-wise square.
+    #[must_use]
     pub fn sqr(&self) -> Var {
         self.mul(self)
     }
 
     /// Sum of all elements, as a `[1]` scalar.
+    #[must_use]
     pub fn sum(&self) -> Var {
         let shape = self.shape();
         let value = Tensor::scalar(self.with_value(Tensor::sum));
         Var::from_op(
+            "sum",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -228,6 +290,7 @@ impl Var {
     }
 
     /// Mean of all elements, as a `[1]` scalar.
+    #[must_use]
     pub fn mean(&self) -> Var {
         let n = self.with_value(Tensor::numel).max(1);
         self.sum().scale(1.0 / n as f32)
@@ -238,10 +301,12 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the value is not 2-D.
+    #[must_use]
     pub fn softmax_rows(&self) -> Var {
         let value = self.with_value(Tensor::softmax_rows);
         let y_val = value.clone();
         Var::from_op(
+            "softmax",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -266,10 +331,12 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the value is not 2-D.
+    #[must_use]
     pub fn log_softmax_rows(&self) -> Var {
         let soft = self.with_value(Tensor::softmax_rows);
         let value = soft.map(|p| p.max(1e-20).ln());
         Var::from_op(
+            "log_softmax",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -293,6 +360,7 @@ impl Var {
     /// # Panics
     ///
     /// Panics if `parts` is empty or row counts differ.
+    #[must_use]
     pub fn concat_cols(parts: &[&Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols of zero variables");
         let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
@@ -301,6 +369,7 @@ impl Var {
         let widths: Vec<usize> = values.iter().map(|v| v.shape()[1]).collect();
         let parents: Vec<Var> = parts.iter().map(|p| (*p).clone()).collect();
         Var::from_op(
+            "concat_cols",
             value,
             parents,
             Box::new(move |g, parents| {
@@ -318,10 +387,12 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the range exceeds the column count.
+    #[must_use]
     pub fn slice_cols(&self, start: usize, len: usize) -> Var {
         let full_shape = self.shape();
         let value = self.with_value(|v| v.slice_cols(start, len));
         Var::from_op(
+            "slice_cols",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -348,6 +419,7 @@ impl Var {
     ///
     /// Panics if `ops` is empty, shapes differ, or `weights` has the wrong
     /// length.
+    #[must_use]
     pub fn weighted_sum(ops: &[&Var], weights: &Var) -> Var {
         assert!(!ops.is_empty(), "weighted_sum of zero operands");
         let w_val = weights.value();
@@ -369,6 +441,7 @@ impl Var {
         parents.push(weights.clone());
         let k = ops.len();
         Var::from_op(
+            "weighted_sum",
             value,
             parents,
             Box::new(move |g, parents| {
@@ -389,13 +462,19 @@ impl Var {
     /// # Panics
     ///
     /// Panics on rank or channel mismatches.
+    #[must_use]
     pub fn pw_conv1d(&self, weight: &Var, bias: &Var) -> Var {
         let x_val = self.value();
         let w_val = weight.value();
         let b_val = bias.value();
         assert_eq!(x_val.ndim(), 3, "pw_conv1d input shape {:?}", x_val.shape());
         let (bsz, c, l) = (x_val.shape()[0], x_val.shape()[1], x_val.shape()[2]);
-        assert_eq!(w_val.ndim(), 2, "pw_conv1d weight shape {:?}", w_val.shape());
+        assert_eq!(
+            w_val.ndim(),
+            2,
+            "pw_conv1d weight shape {:?}",
+            w_val.shape()
+        );
         let (k, c2) = (w_val.shape()[0], w_val.shape()[1]);
         assert_eq!(c, c2, "pw_conv1d channels {c} vs weight {c2}");
         assert_eq!(b_val.numel(), k, "pw_conv1d bias length");
@@ -406,6 +485,7 @@ impl Var {
                 let w_row = &w_val.data()[ko * c..(ko + 1) * c];
                 let o_base = (b * k + ko) * l;
                 for (ci, &w) in w_row.iter().enumerate() {
+                    // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
                     if w == 0.0 {
                         continue;
                     }
@@ -420,6 +500,7 @@ impl Var {
             }
         }
         Var::from_op(
+            "pw_conv1d",
             out,
             vec![self.clone(), weight.clone(), bias.clone()],
             Box::new(move |g, parents| {
@@ -456,12 +537,18 @@ impl Var {
     /// # Panics
     ///
     /// Panics on rank or channel mismatches, or even kernel widths.
+    #[must_use]
     pub fn dw_conv1d(&self, weight: &Var) -> Var {
         let x_val = self.value();
         let w_val = weight.value();
         assert_eq!(x_val.ndim(), 3, "dw_conv1d input shape {:?}", x_val.shape());
         let (bsz, c, l) = (x_val.shape()[0], x_val.shape()[1], x_val.shape()[2]);
-        assert_eq!(w_val.ndim(), 2, "dw_conv1d weight shape {:?}", w_val.shape());
+        assert_eq!(
+            w_val.ndim(),
+            2,
+            "dw_conv1d weight shape {:?}",
+            w_val.shape()
+        );
         assert_eq!(w_val.shape()[0], c, "dw_conv1d channel mismatch");
         let kw = w_val.shape()[1];
         assert!(kw % 2 == 1, "dw_conv1d kernel width {kw} must be odd");
@@ -485,6 +572,7 @@ impl Var {
             }
         }
         Var::from_op(
+            "dw_conv1d",
             out,
             vec![self.clone(), weight.clone()],
             Box::new(move |g, parents| {
@@ -495,6 +583,7 @@ impl Var {
                         let base = (b * c + ci) * l;
                         for li in 0..l {
                             let gv = g.data()[base + li];
+                            // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
                             if gv == 0.0 {
                                 continue;
                             }
@@ -521,9 +610,14 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the value is not 3-D.
+    #[must_use]
     pub fn global_avg_pool1d(&self) -> Var {
         let x_shape = self.shape();
-        assert_eq!(x_shape.len(), 3, "global_avg_pool1d input shape {x_shape:?}");
+        assert_eq!(
+            x_shape.len(),
+            3,
+            "global_avg_pool1d input shape {x_shape:?}"
+        );
         let (bsz, c, l) = (x_shape[0], x_shape[1], x_shape[2]);
         let value = self.with_value(|x| {
             let mut out = Tensor::zeros(&[bsz, c]);
@@ -537,6 +631,7 @@ impl Var {
             out
         });
         Var::from_op(
+            "global_avg_pool1d",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -561,6 +656,7 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the value is not 3-D.
+    #[must_use]
     pub fn to_channels_last(&self) -> Var {
         let shape = self.shape();
         assert_eq!(shape.len(), 3, "to_channels_last input shape {shape:?}");
@@ -577,6 +673,7 @@ impl Var {
             out
         });
         Var::from_op(
+            "to_channels_last",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -584,8 +681,7 @@ impl Var {
                 for b in 0..bsz {
                     for ci in 0..c {
                         for li in 0..l {
-                            dx.data_mut()[(b * c + ci) * l + li] =
-                                g.data()[(b * l + li) * c + ci];
+                            dx.data_mut()[(b * c + ci) * l + li] = g.data()[(b * l + li) * c + ci];
                         }
                     }
                 }
@@ -599,10 +695,16 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the value is not 2-D or rows don't factor as `batch · length`.
+    #[must_use]
     pub fn from_channels_last(&self, batch: usize, length: usize) -> Var {
         let shape = self.shape();
         assert_eq!(shape.len(), 2, "from_channels_last input shape {shape:?}");
-        assert_eq!(shape[0], batch * length, "rows {} != {batch}·{length}", shape[0]);
+        assert_eq!(
+            shape[0],
+            batch * length,
+            "rows {} != {batch}·{length}",
+            shape[0]
+        );
         let c = shape[1];
         let value = self.with_value(|x| {
             let mut out = Tensor::zeros(&[batch, c, length]);
@@ -617,6 +719,7 @@ impl Var {
             out
         });
         Var::from_op(
+            "from_channels_last",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -641,6 +744,7 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the value is not 3-D or `stride` is zero.
+    #[must_use]
     pub fn downsample1d(&self, stride: usize) -> Var {
         assert!(stride > 0, "downsample1d stride must be positive");
         if stride == 1 {
@@ -662,6 +766,7 @@ impl Var {
             out
         });
         Var::from_op(
+            "downsample1d",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -683,10 +788,12 @@ impl Var {
     /// # Panics
     ///
     /// Panics if the element count differs.
+    #[must_use]
     pub fn reshape(&self, shape: &[usize]) -> Var {
         let old_shape = self.shape();
         let value = self.with_value(|v| v.reshape(shape));
         Var::from_op(
+            "reshape",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -720,6 +827,39 @@ mod tests {
         let a = Var::parameter(randn(&[2, 3], 3));
         let b = Var::parameter(randn(&[2, 3], 4));
         numeric_grad(&[&a, &b], || a.mul(&b).sum(), 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn div_grad_check_and_value() {
+        let a = Var::parameter(Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]));
+        let b = Var::parameter(Tensor::from_vec(vec![2.0, 4.0, -1.5], &[3]));
+        assert_eq!(a.div(&b).value().data(), &[0.5, -0.5, -2.0]);
+        numeric_grad(&[&a, &b], || a.div(&b).sqr().sum(), 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn ops_record_their_names_and_parents() {
+        let a = Var::parameter(randn(&[2, 3], 40));
+        let b = Var::parameter(randn(&[3, 2], 41));
+        let y = a.matmul(&b);
+        assert_eq!(y.op(), "matmul");
+        assert!(!y.is_leaf());
+        let parent_ids: Vec<u64> = y.parents().iter().map(Var::id).collect();
+        assert_eq!(parent_ids, vec![a.id(), b.id()]);
+        assert_eq!(a.op(), "parameter");
+        assert!(a.is_leaf());
+        assert_eq!(Var::constant(Tensor::scalar(1.0)).op(), "constant");
+    }
+
+    #[test]
+    fn constant_graphs_stay_walkable_without_gradients() {
+        // Parents are kept even on gradient-free nodes (for graph linting),
+        // but backward still never descends into them.
+        let a = Var::constant(Tensor::scalar(2.0));
+        let y = a.mul(&a);
+        assert_eq!(y.parents().len(), 2);
+        y.backward();
+        assert!(a.grad().is_none());
     }
 
     #[test]
@@ -773,7 +913,12 @@ mod tests {
     fn add_row_broadcast_grad_check() {
         let x = Var::parameter(randn(&[3, 4], 11));
         let b = Var::parameter(randn(&[4], 12));
-        numeric_grad(&[&x, &b], || x.add_row_broadcast(&b).sqr().sum(), 1e-2, 3e-2);
+        numeric_grad(
+            &[&x, &b],
+            || x.add_row_broadcast(&b).sqr().sum(),
+            1e-2,
+            3e-2,
+        );
     }
 
     #[test]
@@ -806,7 +951,12 @@ mod tests {
         let x = Var::parameter(randn(&[2, 3, 4], 17));
         let w = Var::parameter(randn(&[5, 3], 18).scale(0.5));
         let b = Var::parameter(randn(&[5], 19).scale(0.1));
-        numeric_grad(&[&x, &w, &b], || x.pw_conv1d(&w, &b).sqr().sum(), 1e-2, 8e-2);
+        numeric_grad(
+            &[&x, &w, &b],
+            || x.pw_conv1d(&w, &b).sqr().sum(),
+            1e-2,
+            8e-2,
+        );
     }
 
     #[test]
@@ -820,7 +970,10 @@ mod tests {
     fn dw_conv1d_identity_kernel_is_identity() {
         let x = Var::constant(randn(&[1, 2, 5], 22));
         // kernel [0, 1, 0] per channel ⇒ output equals input
-        let w = Var::constant(Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0], &[2, 3]));
+        let w = Var::constant(Tensor::from_vec(
+            vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0],
+            &[2, 3],
+        ));
         let y = x.dw_conv1d(&w);
         assert!(y.value().approx_eq(&x.value(), 1e-6));
     }

@@ -34,7 +34,14 @@ impl Sgd {
     /// Creates a plain SGD optimizer.
     pub fn new(params: Vec<Var>, lr: f32) -> Self {
         let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
-        Self { params, lr, momentum: 0.0, nesterov: false, weight_decay: 0.0, velocity }
+        Self {
+            params,
+            lr,
+            momentum: 0.0,
+            nesterov: false,
+            weight_decay: 0.0,
+            velocity,
+        }
     }
 
     /// Enables momentum with the given coefficient.
@@ -113,7 +120,17 @@ impl Adam {
     pub fn new(params: Vec<Var>, lr: f32) -> Self {
         let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
-        Self { params, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, m, v, t: 0 }
+        Self {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// Enables L2 weight decay applied to the gradient.
@@ -178,7 +195,10 @@ impl CosineLr {
     /// Panics if `total_steps` is zero.
     pub fn new(base_lr: f32, total_steps: usize) -> Self {
         assert!(total_steps > 0, "cosine schedule needs at least one step");
-        Self { base_lr, total_steps }
+        Self {
+            base_lr,
+            total_steps,
+        }
     }
 
     /// Learning rate at step `t` (clamped to the final step).
@@ -206,7 +226,11 @@ impl StepLr {
     /// Panics if `step_size` is zero.
     pub fn new(base_lr: f32, step_size: usize, gamma: f32) -> Self {
         assert!(step_size > 0, "step schedule needs a positive period");
-        Self { base_lr, step_size, gamma }
+        Self {
+            base_lr,
+            step_size,
+            gamma,
+        }
     }
 
     /// Learning rate at step `t`.

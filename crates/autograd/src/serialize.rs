@@ -127,8 +127,14 @@ mod tests {
     fn roundtrip_is_bit_exact() {
         let mut rng = StdRng::seed_from_u64(0);
         let items = vec![
-            ("weights".to_string(), Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng)),
-            ("bias".to_string(), Tensor::from_vec(vec![f32::MIN_POSITIVE, -0.0, 1e30], &[3])),
+            (
+                "weights".to_string(),
+                Tensor::rand_normal(&[3, 4], 0.0, 1.0, &mut rng),
+            ),
+            (
+                "bias".to_string(),
+                Tensor::from_vec(vec![f32::MIN_POSITIVE, -0.0, 1e30], &[3]),
+            ),
             ("scalar".to_string(), Tensor::scalar(std::f32::consts::PI)),
         ];
         let path = temp("roundtrip");

@@ -32,7 +32,12 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 16 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:?}, ... {} values]", &self.data[..8], self.data.len())
+            write!(
+                f,
+                " [{:?}, ... {} values]",
+                &self.data[..8],
+                self.data.len()
+            )
         }
     }
 }
@@ -52,12 +57,18 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A tensor filled with ones.
@@ -67,12 +78,18 @@ impl Tensor {
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self { data: vec![value], shape: vec![1] }
+        Self {
+            data: vec![value],
+            shape: vec![1],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -88,7 +105,10 @@ impl Tensor {
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Self {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Normally distributed random values (Box–Muller transform).
@@ -105,7 +125,10 @@ impl Tensor {
                 data.push(mean + std * r * theta.sin());
             }
         }
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// A one-hot row vector of length `n` with a one at `index`.
@@ -114,7 +137,10 @@ impl Tensor {
     ///
     /// Panics if `index >= n`.
     pub fn one_hot(index: usize, n: usize) -> Self {
-        assert!(index < n, "one-hot index {index} out of range for length {n}");
+        assert!(
+            index < n,
+            "one-hot index {index} out of range for length {n}"
+        );
         let mut t = Self::zeros(&[n]);
         t.data[index] = 1.0;
         t
@@ -156,7 +182,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -286,17 +317,32 @@ impl Tensor {
     ///
     /// Panics if either tensor is not 2-D or the inner dimensions disagree.
     pub fn matmul(&self, other: &Self) -> Self {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {:?} × {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {:?} × {:?}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         // Loop order m-k-n keeps both B rows and C rows contiguous.
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let c_row = &mut out[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
+                // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
                 if a == 0.0 {
                     continue;
                 }
@@ -306,7 +352,10 @@ impl Tensor {
                 }
             }
         }
-        Self { data: out, shape: vec![m, n] }
+        Self {
+            data: out,
+            shape: vec![m, n],
+        }
     }
 
     /// Transpose of a 2-D tensor.
@@ -315,7 +364,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn transpose(&self) -> Self {
-        assert_eq!(self.ndim(), 2, "transpose on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "transpose on tensor with shape {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -323,7 +377,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Self { data: out, shape: vec![n, m] }
+        Self {
+            data: out,
+            shape: vec![n, m],
+        }
     }
 
     /// Sums a `[rows, cols]` tensor over its rows, producing `[cols]`.
@@ -332,7 +389,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn sum_rows(&self) -> Self {
-        assert_eq!(self.ndim(), 2, "sum_rows on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "sum_rows on tensor with shape {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; n];
         for i in 0..m {
@@ -340,7 +402,10 @@ impl Tensor {
                 out[j] += self.data[i * n + j];
             }
         }
-        Self { data: out, shape: vec![n] }
+        Self {
+            data: out,
+            shape: vec![n],
+        }
     }
 
     /// Index of the maximum element in each row of a 2-D tensor.
@@ -349,7 +414,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D or has zero columns.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        assert_eq!(self.ndim(), 2, "argmax_rows on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "argmax_rows on tensor with shape {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
         assert!(n > 0, "argmax_rows on tensor with zero columns");
         (0..m)
@@ -402,7 +472,10 @@ impl Tensor {
                 offset += c;
             }
         }
-        Self { data: out, shape: vec![rows, total_cols] }
+        Self {
+            data: out,
+            shape: vec![rows, total_cols],
+        }
     }
 
     /// Extracts columns `[start, start + len)` from a 2-D tensor.
@@ -411,15 +484,27 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D or the range exceeds the column count.
     pub fn slice_cols(&self, start: usize, len: usize) -> Self {
-        assert_eq!(self.ndim(), 2, "slice_cols on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "slice_cols on tensor with shape {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
-        assert!(start + len <= n, "slice_cols [{start}, {}) out of {n}", start + len);
+        assert!(
+            start + len <= n,
+            "slice_cols [{start}, {}) out of {n}",
+            start + len
+        );
         let mut out = vec![0.0f32; m * len];
         for i in 0..m {
             out[i * len..(i + 1) * len]
                 .copy_from_slice(&self.data[i * n + start..i * n + start + len]);
         }
-        Self { data: out, shape: vec![m, len] }
+        Self {
+            data: out,
+            shape: vec![m, len],
+        }
     }
 
     /// Row-wise numerically stable softmax of a 2-D tensor.
@@ -428,7 +513,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn softmax_rows(&self) -> Self {
-        assert_eq!(self.ndim(), 2, "softmax_rows on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "softmax_rows on tensor with shape {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -444,7 +534,10 @@ impl Tensor {
                 *v /= denom;
             }
         }
-        Self { data: out, shape: vec![m, n] }
+        Self {
+            data: out,
+            shape: vec![m, n],
+        }
     }
 
     /// Returns `true` when every element differs from `other` by at most `tol`.

@@ -24,6 +24,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::opspec::{LEAF_CONSTANT, LEAF_PARAMETER};
 use crate::tensor::Tensor;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
@@ -34,6 +35,7 @@ pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &[Var])>;
 
 pub(crate) struct Node {
     id: u64,
+    op: &'static str,
     value: Tensor,
     grad: Option<Tensor>,
     requires_grad: bool,
@@ -65,13 +67,16 @@ impl fmt::Debug for Var {
 
 impl Var {
     fn from_node(node: Node) -> Self {
-        Self { inner: Rc::new(RefCell::new(node)) }
+        Self {
+            inner: Rc::new(RefCell::new(node)),
+        }
     }
 
     /// A trainable leaf variable (gradient will be accumulated).
     pub fn parameter(value: Tensor) -> Self {
         Self::from_node(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            op: LEAF_PARAMETER,
             value,
             grad: None,
             requires_grad: true,
@@ -84,6 +89,7 @@ impl Var {
     pub fn constant(value: Tensor) -> Self {
         Self::from_node(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            op: LEAF_CONSTANT,
             value,
             grad: None,
             requires_grad: false,
@@ -94,23 +100,73 @@ impl Var {
 
     /// Builds an interior graph node from parents and a backward closure.
     ///
-    /// The node requires a gradient iff any parent does; backward closures of
-    /// gradient-free subgraphs are dropped so the tape skips them entirely.
-    pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+    /// `op` names the operation for graph introspection (static analysis
+    /// re-checks it against the [`crate::opspec`] registry). Parents are kept
+    /// even on gradient-free nodes so linters can walk the full graph; the
+    /// backward closure of a gradient-free subgraph is still dropped, and
+    /// [`Var::backward`] never descends into `!requires_grad` nodes, so the
+    /// tape continues to skip them entirely.
+    pub(crate) fn from_op(
+        op: &'static str,
+        value: Tensor,
+        parents: Vec<Var>,
+        backward: BackwardFn,
+    ) -> Self {
         let requires_grad = parents.iter().any(Var::requires_grad);
         Self::from_node(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            op,
             value,
             grad: None,
             requires_grad,
-            parents: if requires_grad { parents } else { Vec::new() },
+            parents,
             backward: if requires_grad { Some(backward) } else { None },
+        })
+    }
+
+    /// Builds a node with an arbitrary op name, value, and parents but no
+    /// backward closure. Only for tests that need deliberately malformed
+    /// graphs (wrong arity, impossible shapes, unknown ops) to exercise the
+    /// static graph linter; never use it to build real computations.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn raw_for_testing(op: &'static str, value: Tensor, parents: Vec<Var>) -> Self {
+        let requires_grad = parents.iter().any(Var::requires_grad);
+        Self::from_node(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            op,
+            value,
+            grad: None,
+            requires_grad,
+            parents,
+            backward: None,
         })
     }
 
     /// Unique node id (useful for debugging graph shapes).
     pub fn id(&self) -> u64 {
         self.inner.borrow().id
+    }
+
+    /// The name of the op that produced this node (`"parameter"` /
+    /// `"constant"` for leaves).
+    #[must_use]
+    pub fn op(&self) -> &'static str {
+        self.inner.borrow().op
+    }
+
+    /// Clones of the parent handles this node was computed from.
+    ///
+    /// Empty for leaves. Cheap: each clone is an `Rc` bump.
+    #[must_use]
+    pub fn parents(&self) -> Vec<Var> {
+        self.inner.borrow().parents.clone()
+    }
+
+    /// Whether this node is a leaf (a parameter or constant with no parents).
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.inner.borrow().parents.is_empty()
     }
 
     /// Whether gradients flow into this variable.
@@ -186,6 +242,7 @@ impl Var {
     }
 
     /// Returns a constant copy of this variable, cutting the gradient path.
+    #[must_use]
     pub fn detach(&self) -> Var {
         Var::constant(self.value())
     }

@@ -12,10 +12,18 @@ fn bench_cost_model(c: &mut Criterion) {
     let cfg = AcceleratorConfig::default();
     let layer = ConvLayer::new(128, 64, 16, 16, 3, 3, 1);
     let template = NetworkTemplate::cifar10();
-    let network = template.instantiate(&[SlotChoice::MbConv { kernel: 5, expand: 6 }; 9]);
+    let network = template.instantiate(
+        &[SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6,
+        }; 9],
+    );
     let space = HardwareSpace::new();
     let table = CostTable::new(&template, &model, &space);
-    let choices = [SlotChoice::MbConv { kernel: 5, expand: 6 }; 9];
+    let choices = [SlotChoice::MbConv {
+        kernel: 5,
+        expand: 6,
+    }; 9];
 
     let mut group = c.benchmark_group("cost_model");
     group.bench_function("map_single_layer", |b| {

@@ -20,7 +20,10 @@ fn bench_hw_generation(c: &mut Criterion) {
     let model = CostModel::new();
     let template = NetworkTemplate::cifar10();
     let table = CostTable::new(&template, &model, &space);
-    let choices = [SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+    let choices = [SlotChoice::MbConv {
+        kernel: 3,
+        expand: 6,
+    }; 9];
     let network = template.instantiate(&choices);
     let cost_fn = CostFunction::Edap;
 
@@ -32,13 +35,30 @@ fn bench_hw_generation(c: &mut Criterion) {
         b.iter(|| black_box(hwgen.predict(black_box(&arch), &space)))
     });
     group.bench_function("exhaustive_search_full_model", |b| {
-        b.iter(|| black_box(exhaustive_search(black_box(&network), &space, &model, &cost_fn)))
+        b.iter(|| {
+            black_box(exhaustive_search(
+                black_box(&network),
+                &space,
+                &model,
+                &cost_fn,
+            ))
+        })
     });
     group.bench_function("exhaustive_search_cost_table", |b| {
-        b.iter(|| black_box(exhaustive_search_table(&table, black_box(&choices), &cost_fn)))
+        b.iter(|| {
+            black_box(exhaustive_search_table(
+                &table,
+                black_box(&choices),
+                &cost_fn,
+            ))
+        })
     });
     group.bench_function("branch_and_bound_latency_cost", |b| {
-        let lat = CostFunction::Linear(CostWeights { lambda_l: 1.0, lambda_e: 0.0, lambda_a: 0.0 });
+        let lat = CostFunction::Linear(CostWeights {
+            lambda_l: 1.0,
+            lambda_e: 0.0,
+            lambda_a: 0.0,
+        });
         b.iter(|| black_box(branch_and_bound(black_box(&network), &space, &model, &lat)))
     });
     group.finish();

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use dance::prelude::*;
 use dance::nas::supernet::ForwardMode;
+use dance::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,7 +14,13 @@ fn bench_supernet(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let net = Supernet::new(SupernetConfig::cifar(), &mut rng);
     let arch = ArchParams::new(net.num_slots(), &mut rng);
-    let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+    let choices = vec![
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 6
+        };
+        9
+    ];
     let x = net.input_from(
         &Tensor::rand_normal(&[64 * 4 * 16], 0.0, 1.0, &mut rng).into_data(),
         64,

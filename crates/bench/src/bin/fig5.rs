@@ -16,8 +16,9 @@ fn main() {
     let cost_fn = CostFunction::Edap;
     let pipeline = Pipeline::new(Benchmark::cifar(42), cost_fn);
     let sizes = evaluator_sizes(scale, 7);
-    let ((evaluator, _), _) =
-        timed("evaluator training", || pipeline.train_evaluator(&sizes, true));
+    let ((evaluator, _), _) = timed("evaluator training", || {
+        pipeline.train_evaluator(&sizes, true)
+    });
     let retrain = retrain_config(scale);
 
     let dance_lambdas: &[f32] = if scale.is_quick() {
@@ -25,12 +26,22 @@ fn main() {
     } else {
         &[0.1, 0.3, 0.8, 2.0]
     };
-    let flops_lambdas: &[f32] =
-        if scale.is_quick() { &[0.3] } else { &[0.3, 0.8, 2.0] };
+    let flops_lambdas: &[f32] = if scale.is_quick() {
+        &[0.3]
+    } else {
+        &[0.3, 0.8, 2.0]
+    };
 
     let mut table = ResultTable::new(
         "Figure 5: Error-EDAP frontier (measured)",
-        &["Method", "lambda2", "Error (%)", "EDAP", "Latency (ms)", "Energy (mJ)"],
+        &[
+            "Method",
+            "lambda2",
+            "Error (%)",
+            "EDAP",
+            "Latency (ms)",
+            "Energy (mJ)",
+        ],
     );
     let mut points: Vec<(String, f64, f64)> = Vec::new();
 
@@ -141,7 +152,11 @@ fn ascii_scatter(points: &[(String, f64, f64)]) {
     for (method, err, edap) in points {
         let x = ((err / xmax) * w as f64) as usize;
         let y = h - ((edap / ymax) * h as f64) as usize;
-        let mark = if method.starts_with("DANCE") { 'D' } else { 'B' };
+        let mark = if method.starts_with("DANCE") {
+            'D'
+        } else {
+            'B'
+        };
         grid[y.min(h)][x.min(w)] = mark;
     }
     println!("EDAP (max {ymax:.1})");

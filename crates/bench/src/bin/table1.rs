@@ -27,8 +27,9 @@ fn main() {
     // --- Hardware generation network + cost nets via the pipeline -------
     let ((eval_ff, report_ff), _) =
         timed("evaluator w/ FF", || pipeline.train_evaluator(&sizes, true));
-    let ((_eval_no_ff, report_no_ff), _) =
-        timed("evaluator w/o FF", || pipeline.train_evaluator(&sizes, false));
+    let ((_eval_no_ff, report_no_ff), _) = timed("evaluator w/o FF", || {
+        pipeline.train_evaluator(&sizes, false)
+    });
 
     for (name, acc) in [
         ("PEX", report_ff.hwgen_head_acc[0]),
@@ -36,7 +37,11 @@ fn main() {
         ("RF Size", report_ff.hwgen_head_acc[2]),
         ("Dataflow", report_ff.hwgen_head_acc[3]),
     ] {
-        table.push_row(vec!["Hardware Generation".into(), name.into(), fmt_f(acc as f64, 1)]);
+        table.push_row(vec![
+            "Hardware Generation".into(),
+            name.into(),
+            fmt_f(acc as f64, 1),
+        ]);
     }
     for (name, acc) in [
         ("Latency", report_no_ff.cost_acc[0]),
@@ -65,7 +70,11 @@ fn main() {
         ("Energy", report_ff.overall_acc[1]),
         ("Area", report_ff.overall_acc[2]),
     ] {
-        table.push_row(vec!["Overall Evaluator".into(), name.into(), fmt_f(acc as f64, 1)]);
+        table.push_row(vec![
+            "Overall Evaluator".into(),
+            name.into(),
+            fmt_f(acc as f64, 1),
+        ]);
     }
     emit(&table, "table1.csv");
 
@@ -88,10 +97,20 @@ fn main() {
         lr: 1e-3,
         seed: 99,
     };
-    for (label, loss_kind) in [("MSRE loss (paper)", RegressionLoss::Msre), ("MSE loss", RegressionLoss::Mse)] {
+    for (label, loss_kind) in [
+        ("MSRE loss (paper)", RegressionLoss::Msre),
+        ("MSE loss", RegressionLoss::Mse),
+    ] {
         let mut rng = StdRng::seed_from_u64(99);
         let mut net = CostNet::new(arch_width + ENCODED_WIDTH, sizes.cost_width, &mut rng);
-        let acc = train_cost(&mut net, &ctrain, &cval, &cfg, CostInput::ArchPlusHw, loss_kind);
+        let acc = train_cost(
+            &mut net,
+            &ctrain,
+            &cval,
+            &cfg,
+            CostInput::ArchPlusHw,
+            loss_kind,
+        );
         ablation.push_row(vec![
             label.into(),
             fmt_f(acc[0] as f64, 1),
@@ -116,7 +135,12 @@ fn main() {
             generate_hwgen_dataset(&pipeline.table, &cost_fn, sizes.hwgen_samples, sizes.seed);
         let (htrain, hval) = split(&hw_data, 5.0 / 6.0);
         let hwgen = HwGenNet::new(arch_width, sizes.hwgen_width, &mut rng);
-        let hcfg = TrainConfig { epochs: sizes.hwgen_epochs, batch_size: 256, lr: 2e-3, seed: sizes.seed };
+        let hcfg = TrainConfig {
+            epochs: sizes.hwgen_epochs,
+            batch_size: 256,
+            lr: 2e-3,
+            seed: sizes.seed,
+        };
         let _ = train_hwgen(&hwgen, &htrain, &hval, &hcfg, OptimKind::Adam);
         let cdata = generate_cost_dataset(
             &pipeline.table,
@@ -127,8 +151,20 @@ fn main() {
         );
         let (ct, cv) = split(&cdata, 0.8);
         let mut cnet = CostNet::new(arch_width + ENCODED_WIDTH, sizes.cost_width, &mut rng);
-        let ccfg = TrainConfig { epochs: sizes.cost_epochs, batch_size: 256, lr: 1e-3, seed: sizes.seed };
-        let _ = train_cost(&mut cnet, &ct, &cv, &ccfg, CostInput::ArchPlusHw, RegressionLoss::Msre);
+        let ccfg = TrainConfig {
+            epochs: sizes.cost_epochs,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: sizes.seed,
+        };
+        let _ = train_cost(
+            &mut cnet,
+            &ct,
+            &cv,
+            &ccfg,
+            CostInput::ArchPlusHw,
+            RegressionLoss::Msre,
+        );
         let soft_eval = Evaluator::with_feature_forwarding(
             hwgen,
             cnet,

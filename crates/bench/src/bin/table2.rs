@@ -18,7 +18,15 @@ fn main() {
     let scale = Scale::from_args();
     let mut table = ResultTable::new(
         "Table 2: Performance of DANCE on CIFAR-10 (measured)",
-        &["Cost", "Method", "Acc. (%)", "Latency (ms)", "Energy (mJ)", "EDAP", "Accelerator"],
+        &[
+            "Cost",
+            "Method",
+            "Acc. (%)",
+            "Latency (ms)",
+            "Energy (mJ)",
+            "EDAP",
+            "Accelerator",
+        ],
     );
 
     for (cost_label, cost_fn) in [

@@ -49,8 +49,9 @@ fn main() {
 
     // --- DANCE -------------------------------------------------------------
     let sizes = evaluator_sizes(scale, 7);
-    let ((evaluator, _), eval_secs) =
-        timed("evaluator training", || pipeline.train_evaluator(&sizes, true));
+    let ((evaluator, _), eval_secs) = timed("evaluator training", || {
+        pipeline.train_evaluator(&sizes, true)
+    });
     let (dance, dance_secs) = timed("DANCE search", || {
         pipeline.run_dance(
             &evaluator,
@@ -62,7 +63,13 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Table 3: Comparison of co-exploration algorithms (measured)",
-        &["Algorithm", "Acc. (%)", "Search wall time (s)", "#Candidates trained", "Method"],
+        &[
+            "Algorithm",
+            "Acc. (%)",
+            "Search wall time (s)",
+            "#Candidates trained",
+            "Method",
+        ],
     );
     table.push_row(vec![
         "RL co-exploration (REINFORCE)".into(),

@@ -13,8 +13,9 @@ fn main() {
     let cost_fn = CostFunction::Edap;
     let pipeline = Pipeline::new(Benchmark::imagenet(42), cost_fn);
     let sizes = evaluator_sizes(scale, 7);
-    let ((evaluator, report), _) =
-        timed("evaluator training", || pipeline.train_evaluator(&sizes, true));
+    let ((evaluator, report), _) = timed("evaluator training", || {
+        pipeline.train_evaluator(&sizes, true)
+    });
     println!(
         "evaluator: hwgen heads {:?}, cost acc {:?}, overall {:?}",
         report.hwgen_head_acc, report.cost_acc, report.overall_acc
@@ -40,7 +41,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Table 4: Performance of DANCE on ImageNet (measured)",
-        &["Method", "Acc. (%)", "Latency (ms)", "Energy (mJ)", "EDAP", "Accelerator"],
+        &[
+            "Method",
+            "Acc. (%)",
+            "Latency (ms)",
+            "Energy (mJ)",
+            "EDAP",
+            "Accelerator",
+        ],
     );
     table.push_row(design_row(&baseline));
     table.push_row(design_row(&dance));

@@ -153,7 +153,9 @@ mod tests {
         assert!(quick.hwgen_samples < full.hwgen_samples);
         assert!(quick.cost_epochs < full.cost_epochs);
         assert!(retrain_config(Scale::Quick).epochs < retrain_config(Scale::Full).epochs);
-        assert!(search_config(Scale::Quick, 0.1, 0).epochs < search_config(Scale::Full, 0.1, 0).epochs);
+        assert!(
+            search_config(Scale::Quick, 0.1, 0).epochs < search_config(Scale::Full, 0.1, 0).epochs
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use dance_cost::metrics::CostFunction;
 /// # Panics
 ///
 /// Panics if `metrics` is not `[1, 3]` or `reference` is not positive.
+#[must_use]
 pub fn cost_hw_var(metrics: &Var, cost_fn: &CostFunction, reference: f64) -> Var {
     assert_eq!(metrics.shape(), vec![1, 3], "metrics must be [1, 3]");
     assert!(reference > 0.0, "reference cost must be positive");
@@ -49,12 +50,20 @@ pub struct LambdaWarmup {
 impl LambdaWarmup {
     /// Constant schedule (no warm-up) — the ablation.
     pub fn constant(value: f32) -> Self {
-        Self { initial: value, target: value, warmup_epochs: 0 }
+        Self {
+            initial: value,
+            target: value,
+            warmup_epochs: 0,
+        }
     }
 
     /// The paper's schedule: near-zero λ₂ for `warmup_epochs`, then `target`.
     pub fn ramp(target: f32, warmup_epochs: usize) -> Self {
-        Self { initial: 0.0, target, warmup_epochs }
+        Self {
+            initial: 0.0,
+            target,
+            warmup_epochs,
+        }
     }
 
     /// λ₂ at `epoch`.
@@ -78,7 +87,11 @@ mod tests {
     #[test]
     fn linear_cost_matches_eq3() {
         let m = Var::constant(Tensor::from_vec(vec![2.0, 1.0, 3.0], &[1, 3]));
-        let f = CostFunction::Linear(CostWeights { lambda_l: 4.1, lambda_e: 4.8, lambda_a: 1.0 });
+        let f = CostFunction::Linear(CostWeights {
+            lambda_l: 4.1,
+            lambda_e: 4.8,
+            lambda_a: 1.0,
+        });
         let v = cost_hw_var(&m, &f, 1.0);
         assert!((v.item() - (4.1 * 2.0 + 4.8 + 3.0) as f32).abs() < 1e-4);
     }

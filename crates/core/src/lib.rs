@@ -59,11 +59,11 @@ pub use dance_nas as nas;
 /// Convenient glob-import of the most used items across the whole stack.
 pub mod prelude {
     pub use crate::hw_loss::{cost_hw_value, cost_hw_var, LambdaWarmup};
+    pub use crate::pareto::{front_dominates, hypervolume, pareto_front, ParetoPoint};
     pub use crate::pipeline::{
         BaselinePenalty, Benchmark, EvaluatorReport, EvaluatorSizes, FinalDesign, Pipeline,
         RetrainConfig,
     };
-    pub use crate::pareto::{front_dominates, hypervolume, pareto_front, ParetoPoint};
     pub use crate::report::{fmt_f, ResultTable};
     pub use crate::rl::{rl_co_exploration, RlCandidate, RlConfig, RlOutcome};
     pub use crate::search::{

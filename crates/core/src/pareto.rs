@@ -31,7 +31,12 @@ impl ParetoPoint {
 /// Indices of the non-dominated points, sorted by ascending error.
 pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
     let mut front: Vec<usize> = (0..points.len())
-        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&points[i])))
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && p.dominates(&points[i]))
+        })
         .collect();
     front.sort_by(|&a, &b| {
         points[a]

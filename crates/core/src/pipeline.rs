@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use dance_accel::config::AcceleratorConfig;
 use dance_accel::space::HardwareSpace;
 use dance_accel::workload::{NetworkTemplate, SlotChoice};
+use dance_analyze::graph::lint_graph;
 use dance_cost::metrics::CostFunction;
 use dance_cost::model::{CostModel, HardwareCost};
 use dance_data::tasks::{synth_cifar, synth_imagenet, TaskData};
@@ -27,9 +28,7 @@ use dance_evaluator::hwgen_net::{HeadSampling, HwGenNet};
 use dance_evaluator::train::{
     train_cost, train_hwgen, CostInput, OptimKind, RegressionLoss, TrainConfig,
 };
-use dance_hwgen::dataset::{
-    generate_cost_dataset, generate_hwgen_dataset, split, HwSampling,
-};
+use dance_hwgen::dataset::{generate_cost_dataset, generate_hwgen_dataset, split, HwSampling};
 use dance_hwgen::exhaustive::exhaustive_search_table;
 use dance_hwgen::table::CostTable;
 use dance_nas::arch::ArchParams;
@@ -136,7 +135,11 @@ pub struct RetrainConfig {
 
 impl Default for RetrainConfig {
     fn default() -> Self {
-        Self { epochs: 24, batch_size: 64, lr: 0.02 }
+        Self {
+            epochs: 24,
+            batch_size: 64,
+            lr: 0.02,
+        }
     }
 }
 
@@ -181,8 +184,16 @@ impl Pipeline {
     /// Builds the pipeline (prices the whole template × space cross
     /// product once).
     pub fn new(benchmark: Benchmark, cost_fn: CostFunction) -> Self {
-        let table = CostTable::new(&benchmark.template, &CostModel::new(), &HardwareSpace::new());
-        Self { benchmark, table, cost_fn }
+        let table = CostTable::new(
+            &benchmark.template,
+            &CostModel::new(),
+            &HardwareSpace::new(),
+        );
+        Self {
+            benchmark,
+            table,
+            cost_fn,
+        }
     }
 
     /// Cost-function value of the uniform (search-start) architecture at its
@@ -200,6 +211,11 @@ impl Pipeline {
 
     /// Generates ground truth and trains the evaluator (paper §3.3 /
     /// Table 1). `feature_forwarding` selects the w/ FF or w/o FF variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trained evaluator fails the static graph lint (no
+    /// differentiable path from the architecture encoding to its metrics).
     pub fn train_evaluator(
         &self,
         sizes: &EvaluatorSizes,
@@ -226,7 +242,11 @@ impl Pipeline {
         // the optimal-hardware manifold the search visits); the no-FF
         // variant must model hardware generation internally and trains on
         // optimal-hardware targets only.
-        let sampling = if feature_forwarding { HwSampling::Mixed } else { HwSampling::Optimal };
+        let sampling = if feature_forwarding {
+            HwSampling::Mixed
+        } else {
+            HwSampling::Optimal
+        };
         let cost_data = generate_cost_dataset(
             &self.table,
             &self.cost_fn,
@@ -247,9 +267,19 @@ impl Pipeline {
             lr: 1e-3,
             seed: sizes.seed,
         };
-        let input = if feature_forwarding { CostInput::ArchPlusHw } else { CostInput::ArchOnly };
-        let _train_val_acc =
-            train_cost(&mut cost_net, &ctrain, &cval, &ccfg, input, RegressionLoss::Msre);
+        let input = if feature_forwarding {
+            CostInput::ArchPlusHw
+        } else {
+            CostInput::ArchOnly
+        };
+        let _train_val_acc = train_cost(
+            &mut cost_net,
+            &ctrain,
+            &cval,
+            &ccfg,
+            input,
+            RegressionLoss::Msre,
+        );
         // Report cost accuracy on a *shared* optimal-hardware draw so the
         // w/ FF and w/o FF rows of Table 1 are directly comparable (the FF
         // net receives the hardware explicitly; the no-FF net must infer
@@ -285,7 +315,29 @@ impl Pipeline {
         );
         let overall_acc = evaluator.end_to_end_accuracy(&e2e_data, sizes.seed);
 
-        (evaluator, EvaluatorReport { hwgen_head_acc, cost_acc, overall_acc })
+        // Static sanity check on the graph the search will differentiate:
+        // a probe architecture must have a gradient path through the
+        // evaluator, or the hardware loss would silently never move α.
+        let probe_arch = ArchParams::new(self.benchmark.template.num_slots(), &mut rng);
+        let metrics = evaluator.predict_metrics(&probe_arch.encode(), &mut rng);
+        let named: Vec<(String, dance_autograd::var::Var)> = probe_arch
+            .parameters()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (format!("alpha[{i}]"), p))
+            .collect();
+        if let Err(report) = lint_graph(&metrics.sum(), &named).enforce(true) {
+            panic!("evaluator failed the graph lint: {report}");
+        }
+
+        (
+            evaluator,
+            EvaluatorReport {
+                hwgen_head_acc,
+                cost_acc,
+                overall_acc,
+            },
+        )
     }
 
     /// DANCE co-exploration: differentiable search through a frozen
@@ -298,7 +350,11 @@ impl Pipeline {
         method: impl Into<String>,
     ) -> FinalDesign {
         let reference = self.reference_cost();
-        let penalty = Penalty::Evaluator { evaluator, cost_fn: self.cost_fn, reference };
+        let penalty = Penalty::Evaluator {
+            evaluator,
+            cost_fn: self.cost_fn,
+            reference,
+        };
         self.run_with_penalty(&penalty, search, retrain, method)
     }
 

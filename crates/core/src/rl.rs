@@ -38,7 +38,14 @@ pub struct RlConfig {
 
 impl Default for RlConfig {
     fn default() -> Self {
-        Self { candidates: 20, quick_epochs: 4, batch_size: 64, lr: 0.15, lambda_cost: 0.3, seed: 0 }
+        Self {
+            candidates: 20,
+            quick_epochs: 4,
+            batch_size: 64,
+            lr: 0.15,
+            lambda_cost: 0.3,
+            seed: 0,
+        }
     }
 }
 
@@ -76,11 +83,17 @@ struct Categorical {
 
 impl Categorical {
     fn new(n: usize) -> Self {
-        Self { logits: vec![0.0; n] }
+        Self {
+            logits: vec![0.0; n],
+        }
     }
 
     fn probs(&self) -> Vec<f32> {
-        let max = self.logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = self
+            .logits
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = self.logits.iter().map(|&l| (l - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
@@ -147,10 +160,11 @@ pub fn rl_co_exploration(
 
     for cand_idx in 0..cfg.candidates {
         // --- Sample a candidate -----------------------------------------
-        let arch_actions: Vec<usize> =
-            arch_policies.iter().map(|p| p.sample(&mut rng)).collect();
-        let choices: Vec<SlotChoice> =
-            arch_actions.iter().map(|&a| SlotChoice::from_index(a)).collect();
+        let arch_actions: Vec<usize> = arch_policies.iter().map(|p| p.sample(&mut rng)).collect();
+        let choices: Vec<SlotChoice> = arch_actions
+            .iter()
+            .map(|&a| SlotChoice::from_index(a))
+            .collect();
         let hw_actions: Vec<usize> = hw_policies.iter().map(|p| p.sample(&mut rng)).collect();
         let config = table.space().from_head_indices(
             hw_actions[0],
@@ -175,7 +189,11 @@ pub fn rl_co_exploration(
         let reward = accuracy - cfg.lambda_cost * (cost_value / reference_cost) as f32;
 
         // --- Policy update -----------------------------------------------
-        baseline = if cand_idx == 0 { reward } else { 0.8 * baseline + 0.2 * reward };
+        baseline = if cand_idx == 0 {
+            reward
+        } else {
+            0.8 * baseline + 0.2 * reward
+        };
         let advantage = reward - baseline;
         for (policy, &action) in arch_policies.iter_mut().zip(&arch_actions) {
             policy.update(action, advantage, cfg.lr);
@@ -184,7 +202,13 @@ pub fn rl_co_exploration(
             policy.update(action, advantage, cfg.lr);
         }
 
-        let candidate = RlCandidate { choices, config, accuracy, cost_value, reward };
+        let candidate = RlCandidate {
+            choices,
+            config,
+            accuracy,
+            cost_value,
+            reward,
+        };
         if best.as_ref().map_or(true, |b| reward > b.reward) {
             best = Some(candidate);
         }
@@ -215,7 +239,10 @@ mod tests {
             c.update(2, 1.0, 0.5);
         }
         let p = c.probs();
-        assert!(p[2] > 0.8, "positive advantage did not concentrate mass: {p:?}");
+        assert!(
+            p[2] > 0.8,
+            "positive advantage did not concentrate mass: {p:?}"
+        );
     }
 
     #[test]
@@ -256,7 +283,11 @@ mod tests {
             stage_widths: [4, 6, 8],
             head_width: 12,
         };
-        let cfg = RlConfig { candidates: 3, quick_epochs: 1, ..RlConfig::default() };
+        let cfg = RlConfig {
+            candidates: 3,
+            quick_epochs: 1,
+            ..RlConfig::default()
+        };
         let out = rl_co_exploration(sup_cfg, &data, &table, &CostFunction::Edap, 100.0, &cfg);
         assert_eq!(out.candidates_trained, 3);
         assert_eq!(out.rewards.len(), 3);

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dance_accel::workload::SlotChoice;
+use dance_analyze::graph::lint_graph;
 use dance_autograd::loss::{accuracy, cross_entropy};
 use dance_autograd::optim::{clip_grad_norm, Adam, CosineLr, Optimizer, Sgd};
 use dance_autograd::var::Var;
@@ -44,6 +45,9 @@ pub struct SearchConfig {
     pub lambda2: LambdaWarmup,
     /// RNG seed.
     pub seed: u64,
+    /// Let warning-severity graph-lint findings through; errors still refuse
+    /// to train. The `--allow-graph-warnings` CLI flag maps here.
+    pub allow_graph_warnings: bool,
 }
 
 impl Default for SearchConfig {
@@ -57,6 +61,7 @@ impl Default for SearchConfig {
             label_smoothing: 0.1,
             lambda2: LambdaWarmup::ramp(1.0, 4),
             seed: 0,
+            allow_graph_warnings: false,
         }
     }
 }
@@ -91,6 +96,54 @@ fn batch_input(net: &Supernet, batch: &Batch) -> Var {
     net.input_from(&batch.x, batch.batch)
 }
 
+/// Builds the full search loss once on a tiny probe batch and runs the
+/// static graph linter over it — every check the training loop relies on
+/// (op shapes, arities, parameter reachability) is verified before the
+/// first weight update instead of failing steps into a run.
+///
+/// Uses its own RNG stream (`seed ^ 0x9e37_79b9`) so the probe never
+/// perturbs the sequence of batches and Gumbel draws the search itself sees.
+fn lint_search_loss(
+    supernet: &Supernet,
+    arch: &ArchParams,
+    data: &TaskData,
+    penalty: &Penalty<'_>,
+    cfg: &SearchConfig,
+) -> Result<(), String> {
+    let mut probe_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+    let batcher = Batcher::new(&data.train, cfg.batch_size);
+    let probe_n = batcher.full().batch.min(4).max(2); // ≥2: batch norm needs variance
+    let pb = batcher.gather(&(0..probe_n).collect::<Vec<usize>>());
+    let x = batch_input(supernet, &pb);
+    let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
+    let mut loss = cross_entropy(&logits, &pb.y, cfg.label_smoothing);
+    match penalty {
+        Penalty::None => {}
+        Penalty::Flops(template) => {
+            let p = dance_nas::flops::expected_flops_penalty(arch, template);
+            loss = loss.add(&p.scale(1.0).sum());
+        }
+        Penalty::Evaluator {
+            evaluator,
+            cost_fn,
+            reference,
+        } => {
+            let metrics = evaluator.predict_metrics(&arch.encode(), &mut probe_rng);
+            let hw = cost_hw_var(&metrics, cost_fn, *reference);
+            loss = loss.add(&hw.scale(1.0).sum());
+        }
+    }
+
+    let mut named: Vec<(String, Var)> = Vec::new();
+    for (i, p) in supernet.parameters().into_iter().enumerate() {
+        named.push((format!("supernet[{i}]"), p));
+    }
+    for (i, p) in arch.parameters().into_iter().enumerate() {
+        named.push((format!("alpha[{i}]"), p));
+    }
+    lint_graph(&loss, &named).enforce(cfg.allow_graph_warnings)
+}
+
 /// The hardware-cost penalty of the search: what the architecture step adds
 /// beyond cross-entropy.
 pub enum Penalty<'a> {
@@ -116,8 +169,10 @@ pub enum Penalty<'a> {
 ///
 /// # Panics
 ///
-/// Panics if the supernet/arch slot counts disagree, or the data does not
-/// match the supernet input shape.
+/// Panics if the supernet/arch slot counts disagree, the data does not
+/// match the supernet input shape, or the static graph linter rejects the
+/// probe loss graph (set [`SearchConfig::allow_graph_warnings`] to let
+/// warning-severity findings through; errors always refuse to train).
 pub fn dance_search(
     supernet: &Supernet,
     arch: &ArchParams,
@@ -125,9 +180,16 @@ pub fn dance_search(
     penalty: &Penalty<'_>,
     cfg: &SearchConfig,
 ) -> SearchOutcome {
-    assert_eq!(supernet.num_slots(), arch.num_slots(), "slot count mismatch");
+    assert_eq!(
+        supernet.num_slots(),
+        arch.num_slots(),
+        "slot count mismatch"
+    );
     if let Penalty::Evaluator { evaluator, .. } = penalty {
         evaluator.freeze();
+    }
+    if let Err(report) = lint_search_loss(supernet, arch, data, penalty, cfg) {
+        panic!("refusing to train: {report}");
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let train_batcher = Batcher::new(&data.train, cfg.batch_size);
@@ -166,7 +228,9 @@ pub fn dance_search(
             // Alternate: one α step per two weight steps keeps the search
             // stable on small validation splits.
             if step % 2 == 0 {
-                let Some(vb) = val_batches.next() else { continue };
+                let Some(vb) = val_batches.next() else {
+                    continue;
+                };
                 let x = batch_input(supernet, &vb);
                 let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
                 let mut loss = cross_entropy(&logits, &vb.y, cfg.label_smoothing);
@@ -176,7 +240,11 @@ pub fn dance_search(
                         let p = dance_nas::flops::expected_flops_penalty(arch, template);
                         loss = loss.add(&p.scale(lambda2).sum());
                     }
-                    Penalty::Evaluator { evaluator, cost_fn, reference } => {
+                    Penalty::Evaluator {
+                        evaluator,
+                        cost_fn,
+                        reference,
+                    } => {
                         let metrics = evaluator.predict_metrics(&arch.encode(), &mut rng);
                         let hw = cost_hw_var(&metrics, cost_fn, *reference);
                         hw_sum += hw.item();
@@ -196,7 +264,11 @@ pub fn dance_search(
         history.push(EpochStats {
             epoch,
             train_ce: ce_sum / train_batches.len().max(1) as f32,
-            hw_cost: if hw_count > 0 { hw_sum / hw_count as f32 } else { 0.0 },
+            hw_cost: if hw_count > 0 {
+                hw_sum / hw_count as f32
+            } else {
+                0.0
+            },
             arch_entropy: arch.mean_entropy(),
             lambda2,
         });
@@ -279,7 +351,12 @@ mod tests {
         let train = task.generate(90, 1);
         let val = task.generate(45, 2);
         let test = task.generate(45, 3);
-        TaskData { task, train, val, test }
+        TaskData {
+            task,
+            train,
+            val,
+            test,
+        }
     }
 
     fn tiny_config() -> SupernetConfig {
@@ -336,9 +413,18 @@ mod tests {
     #[test]
     fn derived_training_beats_chance() {
         let data = tiny_task();
-        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 3 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 3
+            };
+            9
+        ];
         let acc = train_derived(tiny_config(), &choices, &data, 25, 32, 0.02, 7);
-        assert!(acc > 0.5, "derived accuracy {acc} at or below chance (0.33)");
+        assert!(
+            acc > 0.5,
+            "derived accuracy {acc} at or below chance (0.33)"
+        );
     }
 
     #[test]

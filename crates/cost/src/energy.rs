@@ -37,9 +37,8 @@ pub fn layer_energy_pj(macs: u64, mapping: &Mapping, config: &AcceleratorConfig)
         + macs as f64 * RF_ACCESSES_PER_MAC * rf_pj
         + mapping.sram_total() as f64 * SRAM_PJ
         + mapping.dram_words as f64 * DRAM_PJ;
-    let leakage = mapping.total_cycles as f64
-        * config.num_pes() as f64
-        * LEAKAGE_PJ_PER_CYCLE_PER_PE;
+    let leakage =
+        mapping.total_cycles as f64 * config.num_pes() as f64 * LEAKAGE_PJ_PER_CYCLE_PER_PE;
     dynamic + leakage
 }
 

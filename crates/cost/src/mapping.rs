@@ -152,9 +152,8 @@ pub fn map_layer(layer: &ConvLayer, config: &AcceleratorConfig) -> Mapping {
             // RF across each PE's temporal output-channel loop.
             let overlap = ((r * s) / (stride * stride)).max(1);
             let k_per_pe = ceil_div(k, k_fold);
-            let reuse_i = (k_fold
-                * (rf_in * 2).min(overlap).max(1)
-                * rf_in.min(k_per_pe).max(1)) as f64;
+            let reuse_i =
+                (k_fold * (rf_in * 2).min(overlap).max(1) * rf_in.min(k_per_pe).max(1)) as f64;
             (macs as f64 / reuse_w, macs as f64 / reuse_i, sram_o)
         }
         Dataflow::RowStationary => {
@@ -294,7 +293,11 @@ mod tests {
         for df in Dataflow::ALL {
             for rf in [4, 64] {
                 let m = map_layer(&layer, &cfg(13, 19, rf, df));
-                assert!(m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9, "{}", m.utilization);
+                assert!(
+                    m.utilization > 0.0 && m.utilization <= 1.0 + 1e-9,
+                    "{}",
+                    m.utilization
+                );
             }
         }
     }
@@ -321,10 +324,7 @@ mod tests {
             ms.dram_words,
             small.weight_words() + small.input_words() + small.output_words()
         );
-        assert!(
-            mh.dram_words
-                > huge.weight_words() + huge.input_words() + huge.output_words()
-        );
+        assert!(mh.dram_words > huge.weight_words() + huge.input_words() + huge.output_words());
     }
 
     #[test]

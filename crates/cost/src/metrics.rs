@@ -22,7 +22,11 @@ pub struct CostWeights {
 impl CostWeights {
     /// The weights used in Table 2: `λ_L = 4.1, λ_E = 4.8, λ_A = 1.0`.
     pub fn table2() -> Self {
-        Self { lambda_l: 4.1, lambda_e: 4.8, lambda_a: 1.0 }
+        Self {
+            lambda_l: 4.1,
+            lambda_e: 4.8,
+            lambda_a: 1.0,
+        }
     }
 }
 
@@ -47,7 +51,9 @@ impl CostFunction {
     pub fn apply(&self, cost: &HardwareCost) -> f64 {
         match self {
             CostFunction::Linear(w) => {
-                w.lambda_l * cost.latency_ms + w.lambda_e * cost.energy_mj + w.lambda_a * cost.area_mm2
+                w.lambda_l * cost.latency_ms
+                    + w.lambda_e * cost.energy_mj
+                    + w.lambda_a * cost.area_mm2
             }
             CostFunction::Edap => cost.edap(),
         }
@@ -79,21 +85,40 @@ mod tests {
 
     #[test]
     fn linear_combination_matches_eq3() {
-        let c = HardwareCost { latency_ms: 2.0, energy_mj: 1.0, area_mm2: 3.0 };
-        let f = CostFunction::Linear(CostWeights { lambda_l: 4.1, lambda_e: 4.8, lambda_a: 1.0 });
+        let c = HardwareCost {
+            latency_ms: 2.0,
+            energy_mj: 1.0,
+            area_mm2: 3.0,
+        };
+        let f = CostFunction::Linear(CostWeights {
+            lambda_l: 4.1,
+            lambda_e: 4.8,
+            lambda_a: 1.0,
+        });
         assert!((f.apply(&c) - (4.1 * 2.0 + 4.8 + 3.0)).abs() < 1e-12);
     }
 
     #[test]
     fn edap_matches_eq4() {
-        let c = HardwareCost { latency_ms: 2.0, energy_mj: 5.0, area_mm2: 3.0 };
+        let c = HardwareCost {
+            latency_ms: 2.0,
+            energy_mj: 5.0,
+            area_mm2: 3.0,
+        };
         assert!((CostFunction::Edap.apply(&c) - 30.0).abs() < 1e-12);
     }
 
     #[test]
     fn apply_array_equals_apply() {
-        let c = HardwareCost { latency_ms: 1.5, energy_mj: 2.5, area_mm2: 0.5 };
-        for f in [CostFunction::Edap, CostFunction::Linear(CostWeights::table2())] {
+        let c = HardwareCost {
+            latency_ms: 1.5,
+            energy_mj: 2.5,
+            area_mm2: 0.5,
+        };
+        for f in [
+            CostFunction::Edap,
+            CostFunction::Linear(CostWeights::table2()),
+        ] {
             assert_eq!(f.apply(&c), f.apply_array(c.to_array()));
         }
     }

@@ -40,7 +40,11 @@ impl HardwareCost {
 
     /// Builds the cost from a `[latency, energy, area]` array.
     pub fn from_array(a: [f64; 3]) -> Self {
-        Self { latency_ms: a[0], energy_mj: a[1], area_mm2: a[2] }
+        Self {
+            latency_ms: a[0],
+            energy_mj: a[1],
+            area_mm2: a[2],
+        }
     }
 }
 
@@ -101,7 +105,12 @@ mod tests {
     use dance_accel::workload::{NetworkTemplate, SlotChoice};
 
     fn cifar_net() -> Network {
-        NetworkTemplate::cifar10().instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 6 }; 9])
+        NetworkTemplate::cifar10().instantiate(
+            &[SlotChoice::MbConv {
+                kernel: 3,
+                expand: 6,
+            }; 9],
+        )
     }
 
     #[test]
@@ -118,7 +127,11 @@ mod tests {
 
     #[test]
     fn edap_is_product_of_metrics() {
-        let c = HardwareCost { latency_ms: 2.0, energy_mj: 3.0, area_mm2: 4.0 };
+        let c = HardwareCost {
+            latency_ms: 2.0,
+            energy_mj: 3.0,
+            area_mm2: 4.0,
+        };
         assert!((c.edap() - 24.0).abs() < 1e-12);
     }
 
@@ -145,10 +158,18 @@ mod tests {
         let mk = |df| AcceleratorConfig::new(16, 16, 16, df).unwrap();
         let channel_heavy = Network::from_layers(vec![ConvLayer::pointwise(512, 512, 4, 4)]);
         let spatial_heavy = Network::from_layers(vec![ConvLayer::new(8, 8, 64, 64, 3, 3, 1)]);
-        let ws_ch = model.evaluate(&channel_heavy, &mk(Dataflow::WeightStationary)).latency_ms;
-        let os_ch = model.evaluate(&channel_heavy, &mk(Dataflow::OutputStationary)).latency_ms;
-        let ws_sp = model.evaluate(&spatial_heavy, &mk(Dataflow::WeightStationary)).latency_ms;
-        let os_sp = model.evaluate(&spatial_heavy, &mk(Dataflow::OutputStationary)).latency_ms;
+        let ws_ch = model
+            .evaluate(&channel_heavy, &mk(Dataflow::WeightStationary))
+            .latency_ms;
+        let os_ch = model
+            .evaluate(&channel_heavy, &mk(Dataflow::OutputStationary))
+            .latency_ms;
+        let ws_sp = model
+            .evaluate(&spatial_heavy, &mk(Dataflow::WeightStationary))
+            .latency_ms;
+        let os_sp = model
+            .evaluate(&spatial_heavy, &mk(Dataflow::OutputStationary))
+            .latency_ms;
         assert!(ws_ch < os_ch, "channel-heavy: WS {ws_ch} OS {os_ch}");
         assert!(os_sp < ws_sp, "spatial-heavy: WS {ws_sp} OS {os_sp}");
     }

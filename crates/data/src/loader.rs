@@ -67,7 +67,13 @@ impl<'a> Batcher<'a> {
             x.extend_from_slice(self.data.signal(i));
             y.push(self.data.label(i));
         }
-        Batch { x, y, batch: idxs.len(), channels: c, length: l }
+        Batch {
+            x,
+            y,
+            batch: idxs.len(),
+            channels: c,
+            length: l,
+        }
     }
 
     /// The whole dataset as one batch (for evaluation).

@@ -159,8 +159,7 @@ impl SynthTask {
                     + self.spec.distractor * dist[ch * l + (t + distractor_shift) % l];
                 let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                 let u2: f32 = rng.gen_range(0.0f32..1.0);
-                let noise =
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                let noise = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
                 x[ch * l + t] = v + self.spec.noise * noise;
             }
         }
@@ -198,7 +197,14 @@ mod tests {
     use super::*;
 
     fn spec() -> SynthSpec {
-        SynthSpec { num_classes: 4, channels: 2, length: 16, noise: 0.3, distractor: 0.3, seed: 1 }
+        SynthSpec {
+            num_classes: 4,
+            channels: 2,
+            length: 16,
+            noise: 0.3,
+            distractor: 0.3,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -259,7 +265,10 @@ mod tests {
                 .sum();
             best = best.min(err);
         }
-        assert!(best < 1e-3, "no shift/amp explains the sample: best err {best}");
+        assert!(
+            best < 1e-3,
+            "no shift/amp explains the sample: best err {best}"
+        );
     }
 
     #[test]

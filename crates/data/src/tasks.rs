@@ -34,7 +34,12 @@ pub fn synth_cifar(seed: u64) -> TaskData {
     let train = task.generate(2_000, seed.wrapping_add(1));
     let val = task.generate(500, seed.wrapping_add(2));
     let test = task.generate(500, seed.wrapping_add(3));
-    TaskData { task, train, val, test }
+    TaskData {
+        task,
+        train,
+        val,
+        test,
+    }
 }
 
 /// SynthImageNet: the ImageNet stand-in — 100 classes, 4×32 signals, heavier
@@ -51,7 +56,12 @@ pub fn synth_imagenet(seed: u64) -> TaskData {
     let train = task.generate(5_000, seed.wrapping_add(1));
     let val = task.generate(1_000, seed.wrapping_add(2));
     let test = task.generate(1_000, seed.wrapping_add(3));
-    TaskData { task, train, val, test }
+    TaskData {
+        task,
+        train,
+        val,
+        test,
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,13 @@ impl Evaluator {
             arch_width + dance_accel::space::ENCODED_WIDTH,
             "cost net width must be arch + hw for feature forwarding"
         );
-        Self { hwgen, cost, feature_forwarding: true, sampling, arch_width }
+        Self {
+            hwgen,
+            cost,
+            feature_forwarding: true,
+            sampling,
+            arch_width,
+        }
     }
 
     /// Composes an evaluator *without* feature forwarding: the cost network
@@ -58,11 +64,7 @@ impl Evaluator {
     /// # Panics
     ///
     /// Panics if the cost network's input width doesn't match.
-    pub fn without_feature_forwarding(
-        hwgen: HwGenNet,
-        cost: CostNet,
-        arch_width: usize,
-    ) -> Self {
+    pub fn without_feature_forwarding(hwgen: HwGenNet, cost: CostNet, arch_width: usize) -> Self {
         assert_eq!(
             cost.in_width(),
             arch_width,
@@ -110,8 +112,13 @@ impl Evaluator {
     /// # Panics
     ///
     /// Panics if the encoding width is wrong.
+    #[must_use]
     pub fn predict_metrics(&self, arch: &Var, rng: &mut StdRng) -> Var {
-        assert_eq!(arch.shape()[1], self.arch_width, "architecture encoding width");
+        assert_eq!(
+            arch.shape()[1],
+            self.arch_width,
+            "architecture encoding width"
+        );
         if self.feature_forwarding {
             let hw = self.hwgen.forward_encoded(arch, self.sampling, rng);
             self.cost.forward(&Var::concat_cols(&[arch, &hw]))

@@ -10,9 +10,7 @@
 use rand::rngs::StdRng;
 
 use dance_accel::config::AcceleratorConfig;
-use dance_accel::space::{
-    HardwareSpace, DATAFLOW_CARDINALITY, PE_CARDINALITY, RF_CARDINALITY,
-};
+use dance_accel::space::{HardwareSpace, DATAFLOW_CARDINALITY, PE_CARDINALITY, RF_CARDINALITY};
 use dance_autograd::gumbel::{gumbel_softmax, softmax_with_temperature, straight_through_onehot};
 use dance_autograd::nn::{Linear, Module};
 use dance_autograd::var::Var;
@@ -62,7 +60,12 @@ impl HwGenNet {
             .iter()
             .map(|&h| Linear::new(width, h, rng))
             .collect();
-        Self { input, hidden, heads, width }
+        Self {
+            input,
+            hidden,
+            heads,
+            width,
+        }
     }
 
     /// Hidden width.
@@ -87,21 +90,15 @@ impl HwGenNet {
 
     /// Forward pass producing the soft one-hot hardware encoding
     /// `[batch, 42]` (PE_X | PE_Y | RF | dataflow segments).
-    pub fn forward_encoded(
-        &self,
-        arch: &Var,
-        sampling: HeadSampling,
-        rng: &mut StdRng,
-    ) -> Var {
+    #[must_use]
+    pub fn forward_encoded(&self, arch: &Var, sampling: HeadSampling, rng: &mut StdRng) -> Var {
         let logits = self.head_logits(arch);
         let parts: Vec<Var> = logits
             .iter()
             .map(|l| match sampling {
                 HeadSampling::Gumbel { tau } => gumbel_softmax(l, tau, rng),
                 HeadSampling::Softmax { tau } => softmax_with_temperature(l, tau),
-                HeadSampling::StraightThrough => {
-                    straight_through_onehot(&l.softmax_rows())
-                }
+                HeadSampling::StraightThrough => straight_through_onehot(&l.softmax_rows()),
             })
             .collect();
         let refs: Vec<&Var> = parts.iter().collect();

@@ -10,7 +10,11 @@ use dance_autograd::tensor::Tensor;
 ///
 /// Panics if shapes differ or are not `[batch, 3]`.
 pub fn relative_accuracy(pred: &Tensor, target: &Tensor) -> [f32; 3] {
-    assert_eq!(pred.shape(), target.shape(), "prediction/target shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "prediction/target shape mismatch"
+    );
     assert_eq!(pred.ndim(), 2, "expected [batch, metrics]");
     assert_eq!(pred.shape()[1], 3, "expected 3 metrics");
     let b = pred.shape()[0];

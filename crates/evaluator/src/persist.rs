@@ -40,7 +40,11 @@ fn load_params_into(
         if tensor.shape() != p.shape() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("shape mismatch for {key}: {:?} vs {:?}", tensor.shape(), p.shape()),
+                format!(
+                    "shape mismatch for {key}: {:?} vs {:?}",
+                    tensor.shape(),
+                    p.shape()
+                ),
             ));
         }
         p.set_value(tensor);
@@ -127,12 +131,18 @@ impl CostNet {
         let n_bn = self.running_stats().len();
         let mut stats = Vec::with_capacity(n_bn);
         for i in 0..n_bn {
-            stats.push((find(&format!("cost.bn{i}.mean"))?, find(&format!("cost.bn{i}.var"))?));
+            stats.push((
+                find(&format!("cost.bn{i}.mean"))?,
+                find(&format!("cost.bn{i}.var"))?,
+            ));
         }
         self.set_running_stats(stats);
         let norm = find("cost.normalizer")?;
         if norm.numel() != 3 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "normalizer must have 3 values"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "normalizer must have 3 values",
+            ));
         }
         self.set_normalizer([norm.data()[0], norm.data()[1], norm.data()[2]]);
         Ok(())
@@ -198,14 +208,21 @@ mod tests {
         let mut rng2 = StdRng::seed_from_u64(999);
         let hwgen2 = HwGenNet::new(63, 32, &mut rng2);
         let cost2 = CostNet::new(63 + 42, 32, &mut rng2);
-        let mut restored =
-            Evaluator::with_feature_forwarding(hwgen2, cost2, 63, HeadSampling::Softmax { tau: 1.0 });
+        let mut restored = Evaluator::with_feature_forwarding(
+            hwgen2,
+            cost2,
+            63,
+            HeadSampling::Softmax { tau: 1.0 },
+        );
         restored.load(&path).unwrap();
         restored.freeze();
 
         let mut r2 = StdRng::seed_from_u64(5);
         let after = restored.predict_metrics(&x, &mut r2).value();
-        assert!(before.approx_eq(&after, 1e-6), "restored evaluator diverges");
+        assert!(
+            before.approx_eq(&after, 1e-6),
+            "restored evaluator diverges"
+        );
         let _ = std::fs::remove_file(path);
     }
 
@@ -237,7 +254,10 @@ mod tests {
         net.set_training(false);
         other.set_training(false);
         let x = Var::constant(Tensor::rand_normal(&[4, 10], 2.0, 1.0, &mut rng));
-        assert!(net.forward(&x).value().approx_eq(&other.forward(&x).value(), 1e-6));
+        assert!(net
+            .forward(&x)
+            .value()
+            .approx_eq(&other.forward(&x).value(), 1e-6));
         let _ = std::fs::remove_file(path);
     }
 }

@@ -34,7 +34,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 20, batch_size: 256, lr: 1e-3, seed: 0 }
+        Self {
+            epochs: 20,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -195,8 +200,10 @@ pub fn train_cost(
             if chunk.len() < 2 {
                 continue; // batch norm needs at least two samples
             }
-            let rows: Vec<Vec<f32>> =
-                chunk.iter().map(|&i| cost_input_row(&train[i], input)).collect();
+            let rows: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|&i| cost_input_row(&train[i], input))
+                .collect();
             let row_refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
             let x = Var::constant(rows_to_tensor(&row_refs));
             let mut target = Tensor::zeros(&[chunk.len(), 3]);
@@ -251,13 +258,15 @@ mod tests {
     use dance_accel::workload::NetworkTemplate;
     use dance_cost::metrics::CostFunction;
     use dance_cost::model::CostModel;
-    use dance_hwgen::dataset::{
-        generate_cost_dataset, generate_hwgen_dataset, split, HwSampling,
-    };
+    use dance_hwgen::dataset::{generate_cost_dataset, generate_hwgen_dataset, split, HwSampling};
     use dance_hwgen::table::CostTable;
 
     fn table() -> CostTable {
-        CostTable::new(&NetworkTemplate::cifar10(), &CostModel::new(), &HardwareSpace::new())
+        CostTable::new(
+            &NetworkTemplate::cifar10(),
+            &CostModel::new(),
+            &HardwareSpace::new(),
+        )
     }
 
     #[test]
@@ -267,7 +276,12 @@ mod tests {
         let (train, val) = split(&data, 0.8);
         let mut rng = StdRng::seed_from_u64(0);
         let net = HwGenNet::new(63, 64, &mut rng);
-        let cfg = TrainConfig { epochs: 30, batch_size: 64, lr: 2e-3, seed: 0 };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            lr: 2e-3,
+            seed: 0,
+        };
         let acc = train_hwgen(&net, &train, &val, &cfg, OptimKind::Adam);
         // Chance levels: 1/17 ≈ 5.9% for PE heads, 20% RF, 33% dataflow.
         assert!(acc[0] > 20.0, "PE_X accuracy {} at chance", acc[0]);
@@ -282,8 +296,20 @@ mod tests {
         let (train, val) = split(&data, 0.8);
         let mut rng = StdRng::seed_from_u64(1);
         let mut net = CostNet::new(63 + 42, 64, &mut rng);
-        let cfg = TrainConfig { epochs: 30, batch_size: 128, lr: 2e-3, seed: 1 };
-        let acc = train_cost(&mut net, &train, &val, &cfg, CostInput::ArchPlusHw, RegressionLoss::Msre);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 1,
+        };
+        let acc = train_cost(
+            &mut net,
+            &train,
+            &val,
+            &cfg,
+            CostInput::ArchPlusHw,
+            RegressionLoss::Msre,
+        );
         for (i, a) in acc.iter().enumerate() {
             assert!(*a > 80.0, "metric {i} relative accuracy only {a}");
         }

@@ -10,7 +10,6 @@
 //! (one-hot for discrete networks), slot-major — 9 × 7 = 63 values for the
 //! paper backbones.
 
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -148,8 +147,14 @@ pub fn generate_cost_dataset(
         let cost = table.cost(&choices, cfg_idx);
         CostSample {
             arch: encode_choices(&choices),
-            hw: table.space().encode_one_hot(&table.space().config_at(cfg_idx)),
-            metrics: [cost.latency_ms as f32, cost.energy_mj as f32, cost.area_mm2 as f32],
+            hw: table
+                .space()
+                .encode_one_hot(&table.space().config_at(cfg_idx)),
+            metrics: [
+                cost.latency_ms as f32,
+                cost.energy_mj as f32,
+                cost.area_mm2 as f32,
+            ],
         }
     })
 }
@@ -230,7 +235,11 @@ mod tests {
     use dance_cost::model::CostModel;
 
     fn table() -> CostTable {
-        CostTable::new(&NetworkTemplate::cifar10(), &CostModel::new(), &HardwareSpace::new())
+        CostTable::new(
+            &NetworkTemplate::cifar10(),
+            &CostModel::new(),
+            &HardwareSpace::new(),
+        )
     }
 
     #[test]
@@ -327,8 +336,16 @@ mod tests {
     #[test]
     fn metric_means_are_averages() {
         let samples = vec![
-            CostSample { arch: vec![], hw: vec![], metrics: [1.0, 2.0, 3.0] },
-            CostSample { arch: vec![], hw: vec![], metrics: [3.0, 4.0, 5.0] },
+            CostSample {
+                arch: vec![],
+                hw: vec![],
+                metrics: [1.0, 2.0, 3.0],
+            },
+            CostSample {
+                arch: vec![],
+                hw: vec![],
+                metrics: [3.0, 4.0, 5.0],
+            },
         ];
         assert_eq!(metric_means(&samples), [2.0, 3.0, 4.0]);
     }

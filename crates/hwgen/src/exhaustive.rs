@@ -45,7 +45,13 @@ pub fn exhaustive_search(
         let cost = model.evaluate(network, &config);
         let value = cost_fn.apply(&cost);
         if best.as_ref().map_or(true, |b| value < b.value) {
-            best = Some(SearchResult { config, config_index: idx, cost, value, evaluated: 0 });
+            best = Some(SearchResult {
+                config,
+                config_index: idx,
+                cost,
+                value,
+                evaluated: 0,
+            });
         }
     }
     let mut r = best.expect("hardware space is never empty");
@@ -113,7 +119,11 @@ pub fn branch_and_bound(
             + cycles_lb * pes * LEAKAGE_PJ_PER_CYCLE_PER_PE)
             * 1e-9;
         let area = dance_cost::area::area_mm2(cfg);
-        cost_fn.apply(&HardwareCost { latency_ms: lat_lb, energy_mj: energy_lb, area_mm2: area })
+        cost_fn.apply(&HardwareCost {
+            latency_ms: lat_lb,
+            energy_mj: energy_lb,
+            area_mm2: area,
+        })
     };
 
     // Visit in bound order so the incumbent tightens quickly.
@@ -136,7 +146,13 @@ pub fn branch_and_bound(
         let value = cost_fn.apply(&cost);
         evaluated += 1;
         if best.as_ref().map_or(true, |b| value < b.value) {
-            best = Some(SearchResult { config, config_index: idx, cost, value, evaluated });
+            best = Some(SearchResult {
+                config,
+                config_index: idx,
+                cost,
+                value,
+                evaluated,
+            });
         }
     }
     let mut r = best.expect("hardware space is never empty");
@@ -151,7 +167,12 @@ mod tests {
     use dance_cost::metrics::CostWeights;
 
     fn net() -> Network {
-        NetworkTemplate::cifar10().instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 6 }; 9])
+        NetworkTemplate::cifar10().instantiate(
+            &[SlotChoice::MbConv {
+                kernel: 3,
+                expand: 6,
+            }; 9],
+        )
     }
 
     #[test]
@@ -174,7 +195,11 @@ mod tests {
         for cf in [
             CostFunction::Edap,
             CostFunction::Linear(CostWeights::table2()),
-            CostFunction::Linear(CostWeights { lambda_l: 1.0, lambda_e: 0.0, lambda_a: 0.0 }),
+            CostFunction::Linear(CostWeights {
+                lambda_l: 1.0,
+                lambda_e: 0.0,
+                lambda_a: 0.0,
+            }),
         ] {
             let ex = exhaustive_search(&net(), &space, &model, &cf);
             let bb = branch_and_bound(&net(), &space, &model, &cf);
@@ -190,7 +215,11 @@ mod tests {
         // real pruning: small arrays are provably slower than the incumbent.
         let space = HardwareSpace::new();
         let model = CostModel::new();
-        let cf = CostFunction::Linear(CostWeights { lambda_l: 1.0, lambda_e: 0.0, lambda_a: 0.0 });
+        let cf = CostFunction::Linear(CostWeights {
+            lambda_l: 1.0,
+            lambda_e: 0.0,
+            lambda_a: 0.0,
+        });
         let bb = branch_and_bound(&net(), &space, &model, &cf);
         assert!(
             bb.evaluated < space.len(),
@@ -205,9 +234,15 @@ mod tests {
         let model = CostModel::new();
         let template = NetworkTemplate::cifar10();
         let table = CostTable::new(&template, &model, &space);
-        let choices = [SlotChoice::MbConv { kernel: 7, expand: 3 }; 9];
+        let choices = [SlotChoice::MbConv {
+            kernel: 7,
+            expand: 3,
+        }; 9];
         let network = template.instantiate(&choices);
-        for cf in [CostFunction::Edap, CostFunction::Linear(CostWeights::table2())] {
+        for cf in [
+            CostFunction::Edap,
+            CostFunction::Linear(CostWeights::table2()),
+        ] {
             let direct = exhaustive_search(&network, &space, &model, &cf);
             let tabled = exhaustive_search_table(&table, &choices, &cf);
             assert_eq!(direct.config, tabled.config, "{cf}");

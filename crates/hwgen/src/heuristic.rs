@@ -109,7 +109,13 @@ pub fn hill_climb(
             }
         }
         if best.as_ref().map_or(true, |b| value < b.value) {
-            best = Some(SearchResult { config: cfg, config_index: idx, cost, value, evaluated });
+            best = Some(SearchResult {
+                config: cfg,
+                config_index: idx,
+                cost,
+                value,
+                evaluated,
+            });
         }
     }
     let mut r = best.expect("restarts is positive");
@@ -149,7 +155,12 @@ fn neighbour_heads(
 
 /// Convenience: the relative optimality gap of a heuristic result against
 /// the exact optimum, `(heuristic − optimal) / optimal` (0 = optimal).
-pub fn optimality_gap(table: &CostTable, choices: &[SlotChoice], cost_fn: &CostFunction, result: &SearchResult) -> f64 {
+pub fn optimality_gap(
+    table: &CostTable,
+    choices: &[SlotChoice],
+    cost_fn: &CostFunction,
+    result: &SearchResult,
+) -> f64 {
     let (_, opt_cost) = table.optimal(choices, cost_fn);
     let opt = cost_fn.apply(&opt_cost);
     (result.value - opt) / opt
@@ -163,11 +174,21 @@ mod tests {
     use dance_cost::model::CostModel;
 
     fn table() -> CostTable {
-        CostTable::new(&NetworkTemplate::cifar10(), &CostModel::new(), &HardwareSpace::new())
+        CostTable::new(
+            &NetworkTemplate::cifar10(),
+            &CostModel::new(),
+            &HardwareSpace::new(),
+        )
     }
 
     fn choices() -> Vec<SlotChoice> {
-        vec![SlotChoice::MbConv { kernel: 3, expand: 6 }; 9]
+        vec![
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 6
+            };
+            9
+        ]
     }
 
     #[test]
@@ -216,7 +237,10 @@ mod tests {
     fn neighbours_respect_bounds() {
         let corner = neighbour_heads((0, 16, 0, 2));
         assert!(corner.iter().all(|&(px, py, rf, df)| {
-            px < PE_CARDINALITY && py < PE_CARDINALITY && rf < RF_CARDINALITY && df < DATAFLOW_CARDINALITY
+            px < PE_CARDINALITY
+                && py < PE_CARDINALITY
+                && rf < RF_CARDINALITY
+                && df < DATAFLOW_CARDINALITY
         }));
         // Interior point has the full 8 neighbours.
         assert_eq!(neighbour_heads((5, 5, 2, 1)).len(), 8);

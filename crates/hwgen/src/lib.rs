@@ -33,9 +33,9 @@ pub mod prelude {
         generate_hwgen_dataset, metric_means, random_choices, split, CostSample, HwGenSample,
         HwSampling, CHOICES_PER_SLOT,
     };
-    pub use crate::heuristic::{hill_climb, optimality_gap, random_search};
     pub use crate::exhaustive::{
         branch_and_bound, exhaustive_search, exhaustive_search_table, SearchResult,
     };
+    pub use crate::heuristic::{hill_climb, optimality_gap, random_search};
     pub use crate::table::CostTable;
 }

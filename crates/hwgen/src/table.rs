@@ -101,7 +101,13 @@ impl CostTable {
             area.push(dance_cost::area::area_mm2(&cfg));
         }
 
-        Self { template: template.clone(), space: *space, fixed, slot_costs, area }
+        Self {
+            template: template.clone(),
+            space: *space,
+            fixed,
+            slot_costs,
+            area,
+        }
     }
 
     /// The template this table was built for.
@@ -120,7 +126,11 @@ impl CostTable {
     ///
     /// Panics if `choices` has the wrong length or `cfg_idx` is out of range.
     pub fn cost(&self, choices: &[SlotChoice], cfg_idx: usize) -> HardwareCost {
-        assert_eq!(choices.len(), self.template.num_slots(), "slot choice count");
+        assert_eq!(
+            choices.len(),
+            self.template.num_slots(),
+            "slot choice count"
+        );
         let n_choices = SlotChoice::CANDIDATES.len();
         let mut cycles = self.fixed[cfg_idx].cycles;
         let mut energy = self.fixed[cfg_idx].energy_pj;
@@ -203,7 +213,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn table() -> CostTable {
-        CostTable::new(&NetworkTemplate::cifar10(), &CostModel::new(), &HardwareSpace::new())
+        CostTable::new(
+            &NetworkTemplate::cifar10(),
+            &CostModel::new(),
+            &HardwareSpace::new(),
+        )
     }
 
     #[test]
@@ -232,7 +246,13 @@ mod tests {
     #[test]
     fn soft_cost_with_one_hot_equals_hard_cost() {
         let t = table();
-        let choices = vec![SlotChoice::MbConv { kernel: 5, expand: 3 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 5,
+                expand: 3
+            };
+            9
+        ];
         let probs: Vec<Vec<f32>> = choices
             .iter()
             .map(|c| {
@@ -250,7 +270,13 @@ mod tests {
     #[test]
     fn optimal_is_global_minimum() {
         let t = table();
-        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 6
+            };
+            9
+        ];
         let cf = CostFunction::Edap;
         let (best_idx, best_cost) = t.optimal(&choices, &cf);
         let best_val = cf.apply(&best_cost);

@@ -91,6 +91,7 @@ impl ArchParams {
 
     /// The differentiable architecture encoding `[1, slots·7]` consumed by
     /// the evaluator network (slot-major softmax probabilities).
+    #[must_use]
     pub fn encode(&self) -> Var {
         let probs = self.probs();
         let refs: Vec<&Var> = probs.iter().collect();
@@ -99,10 +100,7 @@ impl ArchParams {
 
     /// Plain (non-differentiable) probability matrix, one row per slot.
     pub fn probs_matrix(&self) -> Vec<Vec<f32>> {
-        self.probs()
-            .iter()
-            .map(|p| p.value().into_data())
-            .collect()
+        self.probs().iter().map(|p| p.value().into_data()).collect()
     }
 
     /// Derives the discrete architecture by per-slot argmax.
@@ -158,8 +156,14 @@ mod tests {
     fn from_choices_derives_back() {
         let choices = vec![
             SlotChoice::Zero,
-            SlotChoice::MbConv { kernel: 5, expand: 6 },
-            SlotChoice::MbConv { kernel: 3, expand: 3 },
+            SlotChoice::MbConv {
+                kernel: 5,
+                expand: 6,
+            },
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 3,
+            },
         ];
         let a = ArchParams::from_choices(&choices, 10.0);
         assert_eq!(a.derive(), choices);
@@ -180,7 +184,13 @@ mod tests {
     fn encode_matches_hwgen_layout() {
         // The contract: slot-major, CANDIDATES order — identical layout to
         // dance_hwgen::dataset::encode_choices for sharp parameters.
-        let choices = vec![SlotChoice::MbConv { kernel: 7, expand: 6 }; 2];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 7,
+                expand: 6
+            };
+            2
+        ];
         let a = ArchParams::from_choices(&choices, 50.0);
         let enc = a.encode().value();
         for (slot, c) in choices.iter().enumerate() {

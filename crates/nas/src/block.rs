@@ -86,10 +86,15 @@ impl MbConv1d {
     /// # Panics
     ///
     /// Panics on channel mismatches.
+    #[must_use]
     pub fn forward(&self, x: &Var) -> Var {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "MbConv1d input shape {shape:?}");
-        assert_eq!(shape[1], self.c_in, "MbConv1d expected {} channels", self.c_in);
+        assert_eq!(
+            shape[1], self.c_in,
+            "MbConv1d expected {} channels",
+            self.c_in
+        );
         let (b, l) = (shape[0], shape[2]);
         let expanded = x
             .to_channels_last()
@@ -156,6 +161,7 @@ impl SkipPath {
     }
 
     /// Applies the skip path.
+    #[must_use]
     pub fn forward(&self, x: &Var) -> Var {
         match self {
             SkipPath::Identity => x.clone(),
@@ -198,7 +204,12 @@ impl SearchBlock {
             .iter()
             .filter_map(|choice| match choice {
                 SlotChoice::MbConv { kernel, expand } => Some(MbConv1d::new(
-                    slot.c_in, slot.c_out, *kernel, *expand, slot.stride, rng,
+                    slot.c_in,
+                    slot.c_out,
+                    *kernel,
+                    *expand,
+                    slot.stride,
+                    rng,
                 )),
                 SlotChoice::Zero => None,
             })
@@ -219,6 +230,7 @@ impl SearchBlock {
     /// # Panics
     ///
     /// Panics if `weights` does not have 7 entries.
+    #[must_use]
     pub fn forward_mixture(&self, x: &Var, weights: &Var) -> Var {
         assert_eq!(
             weights.shape().iter().product::<usize>(),
@@ -234,6 +246,7 @@ impl SearchBlock {
     }
 
     /// Single-path forward for a fixed choice (derived-network training).
+    #[must_use]
     pub fn forward_fixed(&self, x: &Var, choice: SlotChoice) -> Var {
         let skip = self.skip.forward(x);
         match choice {
@@ -291,7 +304,13 @@ mod tests {
 
     #[test]
     fn identity_skip_passes_through() {
-        let slot = Slot { h: 8, w: 8, c_in: 4, c_out: 4, stride: 1 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 4,
+            c_out: 4,
+            stride: 1,
+        };
         let mut r = rng();
         let skip = SkipPath::for_slot(&slot, &mut r);
         assert!(matches!(skip, SkipPath::Identity));
@@ -301,7 +320,13 @@ mod tests {
 
     #[test]
     fn adapter_skip_changes_shape() {
-        let slot = Slot { h: 8, w: 8, c_in: 4, c_out: 8, stride: 2 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 4,
+            c_out: 8,
+            stride: 2,
+        };
         let mut r = rng();
         let skip = SkipPath::for_slot(&slot, &mut r);
         let x = Var::constant(Tensor::ones(&[2, 4, 8]));
@@ -311,14 +336,26 @@ mod tests {
 
     #[test]
     fn search_block_has_six_ops() {
-        let slot = Slot { h: 8, w: 8, c_in: 4, c_out: 4, stride: 1 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 4,
+            c_out: 4,
+            stride: 1,
+        };
         let block = SearchBlock::new(slot, &mut rng());
         assert_eq!(block.ops.len(), 6);
     }
 
     #[test]
     fn mixture_with_zero_weight_equals_skip() {
-        let slot = Slot { h: 8, w: 8, c_in: 4, c_out: 4, stride: 1 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 4,
+            c_out: 4,
+            stride: 1,
+        };
         let mut r = rng();
         let block = SearchBlock::new(slot, &mut r);
         let x = Var::constant(Tensor::rand_normal(&[1, 4, 8], 0.0, 1.0, &mut r));
@@ -330,7 +367,13 @@ mod tests {
 
     #[test]
     fn mixture_one_hot_matches_fixed_path() {
-        let slot = Slot { h: 8, w: 8, c_in: 4, c_out: 4, stride: 1 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 4,
+            c_out: 4,
+            stride: 1,
+        };
         let mut r = rng();
         let block = SearchBlock::new(slot, &mut r);
         let x = Var::constant(Tensor::rand_normal(&[2, 4, 8], 0.0, 1.0, &mut r));
@@ -347,7 +390,13 @@ mod tests {
 
     #[test]
     fn mixture_gradient_reaches_weights() {
-        let slot = Slot { h: 8, w: 8, c_in: 4, c_out: 4, stride: 1 };
+        let slot = Slot {
+            h: 8,
+            w: 8,
+            c_in: 4,
+            c_out: 4,
+            stride: 1,
+        };
         let mut r = rng();
         let block = SearchBlock::new(slot, &mut r);
         let x = Var::constant(Tensor::rand_normal(&[1, 4, 8], 0.0, 1.0, &mut r));

@@ -40,6 +40,7 @@ pub fn max_flops(template: &NetworkTemplate) -> f64 {
 /// # Panics
 ///
 /// Panics if the template and architecture disagree on slot count.
+#[must_use]
 pub fn expected_flops_penalty(arch: &ArchParams, template: &NetworkTemplate) -> Var {
     let table = slot_flops(template);
     assert_eq!(table.len(), arch.num_slots(), "slot count mismatch");
@@ -69,10 +70,7 @@ pub fn expected_flops(arch: &ArchParams, template: &NetworkTemplate) -> f64 {
         let zero_choices = vec![SlotChoice::Zero; template.num_slots()];
         let zero_net = template.instantiate(&zero_choices);
         let zero_total = 2.0 * zero_net.total_macs() as f64;
-        let zero_slots: f64 = table
-            .iter()
-            .map(|row| row[SlotChoice::Zero.index()])
-            .sum();
+        let zero_slots: f64 = table.iter().map(|row| row[SlotChoice::Zero.index()]).sum();
         zero_total - zero_slots
     };
     fixed
@@ -108,8 +106,13 @@ mod tests {
     fn penalty_increases_with_heavier_architecture() {
         let t = NetworkTemplate::cifar10();
         let light = ArchParams::from_choices(&[SlotChoice::Zero; 9], 30.0);
-        let heavy =
-            ArchParams::from_choices(&[SlotChoice::MbConv { kernel: 7, expand: 6 }; 9], 30.0);
+        let heavy = ArchParams::from_choices(
+            &[SlotChoice::MbConv {
+                kernel: 7,
+                expand: 6,
+            }; 9],
+            30.0,
+        );
         let pl = expected_flops_penalty(&light, &t).item();
         let ph = expected_flops_penalty(&heavy, &t).item();
         assert!(ph > pl * 2.0, "light {pl} heavy {ph}");
@@ -129,7 +132,13 @@ mod tests {
     #[test]
     fn expected_flops_matches_discrete_network_for_sharp_arch() {
         let t = NetworkTemplate::cifar10();
-        let choices = vec![SlotChoice::MbConv { kernel: 5, expand: 6 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 5,
+                expand: 6
+            };
+            9
+        ];
         let arch = ArchParams::from_choices(&choices, 60.0);
         let soft = expected_flops(&arch, &t);
         let hard = 2.0 * t.instantiate(&choices).total_macs() as f64;

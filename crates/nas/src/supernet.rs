@@ -69,7 +69,13 @@ impl SupernetConfig {
         for &width in &self.stage_widths {
             for i in 0..3 {
                 let stride = if i == 0 { 2 } else { 1 };
-                slots.push(Slot { h: l, w: l, c_in, c_out: width, stride });
+                slots.push(Slot {
+                    h: l,
+                    w: l,
+                    c_in,
+                    c_out: width,
+                    stride,
+                });
                 if stride == 2 {
                     l = l.div_ceil(2);
                 }
@@ -127,7 +133,16 @@ impl Supernet {
         ));
         let head_b = Var::parameter(Tensor::zeros(&[config.head_width]));
         let classifier = Linear::new(config.head_width, config.num_classes, rng);
-        Self { config, stem_pw, stem_b, stem_dw, blocks, head_pw, head_b, classifier }
+        Self {
+            config,
+            stem_pw,
+            stem_b,
+            stem_dw,
+            blocks,
+            head_pw,
+            head_b,
+            classifier,
+        }
     }
 
     /// The configuration.
@@ -146,6 +161,7 @@ impl Supernet {
     /// # Panics
     ///
     /// Panics if `x.len() != batch · channels · length` for this config.
+    #[must_use]
     pub fn input_from(&self, x: &[f32], batch: usize) -> Var {
         let (c, l) = (self.config.input_channels, self.config.length);
         assert_eq!(x.len(), batch * c * l, "batch data length mismatch");
@@ -157,6 +173,7 @@ impl Supernet {
     /// # Panics
     ///
     /// Panics if the mode's slot count differs from the supernet's.
+    #[must_use]
     pub fn forward(&self, x: &Var, mode: ForwardMode<'_>) -> Var {
         match mode {
             ForwardMode::Mixture(arch) => {
@@ -199,6 +216,7 @@ impl Supernet {
     /// # Panics
     ///
     /// Panics if `weights.len()` differs from the slot count.
+    #[must_use]
     pub fn forward_with_weights(&self, x: &Var, weights: &[Var]) -> Var {
         assert_eq!(weights.len(), self.blocks.len(), "weight slot count");
         let shape = x.shape();
@@ -228,7 +246,11 @@ impl Supernet {
     /// All trainable *weight* parameters (architecture parameters live in
     /// [`ArchParams`] and are optimized separately).
     pub fn parameters(&self) -> Vec<Var> {
-        let mut p = vec![self.stem_pw.clone(), self.stem_b.clone(), self.stem_dw.clone()];
+        let mut p = vec![
+            self.stem_pw.clone(),
+            self.stem_b.clone(),
+            self.stem_dw.clone(),
+        ];
         for b in &self.blocks {
             p.extend(b.parameters());
         }
@@ -271,9 +293,21 @@ mod tests {
         let net = Supernet::new(tiny_config(), &mut rng);
         let arch = ArchParams::new(9, &mut rng);
         let x = net.input_from(&vec![0.5; 4 * 2 * 8], 4);
-        assert_eq!(net.forward(&x, ForwardMode::Mixture(&arch)).shape(), vec![4, 3]);
-        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 3 }; 9];
-        assert_eq!(net.forward(&x, ForwardMode::Fixed(&choices)).shape(), vec![4, 3]);
+        assert_eq!(
+            net.forward(&x, ForwardMode::Mixture(&arch)).shape(),
+            vec![4, 3]
+        );
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 3
+            };
+            9
+        ];
+        assert_eq!(
+            net.forward(&x, ForwardMode::Fixed(&choices)).shape(),
+            vec![4, 3]
+        );
     }
 
     #[test]
@@ -287,7 +321,13 @@ mod tests {
         );
         let loss = net.forward(&x, ForwardMode::Mixture(&arch)).sqr().mean();
         loss.backward();
-        assert!(net.parameters().iter().filter(|p| p.grad().is_some()).count() > 10);
+        assert!(
+            net.parameters()
+                .iter()
+                .filter(|p| p.grad().is_some())
+                .count()
+                > 10
+        );
         for a in arch.parameters() {
             assert!(a.grad().is_some(), "alpha missing gradient");
         }
@@ -307,7 +347,13 @@ mod tests {
     fn sharp_arch_matches_fixed_forward() {
         let mut rng = StdRng::seed_from_u64(3);
         let net = Supernet::new(tiny_config(), &mut rng);
-        let choices = vec![SlotChoice::MbConv { kernel: 5, expand: 3 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 5,
+                expand: 3
+            };
+            9
+        ];
         let arch = ArchParams::from_choices(&choices, 60.0);
         let x = net.input_from(
             &Tensor::rand_normal(&[2 * 2 * 8], 0.0, 1.0, &mut rng).into_data(),
@@ -349,7 +395,13 @@ mod tests {
     fn forward_with_one_hot_weights_matches_fixed() {
         let mut rng = StdRng::seed_from_u64(6);
         let net = Supernet::new(tiny_config(), &mut rng);
-        let choices = vec![SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+        let choices = vec![
+            SlotChoice::MbConv {
+                kernel: 3,
+                expand: 6
+            };
+            9
+        ];
         let weights: Vec<Var> = choices
             .iter()
             .map(|c| Var::constant(Tensor::one_hot(c.index(), 7)))

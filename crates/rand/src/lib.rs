@@ -1,0 +1,254 @@
+//! Offline drop-in replacement for the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! shadows the real `rand` dependency. It implements exactly what the DANCE
+//! crates consume: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] extension methods [`Rng::gen_range`] / [`Rng::gen_bool`]
+//! over integer and floating-point ranges.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64 — a different stream than upstream `StdRng` (ChaCha12), but
+//! deterministic per seed, statistically solid for simulation workloads, and
+//! far faster than a cryptographic generator needs to be.
+
+/// A source of raw 64-bit randomness (mirror of `rand_core::RngCore`,
+/// reduced to what the workspace calls).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (mirror of `rand::SeedableRng`, reduced to
+/// `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// Multiply-shift bounded sampling: uniform in `[0, span)` without modulo
+/// bias worth caring about at these span sizes.
+#[inline]
+fn bounded(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0, "empty sample range");
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let (lo_w, hi_w) = (lo as i128, hi as i128);
+                let span = (hi_w - lo_w + i128::from(inclusive)) as u64;
+                assert!(span > 0, "gen_range called with an empty range");
+                (lo_w + bounded(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                // 53 random bits -> [0, 1), then affine map onto the range.
+                let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo as f64 + (hi as f64 - lo as f64) * frac;
+                // Affine rounding can land exactly on `hi` in f32; keep the
+                // half-open contract the callers rely on.
+                if v as $t >= hi { lo } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`] (mirror of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`] (mirror of
+/// `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`lo..hi` half-open, `lo..=hi` inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (mirror of `rand::rngs`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0usize..1_000_000),
+                b.gen_range(0usize..1_000_000)
+            );
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..100)
+            .filter(|_| a.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX))
+            .count();
+        assert_eq!(same, 0, "different seeds produced identical streams");
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some values never sampled: {seen:?}"
+        );
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3i64..=5);
+            assert!((3..=5).contains(&v));
+        }
+        assert_eq!(rng.gen_range(4usize..5), 4);
+        assert_eq!(rng.gen_range(9usize..=9), 9);
+    }
+
+    #[test]
+    fn float_ranges_are_half_open_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0f64;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let v = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v} out of range");
+            sum += f64::from(v);
+        }
+        assert!((sum / N as f64).abs() < 0.02, "mean {}", sum / N as f64);
+        let tiny = rng.gen_range(f32::EPSILON..1.0);
+        assert!(tiny >= f32::EPSILON && tiny < 1.0);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -31,8 +31,12 @@ fn main() {
     );
 
     // Register-file sweep on a full CIFAR-scale network.
-    let network = NetworkTemplate::cifar10()
-        .instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 6 }; 9]);
+    let network = NetworkTemplate::cifar10().instantiate(
+        &[SlotChoice::MbConv {
+            kernel: 3,
+            expand: 6,
+        }; 9],
+    );
     println!("## Register-file sweep (16×16 PEs, row stationary)\n");
     println!(
         "{:<10} {:>12} {:>12} {:>10} {:>10}",
@@ -43,7 +47,11 @@ fn main() {
         let c = model.evaluate(&network, &cfg);
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>10.2} {:>10.1}",
-            rf, c.latency_ms, c.energy_mj, c.area_mm2, c.edap()
+            rf,
+            c.latency_ms,
+            c.energy_mj,
+            c.area_mm2,
+            c.edap()
         );
     }
     println!(
@@ -53,7 +61,10 @@ fn main() {
 
     // PE-array sweep.
     println!("## PE-array sweep (RF 16, row stationary)\n");
-    println!("{:<10} {:>12} {:>12} {:>10} {:>10}", "array", "latency(ms)", "energy(mJ)", "area(mm²)", "EDAP");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "array", "latency(ms)", "energy(mJ)", "area(mm²)", "EDAP"
+    );
     for side in [8usize, 12, 16, 20, 24] {
         let cfg = AcceleratorConfig::new(side, side, 16, Dataflow::RowStationary).expect("valid");
         let c = model.evaluate(&network, &cfg);
@@ -69,11 +80,24 @@ fn main() {
 
     // Exact optima per cost function.
     let space = HardwareSpace::new();
-    println!("\n## Exact optima (exhaustive search over {} configs)\n", space.len());
+    println!(
+        "\n## Exact optima (exhaustive search over {} configs)\n",
+        space.len()
+    );
     for (label, cf) in [
         ("EDAP", CostFunction::Edap),
-        ("latency-only", CostFunction::Linear(CostWeights { lambda_l: 1.0, lambda_e: 0.0, lambda_a: 0.0 })),
-        ("Table-2 linear", CostFunction::Linear(CostWeights::table2())),
+        (
+            "latency-only",
+            CostFunction::Linear(CostWeights {
+                lambda_l: 1.0,
+                lambda_e: 0.0,
+                lambda_a: 0.0,
+            }),
+        ),
+        (
+            "Table-2 linear",
+            CostFunction::Linear(CostWeights::table2()),
+        ),
     ] {
         let r = exhaustive_search(&network, &space, &CostModel::new(), &cf);
         println!("{label:<16} -> {} (value {:.2})", r.config, r.value);

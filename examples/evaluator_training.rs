@@ -25,7 +25,12 @@ fn main() {
     // --- Hardware generation network -------------------------------------
     println!("training the hardware generation network...");
     let hwgen = HwGenNet::new(63, 128, &mut rng);
-    let hcfg = TrainConfig { epochs: 25, batch_size: 256, lr: 2e-3, seed: 3 };
+    let hcfg = TrainConfig {
+        epochs: 25,
+        batch_size: 256,
+        lr: 2e-3,
+        seed: 3,
+    };
     let head_acc = train_hwgen(&hwgen, &htrain, &hval, &hcfg, OptimKind::Adam);
     println!(
         "  head accuracies: PEX {:.1}%  PEY {:.1}%  RF {:.1}%  dataflow {:.1}%",
@@ -35,7 +40,12 @@ fn main() {
     // --- Cost estimation network (with feature forwarding) ---------------
     println!("training the cost estimation network (w/ feature forwarding)...");
     let mut cost_net = CostNet::new(63 + ENCODED_WIDTH, 128, &mut rng);
-    let ccfg = TrainConfig { epochs: 20, batch_size: 256, lr: 1e-3, seed: 4 };
+    let ccfg = TrainConfig {
+        epochs: 20,
+        batch_size: 256,
+        lr: 1e-3,
+        seed: 4,
+    };
     let cost_acc = train_cost(
         &mut cost_net,
         &ctrain,
@@ -50,16 +60,15 @@ fn main() {
     );
 
     // --- Compose and inspect the evaluator -------------------------------
-    let evaluator = Evaluator::with_feature_forwarding(
-        hwgen,
-        cost_net,
-        63,
-        HeadSampling::Gumbel { tau: 1.0 },
-    );
+    let evaluator =
+        Evaluator::with_feature_forwarding(hwgen, cost_net, 63, HeadSampling::Gumbel { tau: 1.0 });
     evaluator.freeze();
 
     // Predict for a concrete architecture and compare with the toolchain.
-    let choices = [SlotChoice::MbConv { kernel: 3, expand: 6 }; 9];
+    let choices = [SlotChoice::MbConv {
+        kernel: 3,
+        expand: 6,
+    }; 9];
     let arch = Var::constant(Tensor::from_vec(encode_choices(&choices), &[1, 63]));
     let predicted = evaluator.predict_metrics(&arch, &mut rng).value();
     let (opt_idx, exact) = (
@@ -90,7 +99,9 @@ fn main() {
     let metrics = evaluator.predict_metrics(&alpha, &mut rng);
     let cost = cost_hw_var(&metrics, &cost_fn, 100.0);
     cost.backward();
-    let g = alpha.grad().expect("gradient reaches architecture parameters");
+    let g = alpha
+        .grad()
+        .expect("gradient reaches architecture parameters");
     println!(
         "\ngradient of CostHW w.r.t. the 63 architecture inputs: |g| = {:.4} (nonzero ✓)",
         g.sq_norm().sqrt()

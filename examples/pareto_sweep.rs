@@ -21,14 +21,21 @@ fn main() {
         seed: 0,
     };
     let (evaluator, _) = pipeline.train_evaluator(&sizes, true);
-    let retrain = RetrainConfig { epochs: 10, ..RetrainConfig::default() };
+    let retrain = RetrainConfig {
+        epochs: 10,
+        ..RetrainConfig::default()
+    };
 
     let mut rows: Vec<(String, f32, f64)> = Vec::new();
 
     println!("running no-penalty baseline...");
     let base = pipeline.run_baseline(
         BaselinePenalty::None,
-        &SearchConfig { epochs: 8, seed: 1, ..SearchConfig::default() },
+        &SearchConfig {
+            epochs: 8,
+            seed: 1,
+            ..SearchConfig::default()
+        },
         &retrain,
         "baseline",
     );

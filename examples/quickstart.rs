@@ -11,7 +11,10 @@ fn main() {
     // 1. Describe a network in the paper's architecture space: the CIFAR-10
     //    backbone with MBConv5x5 (expand 6) in every searchable slot.
     let template = NetworkTemplate::cifar10();
-    let choices = [SlotChoice::MbConv { kernel: 5, expand: 6 }; 9];
+    let choices = [SlotChoice::MbConv {
+        kernel: 5,
+        expand: 6,
+    }; 9];
     let network = template.instantiate(&choices);
     println!(
         "network: {} conv layers, {:.1} M MACs",
@@ -66,7 +69,10 @@ fn main() {
         lambda2: LambdaWarmup::ramp(0.15, 3),
         ..SearchConfig::default()
     };
-    let retrain = RetrainConfig { epochs: 8, ..RetrainConfig::default() };
+    let retrain = RetrainConfig {
+        epochs: 8,
+        ..RetrainConfig::default()
+    };
     let design = pipeline.run_dance(&evaluator, &search, &retrain, "DANCE quickstart");
     println!(
         "co-explored design: acc {:.1} %, {}, EDAP {:.1}",

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Regenerates every table and figure of the DANCE reproduction.
+# Run scripts/check.sh first (fmt + static analysis + tests) to catch
+# breakage before spending hours on the experiment binaries.
 set -x
+scripts/check.sh
 cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
 cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
 cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log

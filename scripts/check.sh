@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The repo's CI gate: formatting, both static-analysis passes, and the test
+# suite. Everything must pass; any failure exits non-zero immediately.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== dance-analyze --all =="
+cargo run --release -q -p dance-analyze -- --all
+
+echo "== cargo test =="
+cargo test -q --workspace --release
+
+echo "All checks passed."

@@ -1,1 +1,4 @@
+//! Workspace facade: re-exports the `dance` core crate so integration tests
+//! and downstream users can `use dance::…` from the workspace root.
+
 pub use dance::*;

@@ -45,7 +45,14 @@ fn display_impls_are_informative() {
         AcceleratorConfig::default().to_string(),
         "14x12 PEs, RF 16 words, RS"
     );
-    assert_eq!(SlotChoice::MbConv { kernel: 5, expand: 6 }.to_string(), "MB5x5_e6");
+    assert_eq!(
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6
+        }
+        .to_string(),
+        "MB5x5_e6"
+    );
     assert_eq!(SlotChoice::Zero.to_string(), "Zero");
     assert_eq!(Dataflow::WeightStationary.to_string(), "WS");
     let layer = ConvLayer::new(64, 32, 16, 16, 3, 3, 2);

@@ -14,11 +14,11 @@ fn arb_config() -> impl Strategy<Value = AcceleratorConfig> {
 
 fn arb_layer() -> impl Strategy<Value = ConvLayer> {
     (
-        1usize..=256,  // k
-        1usize..=128,  // c
-        1usize..=32,   // h = w
+        1usize..=256, // k
+        1usize..=128, // c
+        1usize..=32,  // h = w
         prop::sample::select(vec![1usize, 3, 5, 7]),
-        1usize..=2,    // stride
+        1usize..=2, // stride
     )
         .prop_map(|(k, c, hw, rs, stride)| ConvLayer::new(k, c, hw, hw, rs, rs, stride))
 }

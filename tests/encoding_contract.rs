@@ -11,14 +11,32 @@ fn arch_params_encoding_matches_hwgen_encoding() {
     // A sharp ArchParams must encode to (approximately) the same vector the
     // dataset generator produces for the discrete architecture.
     let choices = vec![
-        SlotChoice::MbConv { kernel: 3, expand: 3 },
-        SlotChoice::MbConv { kernel: 7, expand: 6 },
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 3,
+        },
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 6,
+        },
         SlotChoice::Zero,
-        SlotChoice::MbConv { kernel: 5, expand: 3 },
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 3,
+        },
         SlotChoice::Zero,
-        SlotChoice::MbConv { kernel: 5, expand: 6 },
-        SlotChoice::MbConv { kernel: 3, expand: 6 },
-        SlotChoice::MbConv { kernel: 7, expand: 3 },
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6,
+        },
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 6,
+        },
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 3,
+        },
         SlotChoice::Zero,
     ];
     let arch = ArchParams::from_choices(&choices, 60.0);
@@ -44,7 +62,12 @@ fn hardware_one_hot_width_matches_evaluator_expectations() {
     // HwGenNet head order must match the space's head order.
     assert_eq!(
         HEAD_WIDTHS,
-        [PE_CARDINALITY, PE_CARDINALITY, RF_CARDINALITY, DATAFLOW_CARDINALITY]
+        [
+            PE_CARDINALITY,
+            PE_CARDINALITY,
+            RF_CARDINALITY,
+            DATAFLOW_CARDINALITY
+        ]
     );
 }
 

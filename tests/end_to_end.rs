@@ -21,8 +21,16 @@ fn evaluator_pipeline_beats_chance_end_to_end() {
     let (_evaluator, report) = pipeline.train_evaluator(&quick_sizes(), true);
     // Chance for the PE heads is ~5.9%, RF 20%, dataflow 33%; even a small
     // evaluator must be far above that, and relative cost accuracy > 60%.
-    assert!(report.hwgen_head_acc[0] > 30.0, "PE_X {:?}", report.hwgen_head_acc);
-    assert!(report.hwgen_head_acc[3] > 60.0, "dataflow {:?}", report.hwgen_head_acc);
+    assert!(
+        report.hwgen_head_acc[0] > 30.0,
+        "PE_X {:?}",
+        report.hwgen_head_acc
+    );
+    assert!(
+        report.hwgen_head_acc[3] > 60.0,
+        "dataflow {:?}",
+        report.hwgen_head_acc
+    );
     for (i, a) in report.cost_acc.iter().enumerate() {
         assert!(*a > 60.0, "cost metric {i} accuracy {a}");
     }
@@ -34,7 +42,11 @@ fn dance_search_responds_to_lambda2() {
     // the core co-exploration behaviour.
     let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
     let (evaluator, _) = pipeline.train_evaluator(&quick_sizes(), true);
-    let retrain = RetrainConfig { epochs: 4, batch_size: 64, lr: 0.02 };
+    let retrain = RetrainConfig {
+        epochs: 4,
+        batch_size: 64,
+        lr: 0.02,
+    };
 
     let mk = |l2: f32, seed: u64| SearchConfig {
         epochs: 6,
@@ -57,15 +69,33 @@ fn dance_search_responds_to_lambda2() {
 fn exact_hwgen_agrees_between_algorithms_on_searched_architecture() {
     let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
     let choices = vec![
-        SlotChoice::MbConv { kernel: 3, expand: 6 },
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 6,
+        },
         SlotChoice::Zero,
-        SlotChoice::MbConv { kernel: 5, expand: 3 },
-        SlotChoice::MbConv { kernel: 7, expand: 6 },
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 3,
+        },
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 6,
+        },
         SlotChoice::Zero,
-        SlotChoice::MbConv { kernel: 3, expand: 3 },
-        SlotChoice::MbConv { kernel: 5, expand: 6 },
+        SlotChoice::MbConv {
+            kernel: 3,
+            expand: 3,
+        },
+        SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6,
+        },
         SlotChoice::Zero,
-        SlotChoice::MbConv { kernel: 7, expand: 3 },
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 3,
+        },
     ];
     let network = pipeline.benchmark.template.instantiate(&choices);
     let space = HardwareSpace::new();
@@ -83,7 +113,14 @@ fn exact_hwgen_agrees_between_algorithms_on_searched_architecture() {
 fn rl_baseline_improves_its_reward() {
     let pipeline = Pipeline::new(Benchmark::cifar(5), CostFunction::Edap);
     let reference = pipeline.reference_cost();
-    let cfg = RlConfig { candidates: 6, quick_epochs: 1, batch_size: 64, lr: 0.3, lambda_cost: 0.3, seed: 3 };
+    let cfg = RlConfig {
+        candidates: 6,
+        quick_epochs: 1,
+        batch_size: 64,
+        lr: 0.3,
+        lambda_cost: 0.3,
+        seed: 3,
+    };
     let out = rl_co_exploration(
         pipeline.benchmark.supernet,
         &pipeline.benchmark.data,
@@ -101,18 +138,22 @@ fn rl_baseline_improves_its_reward() {
 fn derived_network_accuracy_tracks_capacity() {
     // A heavier derived architecture should not do worse than the all-Zero
     // one after equal training — the capacity sensitivity the datasets are
-    // built to provide.
+    // built to provide. 10 epochs: the 9×MbConv(k5,e6) net needs more steps
+    // than the all-Zero one before its extra capacity shows.
     let data = synth_cifar(9);
     let cfg = SupernetConfig::cifar();
-    let zero = train_derived(cfg, &[SlotChoice::Zero; 9], &data, 6, 64, 0.02, 1);
+    let zero = train_derived(cfg, &[SlotChoice::Zero; 9], &data, 10, 64, 0.02, 2);
     let heavy = train_derived(
         cfg,
-        &[SlotChoice::MbConv { kernel: 5, expand: 6 }; 9],
+        &[SlotChoice::MbConv {
+            kernel: 5,
+            expand: 6,
+        }; 9],
         &data,
-        6,
+        10,
         64,
         0.02,
-        1,
+        2,
     );
     assert!(
         heavy >= zero - 0.02,

@@ -45,13 +45,21 @@ fn no_warmup_with_huge_lambda_collapses_toward_zero_ops() {
     let cfg = SearchConfig {
         epochs: 12,
         batch_size: 32,
-        lr_arch: 0.1,
-        lambda2: LambdaWarmup::constant(80.0),
+        lr_arch: 0.05,
+        lambda2: LambdaWarmup::constant(8.0),
         ..SearchConfig::default()
     };
     let out = dance_search(&net, &arch, &data, &Penalty::Flops(&template), &cfg);
-    let zeros = out.choices.iter().filter(|c| **c == SlotChoice::Zero).count();
-    assert!(zeros >= 6, "expected collapse toward Zero ops, got {:?}", out.choices);
+    let zeros = out
+        .choices
+        .iter()
+        .filter(|c| **c == SlotChoice::Zero)
+        .count();
+    assert!(
+        zeros >= 6,
+        "expected collapse toward Zero ops, got {:?}",
+        out.choices
+    );
 }
 
 #[test]
@@ -65,12 +73,16 @@ fn warmup_prevents_the_collapse() {
     let cfg = SearchConfig {
         epochs: 12,
         batch_size: 32,
-        lr_arch: 0.1,
-        lambda2: LambdaWarmup::ramp(80.0, 10),
+        lr_arch: 0.05,
+        lambda2: LambdaWarmup::ramp(8.0, 10),
         ..SearchConfig::default()
     };
     let out = dance_search(&net, &arch, &data, &Penalty::Flops(&template), &cfg);
-    let zeros = out.choices.iter().filter(|c| **c == SlotChoice::Zero).count();
+    let zeros = out
+        .choices
+        .iter()
+        .filter(|c| **c == SlotChoice::Zero)
+        .count();
     assert!(
         zeros < 9,
         "warm-up failed to preserve any non-Zero op: {:?}",
@@ -128,12 +140,8 @@ fn evaluator_survives_save_load_inside_a_search() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let hwgen = HwGenNet::new(63, sizes.hwgen_width, &mut rng);
     let cost = CostNet::new(63 + ENCODED_WIDTH, sizes.cost_width, &mut rng);
-    let mut restored = Evaluator::with_feature_forwarding(
-        hwgen,
-        cost,
-        63,
-        HeadSampling::Gumbel { tau: 1.0 },
-    );
+    let mut restored =
+        Evaluator::with_feature_forwarding(hwgen, cost, 63, HeadSampling::Gumbel { tau: 1.0 });
     restored.load(&path).expect("load evaluator");
     let _ = std::fs::remove_file(&path);
 
@@ -144,10 +152,17 @@ fn evaluator_survives_save_load_inside_a_search() {
         seed: 5,
         ..SearchConfig::default()
     };
-    let retrain = RetrainConfig { epochs: 2, batch_size: 64, lr: 0.02 };
+    let retrain = RetrainConfig {
+        epochs: 2,
+        batch_size: 64,
+        lr: 0.02,
+    };
     let a = pipeline.run_dance(&evaluator, &search, &retrain, "original");
     let b = pipeline.run_dance(&restored, &search, &retrain, "restored");
-    assert_eq!(a.choices, b.choices, "restored evaluator changed the search result");
+    assert_eq!(
+        a.choices, b.choices,
+        "restored evaluator changed the search result"
+    );
     assert_eq!(a.config, b.config);
 }
 
@@ -158,7 +173,13 @@ fn soft_cost_interpolates_between_hard_costs() {
     let template = NetworkTemplate::cifar10();
     let table = CostTable::new(&template, &CostModel::new(), &HardwareSpace::new());
     let light = vec![SlotChoice::Zero; 9];
-    let heavy = vec![SlotChoice::MbConv { kernel: 7, expand: 6 }; 9];
+    let heavy = vec![
+        SlotChoice::MbConv {
+            kernel: 7,
+            expand: 6
+        };
+        9
+    ];
     let cfg_idx = 1234;
     let c_light = table.cost(&light, cfg_idx).latency_ms;
     let c_heavy = table.cost(&heavy, cfg_idx).latency_ms;
