@@ -4,7 +4,7 @@
 //! exit with one diagnostic per rule.
 //!
 //! Expected findings in this file: `no-unwrap`, `expect-message`,
-//! `float-eq`, `must-use`.
+//! `float-eq`, `must-use`, `span-guard`.
 
 /// Violates `no-unwrap`: library code must propagate or justify the error.
 pub fn seeded_unwrap(values: &[f32]) -> f32 {
@@ -26,5 +26,18 @@ pub fn seeded_missing_must_use() -> Var {
     Var
 }
 
+/// Violates `span-guard`: binding a span guard to `_` drops it instantly.
+pub fn seeded_dropped_span_guard() {
+    let _ = span!("seeded.phase");
+}
+
 /// Stand-in so the fixture is a self-contained parse target.
 pub struct Var;
+
+/// Stand-in span macro so the fixture parses without `dance-telemetry`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $name
+    };
+}

@@ -15,6 +15,7 @@
 //! | `float-eq`    | all library code             | `==`/`!=` against a float literal             |
 //! | `panic-doc`   | `crates/cost`, `crates/autograd` | `panic!` needs `# Panics` on the enclosing fn |
 //! | `must-use`    | all library code             | `pub fn … -> Var` must be `#[must_use]`       |
+//! | `span-guard`  | all library code             | `let _ = span!(…)` drops the guard instantly  |
 //!
 //! Diagnostics print as `file:line rule message` — one per line, greppable,
 //! and the CLI exits non-zero when any are present.
@@ -405,6 +406,24 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
             );
         }
 
+        // --- span-guard ---------------------------------------------------
+        // `let _ = span!(…)` (or `hot_span!`) drops the RAII guard on the
+        // same statement, so the span records ~0 ns and silently lies.
+        if let Some(pos) = code.find("let _") {
+            let rest = code[pos + "let _".len()..].trim_start();
+            if let Some(rhs) = rest.strip_prefix('=') {
+                if rhs.contains("span!(") && !is_allowed(&lines, idx, "span-guard") {
+                    emit(
+                        idx,
+                        "span-guard",
+                        "`let _ = span!(…)` drops the span guard immediately and times \
+                         nothing; bind it to a named variable (`let _span = span!(…)`)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
         // --- must-use -----------------------------------------------------
         if let Some(col) = code.find("pub fn ") {
             // Join the (possibly multi-line) signature up to its body/semi.
@@ -589,6 +608,24 @@ mod tests {
     fn multi_line_signature_returning_var_is_caught() {
         let src = "pub fn weighted(\n    ops: &[&Var],\n    weights: &Var,\n) -> Var {\n    weights.clone()\n}\n";
         assert_eq!(rules_hit("a.rs", src), vec!["must-use"]);
+    }
+
+    #[test]
+    fn span_bound_to_underscore_is_flagged() {
+        let bad = "fn f() { let _ = dance_telemetry::span!(\"phase\"); }\n";
+        let bad_hot = "fn f() { let _ = dance_telemetry::hot_span!(\"step\"); }\n";
+        let good = "fn f() { let _span = dance_telemetry::span!(\"phase\"); }\n";
+        let unrelated = "fn f() { let _ = std::fs::remove_file(\"x\"); }\n";
+        assert_eq!(rules_hit("a.rs", bad), vec!["span-guard"]);
+        assert_eq!(rules_hit("a.rs", bad_hot), vec!["span-guard"]);
+        assert!(rules_hit("a.rs", good).is_empty());
+        assert!(rules_hit("a.rs", unrelated).is_empty());
+    }
+
+    #[test]
+    fn span_guard_allow_comment_suppresses() {
+        let src = "fn f() {\n    // lint: allow(span-guard) intentionally instantaneous\n    let _ = dance_telemetry::span!(\"noop\");\n}\n";
+        assert!(rules_hit("a.rs", src).is_empty());
     }
 
     #[test]

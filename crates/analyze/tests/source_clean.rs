@@ -25,7 +25,7 @@ fn workspace_sources_are_lint_clean() {
     );
 }
 
-/// The fixture tree seeds exactly one violation per rule; all five rules
+/// The fixture tree seeds exactly one violation per rule; all six rules
 /// must fire, each with a populated `file:line rule message` diagnostic.
 #[test]
 fn fixture_trips_every_rule() {
@@ -38,6 +38,7 @@ fn fixture_trips_every_rule() {
         "float-eq",
         "panic-doc",
         "must-use",
+        "span-guard",
     ]
     .into_iter()
     .collect();

@@ -179,7 +179,7 @@ impl Var {
     pub fn matmul(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
-        let value = a_val.matmul(&b_val);
+        let value = dance_telemetry::time("autograd.fwd.matmul", || a_val.matmul(&b_val));
         Var::from_op(
             "matmul",
             value,
@@ -479,26 +479,29 @@ impl Var {
         assert_eq!(c, c2, "pw_conv1d channels {c} vs weight {c2}");
         assert_eq!(b_val.numel(), k, "pw_conv1d bias length");
 
-        let mut out = Tensor::zeros(&[bsz, k, l]);
-        for b in 0..bsz {
-            for ko in 0..k {
-                let w_row = &w_val.data()[ko * c..(ko + 1) * c];
-                let o_base = (b * k + ko) * l;
-                for (ci, &w) in w_row.iter().enumerate() {
-                    // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
-                    if w == 0.0 {
-                        continue;
+        let out = dance_telemetry::time("autograd.fwd.pw_conv1d", || {
+            let mut out = Tensor::zeros(&[bsz, k, l]);
+            for b in 0..bsz {
+                for ko in 0..k {
+                    let w_row = &w_val.data()[ko * c..(ko + 1) * c];
+                    let o_base = (b * k + ko) * l;
+                    for (ci, &w) in w_row.iter().enumerate() {
+                        // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let x_base = (b * c + ci) * l;
+                        for li in 0..l {
+                            out.data_mut()[o_base + li] += w * x_val.data()[x_base + li];
+                        }
                     }
-                    let x_base = (b * c + ci) * l;
                     for li in 0..l {
-                        out.data_mut()[o_base + li] += w * x_val.data()[x_base + li];
+                        out.data_mut()[o_base + li] += b_val.data()[ko];
                     }
-                }
-                for li in 0..l {
-                    out.data_mut()[o_base + li] += b_val.data()[ko];
                 }
             }
-        }
+            out
+        });
         Var::from_op(
             "pw_conv1d",
             out,
@@ -554,23 +557,26 @@ impl Var {
         assert!(kw % 2 == 1, "dw_conv1d kernel width {kw} must be odd");
         let pad = kw / 2;
 
-        let mut out = Tensor::zeros(&[bsz, c, l]);
-        for b in 0..bsz {
-            for ci in 0..c {
-                let x_base = (b * c + ci) * l;
-                let w_row = &w_val.data()[ci * kw..(ci + 1) * kw];
-                for li in 0..l {
-                    let mut acc = 0.0;
-                    for (j, &w) in w_row.iter().enumerate() {
-                        let src = li as isize + j as isize - pad as isize;
-                        if src >= 0 && (src as usize) < l {
-                            acc += w * x_val.data()[x_base + src as usize];
+        let out = dance_telemetry::time("autograd.fwd.dw_conv1d", || {
+            let mut out = Tensor::zeros(&[bsz, c, l]);
+            for b in 0..bsz {
+                for ci in 0..c {
+                    let x_base = (b * c + ci) * l;
+                    let w_row = &w_val.data()[ci * kw..(ci + 1) * kw];
+                    for li in 0..l {
+                        let mut acc = 0.0;
+                        for (j, &w) in w_row.iter().enumerate() {
+                            let src = li as isize + j as isize - pad as isize;
+                            if src >= 0 && (src as usize) < l {
+                                acc += w * x_val.data()[x_base + src as usize];
+                            }
                         }
+                        out.data_mut()[x_base + li] = acc;
                     }
-                    out.data_mut()[x_base + li] = acc;
                 }
             }
-        }
+            out
+        });
         Var::from_op(
             "dw_conv1d",
             out,

@@ -20,11 +20,16 @@ const MAGIC: &str = "dance-tensors v1";
 
 /// Writes named tensors to `path` (parent directories are created).
 ///
+/// The write is atomic: content goes to a sibling temporary file which is
+/// renamed over `path`, so a crash mid-save can never leave a truncated
+/// checkpoint where a valid one used to be.
+///
 /// # Errors
 ///
-/// Returns any I/O error from creating or writing the file.
+/// Returns any I/O error from creating, writing or renaming the file.
 pub fn save_tensors(path: impl AsRef<Path>, items: &[(String, Tensor)]) -> io::Result<()> {
-    if let Some(parent) = path.as_ref().parent() {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
     let mut out = String::from(MAGIC);
@@ -49,7 +54,13 @@ pub fn save_tensors(path: impl AsRef<Path>, items: &[(String, Tensor)]) -> io::R
         }
         out.push('\n');
     }
-    fs::write(path, out)
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, out)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _cleanup = fs::remove_file(&tmp); // best effort; the error below matters more
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Reads named tensors from `path`.

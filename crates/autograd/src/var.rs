@@ -112,6 +112,7 @@ impl Var {
         parents: Vec<Var>,
         backward: BackwardFn,
     ) -> Self {
+        dance_telemetry::counter!("tape.nodes");
         let requires_grad = parents.iter().any(Var::requires_grad);
         Self::from_node(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -253,6 +254,7 @@ impl Var {
     /// calling `backward` on a scalar loss computes ordinary gradients.
     /// Gradients accumulate across calls until [`Var::zero_grad`].
     pub fn backward(&self) {
+        let _span = dance_telemetry::hot_span!("autograd.backward");
         // Post-order DFS (iterative, to survive deep graphs).
         let mut topo: Vec<Var> = Vec::new();
         let mut visited: HashSet<u64> = HashSet::new();
@@ -292,7 +294,17 @@ impl Var {
             if has_backward {
                 let n = v.inner.borrow();
                 if let Some(bw) = &n.backward {
-                    bw(&grad, &parents);
+                    if dance_telemetry::enabled() {
+                        let start = std::time::Instant::now();
+                        bw(&grad, &parents);
+                        dance_telemetry::span::record_duration_prefixed(
+                            "autograd.bwd.",
+                            n.op,
+                            start.elapsed().as_nanos() as u64,
+                        );
+                    } else {
+                        bw(&grad, &parents);
+                    }
                 }
             }
         }

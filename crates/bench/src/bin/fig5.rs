@@ -8,9 +8,13 @@
 //! the §3.4 collapse ablation.
 
 use dance::prelude::*;
-use dance_bench::{emit, evaluator_sizes, retrain_config, search_config, timed, Scale};
+use dance_bench::{bench_run, emit, evaluator_sizes, retrain_config, search_config, timed, Scale};
 
 fn main() {
+    bench_run("fig5", run);
+}
+
+fn run() {
     let scale = Scale::from_args();
     let no_warmup = std::env::args().any(|a| a == "--no-warmup");
     let cost_fn = CostFunction::Edap;

@@ -1,0 +1,53 @@
+//! Smoke — a minimal co-exploration run for CI and overhead checks.
+//!
+//! Runs a two-epoch gradient search on a tiny synthetic task with a FLOPs
+//! penalty (no evaluator training), so `run_experiments.sh` can verify the
+//! whole stack — including the telemetry run log — in seconds, and compare
+//! `DANCE_TELEMETRY=off` against the default mode.
+
+use dance::prelude::*;
+use dance_bench::bench_run;
+use rand::SeedableRng;
+
+fn main() {
+    bench_run("smoke", run);
+}
+
+fn run() {
+    let task = SynthTask::new(SynthSpec {
+        num_classes: 3,
+        channels: 2,
+        length: 8,
+        noise: 0.25,
+        distractor: 0.15,
+        seed: 0,
+    });
+    let data = TaskData {
+        train: task.generate(120, 1),
+        val: task.generate(60, 2),
+        test: task.generate(60, 3),
+        task,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let net = Supernet::new(
+        SupernetConfig {
+            input_channels: 2,
+            length: 8,
+            num_classes: 3,
+            stem_width: 4,
+            stage_widths: [4, 6, 8],
+            head_width: 12,
+        },
+        &mut rng,
+    );
+    let arch = ArchParams::new(9, &mut rng);
+    let template = NetworkTemplate::cifar10();
+    let cfg = SearchConfig {
+        epochs: 2,
+        batch_size: 32,
+        lambda2: LambdaWarmup::ramp(0.3, 1),
+        ..SearchConfig::default()
+    };
+    let out = dance_search(&net, &arch, &data, &Penalty::Flops(&template), &cfg);
+    println!("smoke choices: {:?}", out.choices);
+}

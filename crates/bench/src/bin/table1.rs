@@ -7,11 +7,15 @@
 //! hwgen→cost interface.
 
 use dance::prelude::*;
-use dance_bench::{emit, evaluator_sizes, timed, Scale};
+use dance_bench::{bench_run, emit, evaluator_sizes, timed, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    bench_run("table1", run);
+}
+
+fn run() {
     let scale = Scale::from_args();
     let cost_fn = CostFunction::Edap;
     let benchmark = Benchmark::cifar(7);

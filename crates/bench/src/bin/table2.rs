@@ -10,11 +10,15 @@
 
 use dance::prelude::*;
 use dance_bench::{
-    design_row, emit, evaluator_sizes, retrain_config, search_config, timed, Scale, LAMBDA2_A,
-    LAMBDA2_B, LAMBDA2_FLOPS,
+    bench_run, design_row, emit, evaluator_sizes, retrain_config, search_config, timed, Scale,
+    LAMBDA2_A, LAMBDA2_B, LAMBDA2_FLOPS,
 };
 
 fn main() {
+    bench_run("table2", run);
+}
+
+fn run() {
     let scale = Scale::from_args();
     let mut table = ResultTable::new(
         "Table 2: Performance of DANCE on CIFAR-10 (measured)",

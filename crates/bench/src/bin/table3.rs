@@ -6,9 +6,15 @@
 //! orders-of-magnitude gap in #candidates, not the absolute hours.
 
 use dance::prelude::*;
-use dance_bench::{emit, evaluator_sizes, retrain_config, search_config, timed, Scale, LAMBDA2_A};
+use dance_bench::{
+    bench_run, emit, evaluator_sizes, retrain_config, search_config, timed, Scale, LAMBDA2_A,
+};
 
 fn main() {
+    bench_run("table3", run);
+}
+
+fn run() {
     let scale = Scale::from_args();
     let cost_fn = CostFunction::Edap;
     let pipeline = Pipeline::new(Benchmark::cifar(42), cost_fn);

@@ -5,10 +5,15 @@
 
 use dance::prelude::*;
 use dance_bench::{
-    design_row, emit, evaluator_sizes, retrain_config, search_config, timed, Scale, LAMBDA2_A,
+    bench_run, design_row, emit, evaluator_sizes, retrain_config, search_config, timed, Scale,
+    LAMBDA2_A,
 };
 
 fn main() {
+    bench_run("table4", run);
+}
+
+fn run() {
     let scale = Scale::from_args();
     let cost_fn = CostFunction::Edap;
     let pipeline = Pipeline::new(Benchmark::imagenet(42), cost_fn);

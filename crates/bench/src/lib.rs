@@ -142,6 +142,34 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> (T, f64) {
     (out, secs)
 }
 
+/// Directory receiving `BENCH_<name>.json` files: the workspace root, or
+/// `DANCE_BENCH_DIR` when set (tests point it at a temp dir).
+pub fn bench_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("DANCE_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut p = results_dir();
+    p.pop();
+    p
+}
+
+/// Runs an entire bench binary body under a telemetry run, then writes
+/// `BENCH_<name>.json` (total wall time plus span and metric aggregates)
+/// so later perf PRs can diff before/after numbers from the same artifact.
+pub fn bench_run<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let run = dance_telemetry::runlog::RunGuard::start(name);
+    let (out, secs) = timed(name, f);
+    let doc = dance_telemetry::runlog::snapshot_json(name, secs);
+    drop(run);
+    let path = bench_dir().join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(bench telemetry written to {})", path.display());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +196,20 @@ mod tests {
     #[test]
     fn results_dir_is_workspace_relative() {
         assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn bench_run_writes_json_and_returns_value() {
+        let dir = std::env::temp_dir().join(format!("dance_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("DANCE_BENCH_DIR", &dir);
+        std::env::set_var("DANCE_RUN_DIR", &dir);
+        let out = bench_run("unit_smoke", || 42);
+        std::env::remove_var("DANCE_BENCH_DIR");
+        std::env::remove_var("DANCE_RUN_DIR");
+        assert_eq!(out, 42);
+        let doc = std::fs::read_to_string(dir.join("BENCH_unit_smoke.json")).unwrap();
+        assert!(doc.contains("total_wall_s"), "missing wall time: {doc}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

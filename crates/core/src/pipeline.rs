@@ -221,6 +221,8 @@ impl Pipeline {
         sizes: &EvaluatorSizes,
         feature_forwarding: bool,
     ) -> (Evaluator, EvaluatorReport) {
+        let _run = dance_telemetry::runlog::RunGuard::start("train_evaluator");
+        let _phase = dance_telemetry::span!("pipeline.train_evaluator");
         let arch_width = self.benchmark.arch_width();
         let mut rng = StdRng::seed_from_u64(sizes.seed);
 
@@ -388,15 +390,23 @@ impl Pipeline {
         retrain: &RetrainConfig,
         method: impl Into<String>,
     ) -> FinalDesign {
+        let _run = dance_telemetry::runlog::RunGuard::start("pipeline");
         let mut rng = StdRng::seed_from_u64(search.seed);
         let supernet = Supernet::new(self.benchmark.supernet, &mut rng);
         let arch = ArchParams::new(supernet.num_slots(), &mut rng);
-        let outcome = dance_search(&supernet, &arch, &self.benchmark.data, penalty, search);
+        let outcome = {
+            let _phase = dance_telemetry::span!("pipeline.search");
+            dance_search(&supernet, &arch, &self.benchmark.data, penalty, search)
+        };
 
         // One-time exact hardware generation after the search (paper §4.3).
-        let hw = exhaustive_search_table(&self.table, &outcome.choices, &self.cost_fn);
+        let hw = {
+            let _phase = dance_telemetry::span!("pipeline.hw_generation");
+            exhaustive_search_table(&self.table, &outcome.choices, &self.cost_fn)
+        };
 
         // Retrain the derived network from scratch.
+        let _phase = dance_telemetry::span!("pipeline.retrain");
         let accuracy = train_derived(
             self.benchmark.supernet,
             &outcome.choices,

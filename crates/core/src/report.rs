@@ -1,6 +1,5 @@
 //! Result tables: markdown for the console, CSV for archival.
 
-use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -45,19 +44,18 @@ impl ResultTable {
     /// Renders GitHub-flavoured markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "### {}\n", self.title);
-        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(
-            out,
-            "|{}|",
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
             self.headers
                 .iter()
                 .map(|_| "---")
                 .collect::<Vec<_>>()
                 .join("|")
-        );
+        ));
         for row in &self.rows {
-            let _ = writeln!(out, "| {} |", row.join(" | "));
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
     }
@@ -72,21 +70,18 @@ impl ResultTable {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers
+        out.push_str(
+            &self
+                .headers
                 .iter()
                 .map(|h| escape(h))
                 .collect::<Vec<_>>()
-                .join(",")
+                .join(","),
         );
+        out.push('\n');
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
-            );
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
         }
         out
     }

@@ -185,6 +185,9 @@ pub fn dance_search(
         arch.num_slots(),
         "slot count mismatch"
     );
+    // Auto-start a run log so a bare `dance_search` call writes an artifact;
+    // inside a pipeline the outer run is already open and this is a no-op.
+    let _run = dance_telemetry::runlog::RunGuard::start("search");
     if let Penalty::Evaluator { evaluator, .. } = penalty {
         evaluator.freeze();
     }
@@ -203,6 +206,7 @@ pub fn dance_search(
 
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = dance_telemetry::span!("search.epoch");
         w_opt.set_lr(schedule.lr_at(epoch));
         let lambda2 = cfg.lambda2.lambda_at(epoch);
         let train_batches = train_batcher.epoch(&mut rng);
@@ -213,16 +217,21 @@ pub fn dance_search(
 
         for (step, tb) in train_batches.iter().enumerate() {
             // --- Weight step on the training split --------------------
-            let x = batch_input(supernet, tb);
-            let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
-            let loss = cross_entropy(&logits, &tb.y, cfg.label_smoothing);
-            ce_sum += loss.item();
-            w_opt.zero_grad();
-            a_opt.zero_grad(); // mixture grads leak into α; discard them here
-            loss.backward();
-            a_opt.zero_grad();
-            clip_grad_norm(&supernet.parameters(), 5.0);
-            w_opt.step();
+            let loss = {
+                let _step_span = dance_telemetry::hot_span!("search.weight_step");
+                let x = batch_input(supernet, tb);
+                let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
+                let loss = cross_entropy(&logits, &tb.y, cfg.label_smoothing);
+                ce_sum += loss.item();
+                w_opt.zero_grad();
+                a_opt.zero_grad(); // mixture grads leak into α; discard them here
+                loss.backward();
+                a_opt.zero_grad();
+                clip_grad_norm(&supernet.parameters(), 5.0);
+                w_opt.step();
+                loss
+            };
+            dance_telemetry::histogram!("epoch.loss", f64::from(loss.item()));
 
             // --- Architecture step on the validation split ------------
             // Alternate: one α step per two weight steps keeps the search
@@ -231,6 +240,7 @@ pub fn dance_search(
                 let Some(vb) = val_batches.next() else {
                     continue;
                 };
+                let _step_span = dance_telemetry::hot_span!("search.arch_step");
                 let x = batch_input(supernet, &vb);
                 let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
                 let mut loss = cross_entropy(&logits, &vb.y, cfg.label_smoothing);
@@ -261,7 +271,7 @@ pub fn dance_search(
             }
         }
 
-        history.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             train_ce: ce_sum / train_batches.len().max(1) as f32,
             hw_cost: if hw_count > 0 {
@@ -271,11 +281,22 @@ pub fn dance_search(
             },
             arch_entropy: arch.mean_entropy(),
             lambda2,
-        });
+        };
+        dance_telemetry::gauge!("search.train_ce", f64::from(stats.train_ce));
+        dance_telemetry::gauge!("search.hw_cost", f64::from(stats.hw_cost));
+        dance_telemetry::gauge!("search.arch_entropy", f64::from(stats.arch_entropy));
+        dance_telemetry::gauge!("search.lambda2", f64::from(stats.lambda2));
+        history.push(stats);
     }
 
+    let choices = arch.derive();
+    if dance_telemetry::enabled() {
+        for c in &choices {
+            dance_telemetry::metrics::inc_counter(&format!("search.chosen.{c}"), 1);
+        }
+    }
     SearchOutcome {
-        choices: arch.derive(),
+        choices,
         probs: arch.probs_matrix(),
         history,
     }
@@ -293,6 +314,7 @@ pub fn train_derived(
     lr: f32,
     seed: u64,
 ) -> f32 {
+    let _span = dance_telemetry::span!("search.train_derived");
     let mut rng = StdRng::seed_from_u64(seed);
     let net = Supernet::new(config, &mut rng);
     let schedule = CosineLr::new(lr, epochs.max(1));
@@ -318,6 +340,7 @@ pub fn train_derived(
 
 /// Test accuracy of a fixed-path network.
 pub fn evaluate_fixed(net: &Supernet, choices: &[SlotChoice], data: &TaskData) -> f32 {
+    let _span = dance_telemetry::hot_span!("search.evaluate_fixed");
     let batcher = Batcher::new(&data.test, 256);
     let mut correct = 0.0;
     let mut total = 0usize;

@@ -71,6 +71,7 @@ impl CostModel {
 
     /// Prices a single layer on a configuration.
     pub fn evaluate_layer(&self, layer: &ConvLayer, config: &AcceleratorConfig) -> LayerCost {
+        let _span = dance_telemetry::hot_span!("cost_model.evaluate_layer");
         let mapping = map_layer(layer, config);
         LayerCost {
             mapping,
@@ -82,6 +83,8 @@ impl CostModel {
     /// Prices a whole network: latency and energy sum over layers, area is a
     /// property of the configuration alone.
     pub fn evaluate(&self, network: &Network, config: &AcceleratorConfig) -> HardwareCost {
+        let _span = dance_telemetry::hot_span!("cost_model.evaluate");
+        dance_telemetry::counter!("cost_model.evaluations");
         let mut cycles = 0u64;
         let mut energy_pj = 0.0f64;
         for layer in network.layers() {

@@ -114,6 +114,7 @@ impl Evaluator {
     /// Panics if the encoding width is wrong.
     #[must_use]
     pub fn predict_metrics(&self, arch: &Var, rng: &mut StdRng) -> Var {
+        let _span = dance_telemetry::hot_span!("evaluator.predict_metrics");
         assert_eq!(
             arch.shape()[1],
             self.arch_width,

@@ -119,6 +119,7 @@ pub fn train_hwgen(
     let mut adam = Adam::new(net.parameters(), cfg.lr);
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = dance_telemetry::hot_span!("evaluator.hwgen.epoch");
         if optim == OptimKind::SgdStep {
             sgd.set_lr(schedule.lr_at(epoch));
         }
@@ -137,6 +138,7 @@ pub fn train_hwgen(
             for h in 1..4 {
                 loss = loss.add(&cross_entropy(&logits[h], &targets[h], 0.0));
             }
+            dance_telemetry::histogram!("evaluator.hwgen.loss", f64::from(loss.item()));
             match optim {
                 OptimKind::SgdStep => {
                     sgd.zero_grad();
@@ -151,7 +153,12 @@ pub fn train_hwgen(
             }
         }
     }
-    eval_hwgen(net, val)
+    let acc = eval_hwgen(net, val);
+    dance_telemetry::gauge!(
+        "evaluator.hwgen.val_acc_mean",
+        f64::from(acc.iter().sum::<f32>()) / 4.0
+    );
+    acc
 }
 
 /// Per-head accuracies (percent) on a dataset.
@@ -195,6 +202,7 @@ pub fn train_cost(
 
     net.set_training(true);
     for _ in 0..cfg.epochs {
+        let _epoch_span = dance_telemetry::hot_span!("evaluator.cost.epoch");
         let order = shuffled_indices(train.len(), &mut rng);
         for chunk in order.chunks(cfg.batch_size) {
             if chunk.len() < 2 {
@@ -217,6 +225,7 @@ pub fn train_cost(
                 RegressionLoss::Msre => msre(&pred, &target),
                 RegressionLoss::Mse => mse(&pred, &target),
             };
+            dance_telemetry::histogram!("evaluator.cost.loss", f64::from(loss.item()));
             opt.zero_grad();
             loss.backward();
             // Relative losses on multi-decade targets produce occasional
@@ -226,7 +235,12 @@ pub fn train_cost(
         }
     }
     net.set_training(false);
-    eval_cost(net, val, input)
+    let acc = eval_cost(net, val, input);
+    dance_telemetry::gauge!(
+        "evaluator.cost.val_acc_mean",
+        f64::from(acc.iter().sum::<f32>()) / 3.0
+    );
+    acc
 }
 
 /// Per-metric relative accuracies (percent) on a dataset (inference mode).

@@ -112,6 +112,8 @@ pub fn generate_hwgen_dataset(
     n: usize,
     seed: u64,
 ) -> Vec<HwGenSample> {
+    let _span = dance_telemetry::span!("hwgen.dataset.generate");
+    dance_telemetry::counter!("hwgen.samples", n as u64);
     parallel_generate(n, seed, |rng| {
         let choices = random_choices(table.template().num_slots(), rng);
         let (idx, _) = table.optimal(&choices, cost_fn);
@@ -131,6 +133,8 @@ pub fn generate_cost_dataset(
     n: usize,
     seed: u64,
 ) -> Vec<CostSample> {
+    let _span = dance_telemetry::span!("cost.dataset.generate");
+    dance_telemetry::counter!("cost.samples", n as u64);
     parallel_generate(n, seed, |rng| {
         let choices = random_choices(table.template().num_slots(), rng);
         let cfg_idx = match sampling {

@@ -41,6 +41,7 @@ impl CostTable {
     /// This is the expensive constructor (≈1 M layer mappings for the paper
     /// space); everything afterwards is table lookups.
     pub fn new(template: &NetworkTemplate, model: &CostModel, space: &HardwareSpace) -> Self {
+        let _span = dance_telemetry::span!("cost_table.build");
         let n_cfg = space.len();
         let n_slots = template.num_slots();
         let n_choices = SlotChoice::CANDIDATES.len();

@@ -1,0 +1,58 @@
+//! `dance-telemetry` CLI: render a run-log artifact as a report.
+//!
+//! Usage: `cargo run -p dance-telemetry -- summarize <run.jsonl> [--top N]`
+
+use std::process::ExitCode;
+
+use dance_telemetry::summarize;
+
+const USAGE: &str = "usage: dance-telemetry summarize <run.jsonl> [--top N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("summarize") => {}
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    let mut path: Option<&str> = None;
+    let mut top_n = 10usize;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--top needs a value\n{USAGE}"))?;
+                top_n = value
+                    .parse()
+                    .map_err(|e| format!("bad --top value `{value}`: {e}"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            file => {
+                if path.replace(file).is_some() {
+                    return Err(format!("more than one input file\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let path = path.ok_or_else(|| USAGE.to_string())?;
+    let summary =
+        summarize::summarize_file(path).map_err(|e| format!("failed to read `{path}`: {e}"))?;
+    Ok(summarize::render(&summary, top_n))
+}

@@ -1,0 +1,328 @@
+//! RAII spans with thread-local nesting and per-name aggregation.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and drop on a
+//! monotonic clock. Every close folds the duration into a global
+//! [`SpanStats`] aggregate keyed by span name (count, total, min, max, and a
+//! log₂ duration histogram for p50/p95 estimates). Nesting depth is tracked
+//! per thread, so concurrent threads never corrupt each other's stacks; the
+//! aggregate map itself is a mutex whose critical section is a few adds.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::runlog;
+
+/// Number of log₂ duration buckets (covers 1 ns … ~584 years).
+const NUM_BUCKETS: usize = 64;
+
+/// Aggregated timing statistics for one span name.
+#[derive(Debug, Clone)]
+pub struct SpanStats {
+    /// Number of closed spans.
+    pub count: u64,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest observed span in nanoseconds.
+    pub min_ns: u64,
+    /// Longest observed span in nanoseconds.
+    pub max_ns: u64,
+    /// `buckets[i]` counts spans with `floor(log2(ns)) == i`.
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl SpanStats {
+    /// Folds one duration into the aggregate.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let idx = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[idx.min(NUM_BUCKETS - 1)] += 1;
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+
+    /// Approximate q-quantile (`0.0 ..= 1.0`) in nanoseconds, estimated as
+    /// the geometric midpoint of the log₂ bucket containing the quantile,
+    /// clamped into the observed `[min, max]` range.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of [2^idx, 2^(idx+1)): 2^idx * sqrt(2).
+                let mid = (2f64.powi(idx as i32) * std::f64::consts::SQRT_2) as u64;
+                return mid.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// One row of a span report: a name with its aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct SpanAgg {
+    /// Span name (as given to [`crate::span!`] / [`crate::hot_span!`]).
+    pub name: String,
+    /// The aggregated statistics.
+    pub stats: SpanStats,
+}
+
+/// The global span aggregator. Keys are the `&'static str` names the macros
+/// pass, so recording never allocates after a name's first appearance.
+static AGGREGATOR: Mutex<Option<HashMap<&'static str, SpanStats>>> = Mutex::new(None);
+
+fn lock_aggregator() -> MutexGuard<'static, Option<HashMap<&'static str, SpanStats>>> {
+    // A poisoned telemetry mutex must never take down the workload; the
+    // aggregates inside are plain counters and stay usable.
+    AGGREGATOR.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Folds a measured duration into the global aggregate for `name`.
+#[inline]
+pub fn record_duration(name: &'static str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut guard = lock_aggregator();
+    guard
+        .get_or_insert_with(HashMap::new)
+        .entry(name)
+        .or_default()
+        .record(ns);
+}
+
+/// Interned `prefix + key` span names, so callsites with dynamic name parts
+/// (e.g. per-op backward timing keyed by the op registry) can record without
+/// allocating per call. Each distinct pair leaks one string; the pair space
+/// is bounded by the op registry, so the leak is a few hundred bytes total.
+static INTERNED: Mutex<Option<HashMap<(&'static str, &'static str), &'static str>>> =
+    Mutex::new(None);
+
+/// Folds a duration into the aggregate named `prefix` + `key`, composing and
+/// interning the name on its first appearance only.
+pub fn record_duration_prefixed(prefix: &'static str, key: &'static str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let name: &'static str = {
+        let mut guard = INTERNED.lock().unwrap_or_else(PoisonError::into_inner);
+        let map = guard.get_or_insert_with(HashMap::new);
+        match map.get(&(prefix, key)) {
+            Some(n) => n,
+            None => {
+                let leaked: &'static str = Box::leak(format!("{prefix}{key}").into_boxed_str());
+                map.insert((prefix, key), leaked);
+                leaked
+            }
+        }
+    };
+    let mut guard = lock_aggregator();
+    guard
+        .get_or_insert_with(HashMap::new)
+        .entry(name)
+        .or_default()
+        .record(ns);
+}
+
+/// Snapshot of every span aggregate, sorted by total time (descending).
+pub fn span_report() -> Vec<SpanAgg> {
+    let guard = lock_aggregator();
+    let mut out: Vec<SpanAgg> = guard
+        .as_ref()
+        .map(|m| {
+            m.iter()
+                .map(|(name, stats)| SpanAgg {
+                    name: (*name).to_string(),
+                    stats: stats.clone(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort_by(|a, b| b.stats.total_ns.cmp(&a.stats.total_ns));
+    out
+}
+
+/// Clears every span aggregate (called when a new run log starts so each
+/// run file is self-contained).
+pub fn reset() {
+    *lock_aggregator() = None;
+}
+
+thread_local! {
+    /// Per-thread nesting depth; spans on different threads never see each
+    /// other.
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// An RAII span: created by [`crate::span!`] / [`crate::hot_span!`], records
+/// its wall time on drop.
+#[must_use = "bind the span guard to a named variable (`let _guard = span!(…)`); \
+              dropping it immediately measures nothing"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    streamed: bool,
+    depth: u32,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span. `streamed` spans additionally emit one JSONL event on
+    /// close when a run log is active; non-streamed (hot) spans only
+    /// aggregate. Returns an inert guard when telemetry is disabled.
+    pub fn enter(name: &'static str, streamed: bool) -> Self {
+        if !crate::enabled() {
+            return Self {
+                name,
+                start: Instant::now(),
+                streamed: false,
+                depth: 0,
+                active: false,
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Self {
+            name,
+            start: Instant::now(),
+            streamed,
+            depth,
+            active: true,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let ns = self.start.elapsed().as_nanos() as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        record_duration(self.name, ns);
+        if self.streamed {
+            runlog::emit_span(self.name, ns, self.depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_count_total_min_max() {
+        let mut s = SpanStats::default();
+        for ns in [100, 200, 300] {
+            s.record(ns);
+        }
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 600);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert_eq!(s.mean_ns(), 200);
+    }
+
+    #[test]
+    fn quantiles_are_within_observed_range() {
+        let mut s = SpanStats::default();
+        for ns in [10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120] {
+            s.record(ns);
+        }
+        let p50 = s.quantile_ns(0.5);
+        let p95 = s.quantile_ns(0.95);
+        assert!((10..=5120).contains(&p50), "p50 {p50} out of range");
+        assert!((10..=5120).contains(&p95), "p95 {p95} out of range");
+        assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+    }
+
+    #[test]
+    fn quantile_of_uniform_durations_is_that_duration() {
+        let mut s = SpanStats::default();
+        for _ in 0..100 {
+            s.record(1000);
+        }
+        // All observations share one bucket; clamping pins the estimate.
+        assert_eq!(s.quantile_ns(0.5), 1000);
+        assert_eq!(s.quantile_ns(0.95), 1000);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SpanStats::default();
+        assert_eq!(s.mean_ns(), 0);
+        assert_eq!(s.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_first_bucket() {
+        let mut s = SpanStats::default();
+        s.record(0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.quantile_ns(0.5), 0); // clamped into [min, max] = [0, 0]
+    }
+
+    #[test]
+    fn prefixed_names_are_interned_and_aggregated() {
+        if !crate::enabled() {
+            return;
+        }
+        record_duration_prefixed("test.span.bwd.", "matmul", 500);
+        record_duration_prefixed("test.span.bwd.", "matmul", 700);
+        let report = span_report();
+        let row = report
+            .iter()
+            .find(|a| a.name == "test.span.bwd.matmul")
+            .expect("interned span name missing from the report");
+        assert!(row.stats.count >= 2);
+        assert!(row.stats.total_ns >= 1200);
+    }
+
+    #[test]
+    fn guard_records_into_global_aggregator() {
+        if !crate::enabled() {
+            return; // nothing to assert when the env disables telemetry
+        }
+        {
+            let _g = SpanGuard::enter("test.span.guard_records", false);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let report = span_report();
+        let row = report
+            .iter()
+            .find(|a| a.name == "test.span.guard_records")
+            .expect("span name missing from the report");
+        assert!(row.stats.count >= 1);
+        assert!(row.stats.total_ns >= 1_000_000, "slept ≥ 1 ms");
+    }
+}

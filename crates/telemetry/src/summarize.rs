@@ -1,0 +1,303 @@
+//! Reading run-log artifacts back: the `summarize` CLI's engine.
+//!
+//! Parses a JSONL run file produced by [`crate::runlog`] into a
+//! [`RunSummary`] and renders the aggregate table plus a top-N
+//! slowest-streamed-spans view. Later performance PRs cite before/after
+//! numbers from these artifacts, so the renderer is deliberately plain
+//! text: stable to diff, trivial to grep.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::json::{parse, Json};
+
+/// One `span_agg` row read back from a run file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAggRow {
+    /// Span name.
+    pub name: String,
+    /// Closed-span count.
+    pub count: u64,
+    /// Total wall milliseconds.
+    pub total_ms: f64,
+    /// Mean milliseconds.
+    pub mean_ms: f64,
+    /// Approximate median milliseconds.
+    pub p50_ms: f64,
+    /// Approximate 95th-percentile milliseconds.
+    pub p95_ms: f64,
+}
+
+/// One streamed `span` event read back from a run file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Duration in milliseconds.
+    pub ms: f64,
+    /// Offset from run start in milliseconds.
+    pub at_ms: f64,
+    /// Nesting depth at open.
+    pub depth: u64,
+}
+
+/// A `hist` snapshot read back from a run file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRow {
+    /// Observation count.
+    pub count: u64,
+    /// Mean of finite observations.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+}
+
+/// Everything `summarize` extracts from one run artifact.
+#[derive(Debug, Default, Clone)]
+pub struct RunSummary {
+    /// Run id from the `meta` event.
+    pub run_id: String,
+    /// Run kind from the `meta` event.
+    pub kind: String,
+    /// Total wall time from `run_end`, when present.
+    pub total_ms: Option<f64>,
+    /// Every distinct event kind seen (`meta`, `span`, `gauge`, …).
+    pub event_kinds: BTreeSet<String>,
+    /// Number of JSONL lines.
+    pub lines: usize,
+    /// `span_agg` rows in file order.
+    pub span_aggs: Vec<SpanAggRow>,
+    /// Streamed `span` events in file order.
+    pub spans: Vec<SpanEvent>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Last value seen per gauge.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots.
+    pub hists: BTreeMap<String, HistRow>,
+}
+
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn text(v: &Json, key: &str) -> String {
+    v.get(key).and_then(Json::as_str).unwrap_or("").to_string()
+}
+
+/// Parses one run artifact.
+///
+/// # Errors
+///
+/// Returns an error when the file cannot be read or any line fails to parse
+/// as a JSON object with a `t` kind field.
+pub fn summarize_file(path: impl AsRef<Path>) -> io::Result<RunSummary> {
+    let content = fs::read_to_string(&path)?;
+    summarize_str(&content).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+/// Parses run-log content (exposed separately for tests).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn summarize_str(content: &str) -> Result<RunSummary, String> {
+    let mut out = RunSummary::default();
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = v
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing event kind `t`", lineno + 1))?
+            .to_string();
+        out.lines += 1;
+        match kind.as_str() {
+            "meta" => {
+                out.run_id = text(&v, "run");
+                out.kind = text(&v, "kind");
+            }
+            "span" => out.spans.push(SpanEvent {
+                name: text(&v, "name"),
+                ms: num(&v, "ms"),
+                at_ms: num(&v, "at_ms"),
+                depth: num(&v, "depth") as u64,
+            }),
+            "span_agg" => out.span_aggs.push(SpanAggRow {
+                name: text(&v, "name"),
+                count: num(&v, "count") as u64,
+                total_ms: num(&v, "total_ms"),
+                mean_ms: num(&v, "mean_ms"),
+                p50_ms: num(&v, "p50_ms"),
+                p95_ms: num(&v, "p95_ms"),
+            }),
+            "counter" => {
+                out.counters
+                    .insert(text(&v, "name"), num(&v, "value") as u64);
+            }
+            "gauge" => {
+                out.gauges.insert(text(&v, "name"), num(&v, "value"));
+            }
+            "hist" => {
+                out.hists.insert(
+                    text(&v, "name"),
+                    HistRow {
+                        count: num(&v, "count") as u64,
+                        mean: num(&v, "mean"),
+                        p50: num(&v, "p50"),
+                        p95: num(&v, "p95"),
+                    },
+                );
+            }
+            "run_end" => out.total_ms = Some(num(&v, "total_ms")),
+            _ => {}
+        }
+        out.event_kinds.insert(kind);
+    }
+    Ok(out)
+}
+
+/// Renders the aggregate table and the top-N slowest streamed spans.
+pub fn render(summary: &RunSummary, top_n: usize) -> String {
+    let mut out = String::new();
+    let _fmt: std::fmt::Result = writeln!(
+        out,
+        "run {} (kind: {}, {} events{})",
+        if summary.run_id.is_empty() {
+            "<unknown>"
+        } else {
+            &summary.run_id
+        },
+        if summary.kind.is_empty() {
+            "<unknown>"
+        } else {
+            &summary.kind
+        },
+        summary.lines,
+        summary
+            .total_ms
+            .map(|ms| format!(", total {ms:.1} ms"))
+            .unwrap_or_default(),
+    );
+
+    if !summary.span_aggs.is_empty() {
+        let _fmt: std::fmt::Result = writeln!(
+            out,
+            "\n{:<38} {:>9} {:>12} {:>10} {:>10} {:>10}",
+            "span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms"
+        );
+        let mut rows = summary.span_aggs.clone();
+        rows.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+        for r in &rows {
+            let _fmt: std::fmt::Result = writeln!(
+                out,
+                "{:<38} {:>9} {:>12.3} {:>10.4} {:>10.4} {:>10.4}",
+                r.name, r.count, r.total_ms, r.mean_ms, r.p50_ms, r.p95_ms
+            );
+        }
+    }
+
+    if !summary.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, value) in &summary.counters {
+            let _fmt: std::fmt::Result = writeln!(out, "  {name:<40} {value}");
+        }
+    }
+    if !summary.gauges.is_empty() {
+        out.push_str("\ngauges (last value):\n");
+        for (name, value) in &summary.gauges {
+            let _fmt: std::fmt::Result = writeln!(out, "  {name:<40} {value:.6}");
+        }
+    }
+    if !summary.hists.is_empty() {
+        out.push_str("\nhistograms:\n");
+        for (name, h) in &summary.hists {
+            let _fmt: std::fmt::Result = writeln!(
+                out,
+                "  {name:<40} n={} mean={:.4} p50={:.4} p95={:.4}",
+                h.count, h.mean, h.p50, h.p95
+            );
+        }
+    }
+
+    if !summary.spans.is_empty() {
+        let mut slowest = summary.spans.clone();
+        slowest.sort_by(|a, b| b.ms.total_cmp(&a.ms));
+        slowest.truncate(top_n);
+        let _fmt: std::fmt::Result = writeln!(out, "\ntop {} slowest spans:", slowest.len());
+        for s in &slowest {
+            let _fmt: std::fmt::Result = writeln!(
+                out,
+                "  {:<38} {:>12.3} ms  (at {:.1} ms, depth {})",
+                s.name, s.ms, s.at_ms, s.depth
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"t\":\"meta\",\"v\":1,\"run\":\"search-1-2-0\",\"kind\":\"search\",\"unix_ms\":0}\n",
+        "{\"t\":\"span\",\"name\":\"search.epoch\",\"ms\":12.5,\"depth\":0,\"thread\":\"main\",\"at_ms\":13.0,\"seq\":1}\n",
+        "{\"t\":\"span\",\"name\":\"search.epoch\",\"ms\":10.0,\"depth\":0,\"thread\":\"main\",\"at_ms\":25.0,\"seq\":2}\n",
+        "{\"t\":\"gauge\",\"name\":\"search.lambda2\",\"value\":0.5,\"at_ms\":25.1,\"seq\":3}\n",
+        "{\"t\":\"span_agg\",\"name\":\"autograd.backward\",\"count\":64,\"total_ms\":40.0,\"mean_ms\":0.625,\"p50_ms\":0.6,\"p95_ms\":0.9,\"min_ms\":0.1,\"max_ms\":1.0}\n",
+        "{\"t\":\"counter\",\"name\":\"tape.nodes\",\"value\":4096}\n",
+        "{\"t\":\"hist\",\"name\":\"epoch.loss\",\"count\":2,\"mean\":1.1,\"min\":1.0,\"max\":1.2,\"p50\":1.0,\"p95\":1.2,\"buckets\":[[2,2]]}\n",
+        "{\"t\":\"run_end\",\"total_ms\":30.0,\"events\":3}\n",
+    );
+
+    #[test]
+    fn parses_every_event_kind() {
+        let s = summarize_str(SAMPLE).expect("sample parses");
+        assert_eq!(s.run_id, "search-1-2-0");
+        assert_eq!(s.kind, "search");
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.span_aggs.len(), 1);
+        assert_eq!(s.counters["tape.nodes"], 4096);
+        assert!((s.gauges["search.lambda2"] - 0.5).abs() < 1e-12);
+        assert_eq!(s.hists["epoch.loss"].count, 2);
+        assert_eq!(s.total_ms, Some(30.0));
+        for kind in [
+            "meta", "span", "gauge", "span_agg", "counter", "hist", "run_end",
+        ] {
+            assert!(s.event_kinds.contains(kind), "missing kind {kind}");
+        }
+    }
+
+    #[test]
+    fn render_contains_table_and_slowest_view() {
+        let s = summarize_str(SAMPLE).expect("sample parses");
+        let text = render(&s, 1);
+        assert!(text.contains("autograd.backward"));
+        assert!(text.contains("tape.nodes"));
+        assert!(text.contains("top 1 slowest spans"));
+        assert!(text.contains("search.epoch"));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let err = summarize_str("{\"t\":\"meta\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn missing_kind_is_an_error() {
+        let err = summarize_str("{\"name\":\"x\"}\n").unwrap_err();
+        assert!(
+            err.contains("missing event kind"),
+            "unexpected error: {err}"
+        );
+    }
+}

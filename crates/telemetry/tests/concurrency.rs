@@ -1,0 +1,54 @@
+//! Multi-thread stress: concurrent spans, counters and histograms must not
+//! corrupt the global aggregates. One test per file — telemetry state is
+//! process-global, so this binary owns its process.
+
+use std::thread;
+
+#[test]
+fn concurrent_spans_and_metrics_do_not_corrupt() {
+    if !dance_telemetry::enabled() {
+        return; // nothing to assert when the env disables telemetry
+    }
+    const THREADS: usize = 8;
+    const ITERS: u64 = 200;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                for i in 0..ITERS {
+                    let _outer = dance_telemetry::hot_span!("test.conc.outer");
+                    {
+                        let _inner = dance_telemetry::hot_span!("test.conc.inner");
+                        dance_telemetry::counter!("test.conc.counter");
+                        dance_telemetry::histogram!(
+                            "test.conc.hist",
+                            (t as f64 + 1.0) * (i as f64 + 1.0) / 100.0
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    let expected = (THREADS as u64) * ITERS;
+    let report = dance_telemetry::span::span_report();
+    for name in ["test.conc.outer", "test.conc.inner"] {
+        let row = report
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("span {name} missing from the report"));
+        assert_eq!(row.stats.count, expected, "span {name} lost closes");
+        assert!(row.stats.min_ns <= row.stats.max_ns);
+        assert!(row.stats.total_ns >= row.stats.max_ns);
+    }
+
+    let snap = dance_telemetry::metrics::snapshot();
+    assert_eq!(snap.counters["test.conc.counter"], expected);
+    let h = &snap.histograms["test.conc.hist"];
+    assert_eq!(h.count, expected);
+    let bucketed: u64 = h.counts().iter().sum();
+    assert_eq!(bucketed, expected, "histogram lost finite observations");
+}

@@ -1,0 +1,75 @@
+//! End-to-end run-log roundtrip: open a run, emit every event family, close
+//! it, and parse the artifact back with the `summarize` engine. One test per
+//! file — the run sink is process-global, so this binary owns its process.
+
+use dance_telemetry::{runlog, summarize};
+
+#[test]
+fn run_log_roundtrips_through_summarize() {
+    // Pin the run directory before any telemetry call so the artifact lands
+    // in this test's scratch space (edition 2021: set_var is safe).
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("run_roundtrip");
+    std::env::set_var("DANCE_RUN_DIR", &dir);
+    std::env::set_var("DANCE_TELEMETRY", "on");
+    assert!(dance_telemetry::enabled(), "env override failed");
+
+    let path = {
+        let run = runlog::RunGuard::start("roundtrip").expect("run should start");
+        assert!(runlog::active_run_path().is_some());
+        assert!(run.id().starts_with("roundtrip-"));
+        {
+            let _phase = dance_telemetry::span!("test.rt.phase");
+            for i in 0..4 {
+                let _step = dance_telemetry::hot_span!("test.rt.step");
+                dance_telemetry::counter!("test.rt.items", 2);
+                dance_telemetry::histogram!("test.rt.loss", 1.0 / (i as f64 + 1.0));
+            }
+            dance_telemetry::gauge!("test.rt.lambda", 0.125);
+        }
+        run.path().to_path_buf()
+    };
+    assert!(runlog::active_run_path().is_none(), "run did not close");
+
+    let summary = summarize::summarize_file(&path).expect("artifact parses");
+    assert_eq!(summary.kind, "roundtrip");
+    for kind in [
+        "meta", "span", "gauge", "span_agg", "counter", "hist", "run_end",
+    ] {
+        assert!(
+            summary.event_kinds.contains(kind),
+            "artifact is missing event kind {kind}; has {:?}",
+            summary.event_kinds
+        );
+    }
+    // The streamed span and the gauge time series made it through.
+    assert!(summary.spans.iter().any(|s| s.name == "test.rt.phase"));
+    assert!((summary.gauges["test.rt.lambda"] - 0.125).abs() < 1e-12);
+    // Aggregates: the hot span never streamed but its aggregate row exists.
+    let step = summary
+        .span_aggs
+        .iter()
+        .find(|a| a.name == "test.rt.step")
+        .expect("hot span aggregate missing");
+    assert_eq!(step.count, 4);
+    assert_eq!(summary.counters["test.rt.items"], 8);
+    assert_eq!(summary.hists["test.rt.loss"].count, 4);
+    assert!(summary.total_ms.is_some());
+
+    // The renderer mentions the big-ticket rows.
+    let text = summarize::render(&summary, 5);
+    assert!(text.contains("test.rt.step"));
+    assert!(text.contains("test.rt.items"));
+
+    // A second run in the same process starts cleanly after the first closed
+    // and resets aggregates so its artifact is self-contained.
+    let run2 = runlog::RunGuard::start("roundtrip2").expect("second run starts");
+    dance_telemetry::counter!("test.rt2.only", 1);
+    let path2 = run2.path().to_path_buf();
+    drop(run2);
+    let summary2 = summarize::summarize_file(&path2).expect("second artifact parses");
+    assert!(summary2.counters.contains_key("test.rt2.only"));
+    assert!(
+        !summary2.counters.contains_key("test.rt.items"),
+        "aggregates leaked across runs"
+    );
+}

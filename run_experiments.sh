@@ -4,6 +4,8 @@
 # breakage before spending hours on the experiment binaries.
 set -x
 scripts/check.sh
+# Telemetry smoke: the stack must run clean with telemetry disabled too.
+DANCE_TELEMETRY=off cargo run --release -p dance-bench --bin smoke 2>&1 | tee results/smoke.log
 cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
 cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
 cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log

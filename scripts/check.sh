@@ -10,7 +10,13 @@ cargo fmt --all --check
 echo "== dance-analyze --all =="
 cargo run --release -q -p dance-analyze -- --all
 
+echo "== dance-analyze --source crates/telemetry =="
+cargo run --release -q -p dance-analyze -- --source crates/telemetry
+
 echo "== cargo test =="
 cargo test -q --workspace --release
+
+echo "== telemetry integration test =="
+cargo test -q --release --test telemetry_run
 
 echo "All checks passed."
