@@ -4,7 +4,7 @@
 //! exit with one diagnostic per rule.
 //!
 //! Expected findings in this file: `no-unwrap`, `expect-message`,
-//! `float-eq`, `must-use`, `span-guard`.
+//! `float-eq`, `must-use`, `span-guard`, `checkpoint-io`.
 
 /// Violates `no-unwrap`: library code must propagate or justify the error.
 pub fn seeded_unwrap(values: &[f32]) -> f32 {
@@ -29,6 +29,12 @@ pub fn seeded_missing_must_use() -> Var {
 /// Violates `span-guard`: binding a span guard to `_` drops it instantly.
 pub fn seeded_dropped_span_guard() {
     let _ = span!("seeded.phase");
+}
+
+/// Violates `checkpoint-io`: result artifacts must be written through an
+/// atomic temp+rename helper, not a bare `fs::write`.
+pub fn seeded_direct_artifact_write() {
+    std::fs::write("results/summary.json", "{}").ok();
 }
 
 /// Stand-in so the fixture is a self-contained parse target.

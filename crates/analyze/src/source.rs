@@ -16,6 +16,7 @@
 //! | `panic-doc`   | `crates/cost`, `crates/autograd` | `panic!` needs `# Panics` on the enclosing fn |
 //! | `must-use`    | all library code             | `pub fn … -> Var` must be `#[must_use]`       |
 //! | `span-guard`  | all library code             | `let _ = span!(…)` drops the guard instantly  |
+//! | `checkpoint-io` | all library code (minus the atomic helpers) | direct `File::create`/`fs::write` of a `.json`/`.bin`/`.ckpt` artifact |
 //!
 //! Diagnostics print as `file:line rule message` — one per line, greppable,
 //! and the CLI exits non-zero when any are present.
@@ -55,6 +56,9 @@ struct LexedLine {
     /// Code with comment text and string-literal *contents* replaced by
     /// spaces (quotes are kept, so token boundaries survive).
     code: String,
+    /// The original line untouched — string contents included — for rules
+    /// that must see path literals (`checkpoint-io`).
+    raw: String,
     /// The text of any `//` comment on the line.
     comment: String,
     /// Whether the line is (part of) a doc comment (`///` or `//!`).
@@ -156,6 +160,7 @@ fn lex(content: &str) -> Vec<LexedLine> {
         }
         out.push(LexedLine {
             code,
+            raw: raw.to_string(),
             comment,
             is_doc,
             doc_text,
@@ -276,13 +281,37 @@ fn enclosing_fn_documents_panics(lines: &[LexedLine], idx: usize) -> bool {
 struct FileRules {
     /// `panic-doc` only guards the numeric hot paths.
     panic_doc: bool,
+    /// `checkpoint-io` applies everywhere except the atomic-save helpers
+    /// themselves (which necessarily perform the raw write).
+    checkpoint_io: bool,
 }
 
 fn rules_for(path: &str) -> FileRules {
     let normalized = path.replace('\\', "/");
+    let atomic_helper = normalized.ends_with("crates/autograd/src/serialize.rs")
+        || normalized.ends_with("crates/guard/src/checkpoint.rs");
     FileRules {
         panic_doc: normalized.contains("crates/cost/") || normalized.contains("crates/autograd/"),
+        checkpoint_io: !atomic_helper,
     }
+}
+
+/// The artifact extension a (raw) statement mentions, if any. `.jsonl`
+/// deliberately does not count: run logs are append-only streams, not
+/// atomically replaced artifacts.
+fn artifact_extension(stmt: &str) -> Option<&'static str> {
+    for ext in [".json", ".bin", ".ckpt"] {
+        let mut from = 0;
+        while let Some(rel) = stmt[from..].find(ext) {
+            let pos = from + rel + ext.len();
+            from = pos;
+            let next = stmt[pos..].chars().next();
+            if !matches!(next, Some(c) if c.is_ascii_alphanumeric()) {
+                return Some(ext);
+            }
+        }
+    }
+    None
 }
 
 /// Lints one file's contents. `path` is used for diagnostics and to decide
@@ -421,6 +450,37 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
                             .to_string(),
                     );
                 }
+            }
+        }
+
+        // --- checkpoint-io ------------------------------------------------
+        // A plain `File::create`/`fs::write` of a result artifact is torn
+        // by a crash mid-write; such files must go through an atomic
+        // temp+rename helper (`serialize::save_tensors`,
+        // `checkpoint::atomic_write_text`).
+        if rules.checkpoint_io
+            && (code.contains("File::create(") || code.contains("fs::write("))
+            && !is_allowed(&lines, idx, "checkpoint-io")
+        {
+            // Join the raw statement (string contents intact) so path
+            // literals on continuation lines are visible too.
+            let mut stmt = lines[idx].raw.clone();
+            let mut look = idx;
+            while !stmt.contains(';') && look + 1 < lines.len() && look < idx + 5 {
+                look += 1;
+                stmt.push(' ');
+                stmt.push_str(&lines[look].raw);
+            }
+            if let Some(ext) = artifact_extension(&stmt) {
+                emit(
+                    idx,
+                    "checkpoint-io",
+                    format!(
+                        "direct write of a `{ext}` artifact; route it through an atomic \
+                         temp+rename helper (e.g. `dance_guard::checkpoint::atomic_write_text`) \
+                         so a crash mid-write cannot leave a torn file"
+                    ),
+                );
             }
         }
 
@@ -626,6 +686,39 @@ mod tests {
     fn span_guard_allow_comment_suppresses() {
         let src = "fn f() {\n    // lint: allow(span-guard) intentionally instantaneous\n    let _ = dance_telemetry::span!(\"noop\");\n}\n";
         assert!(rules_hit("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn direct_artifact_write_is_flagged() {
+        let bad = "fn f() { std::fs::write(\"results/out.json\", \"{}\").ok(); }\n";
+        let bad_create = "fn f() { let _f = std::fs::File::create(\"dump.bin\"); }\n";
+        let multi = "fn f() {\n    std::fs::write(\n        \"results/table.json\",\n        body,\n    ).ok();\n}\n";
+        assert_eq!(rules_hit("crates/x/src/lib.rs", bad), vec!["checkpoint-io"]);
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", bad_create),
+            vec!["checkpoint-io"]
+        );
+        assert_eq!(
+            rules_hit("crates/x/src/lib.rs", multi),
+            vec!["checkpoint-io"]
+        );
+    }
+
+    #[test]
+    fn non_artifact_and_jsonl_writes_pass() {
+        let jsonl = "fn f() { let _f = std::fs::File::create(\"run.jsonl\"); }\n";
+        let csv = "fn f() { std::fs::write(path, doc).ok(); }\n";
+        assert!(rules_hit("crates/x/src/lib.rs", jsonl).is_empty());
+        assert!(rules_hit("crates/x/src/lib.rs", csv).is_empty());
+    }
+
+    #[test]
+    fn atomic_helpers_and_allow_comment_are_exempt() {
+        let src = "fn save() { std::fs::write(\"weights.bin\", out).ok(); }\n";
+        assert!(rules_hit("crates/autograd/src/serialize.rs", src).is_empty());
+        assert!(rules_hit("crates/guard/src/checkpoint.rs", src).is_empty());
+        let allowed = "fn f() {\n    // lint: allow(checkpoint-io) scratch file, never reloaded\n    std::fs::write(\"scratch.json\", \"{}\").ok();\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", allowed).is_empty());
     }
 
     #[test]

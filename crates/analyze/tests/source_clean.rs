@@ -25,7 +25,7 @@ fn workspace_sources_are_lint_clean() {
     );
 }
 
-/// The fixture tree seeds exactly one violation per rule; all six rules
+/// The fixture tree seeds exactly one violation per rule; all seven rules
 /// must fire, each with a populated `file:line rule message` diagnostic.
 #[test]
 fn fixture_trips_every_rule() {
@@ -39,6 +39,7 @@ fn fixture_trips_every_rule() {
         "panic-doc",
         "must-use",
         "span-guard",
+        "checkpoint-io",
     ]
     .into_iter()
     .collect();

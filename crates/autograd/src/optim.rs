@@ -61,6 +61,46 @@ impl Sgd {
         self.weight_decay = weight_decay;
         self
     }
+
+    /// The momentum buffers, one per managed parameter — exposed so resume
+    /// can serialize the full optimizer state (restarting with zeroed
+    /// velocity silently changes the trajectory).
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Replaces the momentum buffers (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending buffer when the count or any
+    /// shape disagrees with the managed parameters.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) -> Result<(), String> {
+        check_state_tensors("sgd velocity", &self.params, &velocity)?;
+        self.velocity = velocity;
+        Ok(())
+    }
+}
+
+/// Validates that `tensors` matches `params` one-to-one in count and shape.
+fn check_state_tensors(what: &str, params: &[Var], tensors: &[Tensor]) -> Result<(), String> {
+    if tensors.len() != params.len() {
+        return Err(format!(
+            "{what}: {} buffers for {} parameters",
+            tensors.len(),
+            params.len()
+        ));
+    }
+    for (i, (t, p)) in tensors.iter().zip(params).enumerate() {
+        if t.shape() != p.shape() {
+            return Err(format!(
+                "{what}[{i}]: shape {:?} vs parameter {:?}",
+                t.shape(),
+                p.shape()
+            ));
+        }
+    }
+    Ok(())
 }
 
 impl Optimizer for Sgd {
@@ -137,6 +177,37 @@ impl Adam {
     pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
         self.weight_decay = weight_decay;
         self
+    }
+
+    /// The first- and second-moment buffers, one pair per parameter —
+    /// exposed so resume can serialize the full optimizer state.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Replaces the moment buffers (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the offending buffer when the count or any
+    /// shape disagrees with the managed parameters.
+    pub fn set_moments(&mut self, m: Vec<Tensor>, v: Vec<Tensor>) -> Result<(), String> {
+        check_state_tensors("adam m", &self.params, &m)?;
+        check_state_tensors("adam v", &self.params, &v)?;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
+
+    /// The number of steps taken so far (drives bias correction; a resume
+    /// that restores moments but not the step count is subtly wrong).
+    pub fn step_count(&self) -> u32 {
+        self.t
+    }
+
+    /// Overwrites the step count (checkpoint restore).
+    pub fn set_step_count(&mut self, t: u32) {
+        self.t = t;
     }
 }
 
@@ -343,6 +414,69 @@ mod tests {
         assert!((pre - 10.0).abs() < 1e-4);
         let g = x.grad().unwrap();
         assert!((g.sq_norm().sqrt() - 1.0).abs() < 1e-4);
+    }
+
+    /// One optimization step of f(x) = (x − 3)² for an arbitrary optimizer.
+    fn quadratic_step(x: &Var, opt: &mut dyn Optimizer) {
+        opt.zero_grad();
+        x.add_scalar(-3.0).sqr().sum().backward();
+        opt.step();
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_reproduces_trajectory() {
+        let x1 = Var::parameter(Tensor::scalar(0.0));
+        let mut a = Sgd::new(vec![x1.clone()], 0.05).with_momentum(0.9);
+        for _ in 0..7 {
+            quadratic_step(&x1, &mut a);
+        }
+        // Clone state into a fresh optimizer over a fresh parameter at the
+        // same value; both must evolve identically from here.
+        let x2 = Var::parameter(x1.value());
+        let mut b = Sgd::new(vec![x2.clone()], 0.05).with_momentum(0.9);
+        b.set_velocity(a.velocity().to_vec())
+            .expect("same-shaped velocity restores");
+        for _ in 0..5 {
+            quadratic_step(&x1, &mut a);
+            quadratic_step(&x2, &mut b);
+        }
+        assert_eq!(x1.value().item().to_bits(), x2.value().item().to_bits());
+    }
+
+    #[test]
+    fn adam_state_roundtrip_reproduces_trajectory() {
+        let x1 = Var::parameter(Tensor::scalar(0.0));
+        let mut a = Adam::new(vec![x1.clone()], 0.1);
+        for _ in 0..7 {
+            quadratic_step(&x1, &mut a);
+        }
+        let x2 = Var::parameter(x1.value());
+        let mut b = Adam::new(vec![x2.clone()], 0.1);
+        let (m, v) = a.moments();
+        b.set_moments(m.to_vec(), v.to_vec())
+            .expect("same-shaped moments restore");
+        b.set_step_count(a.step_count());
+        for _ in 0..5 {
+            quadratic_step(&x1, &mut a);
+            quadratic_step(&x2, &mut b);
+        }
+        assert_eq!(x1.value().item().to_bits(), x2.value().item().to_bits());
+        assert_eq!(a.step_count(), b.step_count());
+    }
+
+    #[test]
+    fn optimizer_state_shape_mismatch_is_rejected() {
+        let x = Var::parameter(Tensor::scalar(0.0));
+        let mut sgd = Sgd::new(vec![x.clone()], 0.1);
+        assert!(sgd.set_velocity(vec![]).is_err(), "count mismatch accepted");
+        assert!(
+            sgd.set_velocity(vec![Tensor::zeros(&[2])]).is_err(),
+            "shape mismatch accepted"
+        );
+        let mut adam = Adam::new(vec![x.clone()], 0.1);
+        assert!(adam
+            .set_moments(vec![Tensor::zeros(&[2])], vec![Tensor::zeros(&[2])])
+            .is_err());
     }
 
     #[test]

@@ -162,7 +162,9 @@ pub fn bench_run<T>(name: &str, f: impl FnOnce() -> T) -> T {
     let doc = dance_telemetry::runlog::snapshot_json(name, secs);
     drop(run);
     let path = bench_dir().join(format!("BENCH_{name}.json"));
-    if let Err(e) = std::fs::write(&path, doc) {
+    // Atomic temp+rename: a crashed bench must not leave a torn artifact
+    // that a later perf-diff PR would misread as a baseline.
+    if let Err(e) = dance_guard::checkpoint::atomic_write_text(&path, &doc) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         println!("(bench telemetry written to {})", path.display());

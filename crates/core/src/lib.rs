@@ -53,6 +53,7 @@ pub use dance_autograd as autograd;
 pub use dance_cost as cost;
 pub use dance_data as data;
 pub use dance_evaluator as evaluator;
+pub use dance_guard as guard;
 pub use dance_hwgen as hwgen;
 pub use dance_nas as nas;
 
@@ -67,14 +68,18 @@ pub mod prelude {
     pub use crate::report::{fmt_f, ResultTable};
     pub use crate::rl::{rl_co_exploration, RlCandidate, RlConfig, RlOutcome};
     pub use crate::search::{
-        dance_search, evaluate_fixed, train_derived, EpochStats, Penalty, SearchConfig,
-        SearchOutcome,
+        dance_search, dance_search_guarded, evaluate_fixed, train_derived, EpochStats, Penalty,
+        SearchConfig, SearchOutcome,
     };
     pub use dance_accel::prelude::*;
     pub use dance_autograd::prelude::*;
     pub use dance_cost::prelude::*;
     pub use dance_data::prelude::*;
     pub use dance_evaluator::prelude::*;
+    pub use dance_guard::checkpoint::CheckpointConfig;
+    pub use dance_guard::degrade::AnalyticCostModel;
+    pub use dance_guard::watchdog::WatchdogConfig;
+    pub use dance_guard::{GuardConfig, GuardReport};
     pub use dance_hwgen::prelude::*;
     pub use dance_nas::prelude::*;
 }

@@ -34,7 +34,10 @@ use dance_hwgen::table::CostTable;
 use dance_nas::arch::ArchParams;
 use dance_nas::supernet::{Supernet, SupernetConfig};
 
-use crate::search::{dance_search, train_derived, EpochStats, Penalty, SearchConfig};
+use dance_guard::degrade::AnalyticCostModel;
+use dance_guard::{GuardConfig, GuardReport};
+
+use crate::search::{dance_search_guarded, train_derived, EpochStats, Penalty, SearchConfig};
 
 /// A workload + proxy-supernet + dataset bundle.
 #[derive(Debug)]
@@ -158,6 +161,8 @@ pub struct FinalDesign {
     pub accuracy: f32,
     /// Search diagnostics.
     pub history: Vec<EpochStats>,
+    /// Fault-tolerance diagnostics from the search.
+    pub guard: GuardReport,
 }
 
 /// Baseline penalty selection.
@@ -342,8 +347,34 @@ impl Pipeline {
         )
     }
 
+    /// The exact linear surrogate of the cost table at the accelerator
+    /// configuration that is optimal for the uniform (search-start)
+    /// architecture — the fallback the guard degrades to when the learned
+    /// cost net goes out of envelope.
+    pub fn analytic_fallback(&self) -> AnalyticCostModel {
+        let slots = self.benchmark.template.num_slots();
+        let uniform = vec![vec![1.0 / 7.0; 7]; slots];
+        let mut best = f64::INFINITY;
+        let mut best_idx = 0usize;
+        for idx in 0..self.table.space().len() {
+            let c = self.cost_fn.apply(&self.table.soft_cost(&uniform, idx));
+            if c < best {
+                best = c;
+                best_idx = idx;
+            }
+        }
+        let (fixed, per_slot) = self.table.linear_surrogate(best_idx);
+        AnalyticCostModel::from_parts(fixed, &per_slot)
+    }
+
     /// DANCE co-exploration: differentiable search through a frozen
     /// evaluator, exact hardware generation, derived retraining.
+    ///
+    /// Runs with the default (observe-only) guard plus the pipeline's
+    /// analytical cost fallback, so a misbehaving cost net degrades
+    /// gracefully instead of steering the search with garbage. Use
+    /// [`Pipeline::run_dance_guarded`] to also enable checkpointing, resume
+    /// or fault injection.
     pub fn run_dance(
         &self,
         evaluator: &Evaluator,
@@ -351,13 +382,31 @@ impl Pipeline {
         retrain: &RetrainConfig,
         method: impl Into<String>,
     ) -> FinalDesign {
+        self.run_dance_guarded(evaluator, search, retrain, method, &GuardConfig::default())
+    }
+
+    /// [`Pipeline::run_dance`] with an explicit fault-tolerance
+    /// configuration. When `guard.cost_fallback` is unset, the pipeline's
+    /// [`Pipeline::analytic_fallback`] is filled in.
+    pub fn run_dance_guarded(
+        &self,
+        evaluator: &Evaluator,
+        search: &SearchConfig,
+        retrain: &RetrainConfig,
+        method: impl Into<String>,
+        guard: &GuardConfig,
+    ) -> FinalDesign {
         let reference = self.reference_cost();
         let penalty = Penalty::Evaluator {
             evaluator,
             cost_fn: self.cost_fn,
             reference,
         };
-        self.run_with_penalty(&penalty, search, retrain, method)
+        let mut guard = guard.clone();
+        if guard.cost_fallback.is_none() {
+            guard.cost_fallback = Some(self.analytic_fallback());
+        }
+        self.run_with_penalty_guarded(&penalty, search, retrain, method, &guard)
     }
 
     /// Baseline NAS (no penalty / FLOPs penalty) + post-hoc exact hardware
@@ -390,13 +439,31 @@ impl Pipeline {
         retrain: &RetrainConfig,
         method: impl Into<String>,
     ) -> FinalDesign {
+        self.run_with_penalty_guarded(penalty, search, retrain, method, &GuardConfig::default())
+    }
+
+    fn run_with_penalty_guarded(
+        &self,
+        penalty: &Penalty<'_>,
+        search: &SearchConfig,
+        retrain: &RetrainConfig,
+        method: impl Into<String>,
+        guard: &GuardConfig,
+    ) -> FinalDesign {
         let _run = dance_telemetry::runlog::RunGuard::start("pipeline");
         let mut rng = StdRng::seed_from_u64(search.seed);
         let supernet = Supernet::new(self.benchmark.supernet, &mut rng);
         let arch = ArchParams::new(supernet.num_slots(), &mut rng);
         let outcome = {
             let _phase = dance_telemetry::span!("pipeline.search");
-            dance_search(&supernet, &arch, &self.benchmark.data, penalty, search)
+            dance_search_guarded(
+                &supernet,
+                &arch,
+                &self.benchmark.data,
+                penalty,
+                search,
+                guard,
+            )
         };
 
         // One-time exact hardware generation after the search (paper §4.3).
@@ -424,6 +491,7 @@ impl Pipeline {
             cost: hw.cost,
             accuracy,
             history: outcome.history,
+            guard: outcome.guard,
         }
     }
 }

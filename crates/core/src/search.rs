@@ -9,6 +9,8 @@
 //! one-time exact hardware generation recovers the accelerator and the
 //! derived network is retrained from scratch.
 
+use std::io;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,11 +18,16 @@ use dance_accel::workload::SlotChoice;
 use dance_analyze::graph::lint_graph;
 use dance_autograd::loss::{accuracy, cross_entropy};
 use dance_autograd::optim::{clip_grad_norm, Adam, CosineLr, Optimizer, Sgd};
+use dance_autograd::tensor::Tensor;
 use dance_autograd::var::Var;
 use dance_cost::metrics::CostFunction;
 use dance_data::loader::{Batch, Batcher};
 use dance_data::tasks::TaskData;
 use dance_evaluator::evaluator::Evaluator;
+use dance_guard::checkpoint::{CheckpointConfig, CheckpointStore, Snapshot};
+use dance_guard::degrade::check_metrics;
+use dance_guard::watchdog::Watchdog;
+use dance_guard::{GuardConfig, GuardReport};
 use dance_nas::arch::ArchParams;
 use dance_nas::supernet::{ForwardMode, Supernet, SupernetConfig};
 
@@ -90,6 +97,9 @@ pub struct SearchOutcome {
     pub probs: Vec<Vec<f32>>,
     /// Per-epoch diagnostics.
     pub history: Vec<EpochStats>,
+    /// What the fault-tolerance layer did (all zeros when `DANCE_GUARD=off`
+    /// or nothing went wrong).
+    pub guard: GuardReport,
 }
 
 fn batch_input(net: &Supernet, batch: &Batch) -> Var {
@@ -167,6 +177,11 @@ pub enum Penalty<'a> {
 /// Runs the differentiable co-exploration (or a baseline, depending on
 /// `penalty`), mutating `arch` in place.
 ///
+/// Equivalent to [`dance_search_guarded`] with the default (observe-only)
+/// [`GuardConfig`]; as long as the watchdog stays quiet the RNG stream and
+/// therefore the whole trajectory are bit-identical to a run with
+/// `DANCE_GUARD=off`.
+///
 /// # Panics
 ///
 /// Panics if the supernet/arch slot counts disagree, the data does not
@@ -179,6 +194,201 @@ pub fn dance_search(
     data: &TaskData,
     penalty: &Penalty<'_>,
     cfg: &SearchConfig,
+) -> SearchOutcome {
+    dance_search_guarded(supernet, arch, data, penalty, cfg, &GuardConfig::default())
+}
+
+/// Builds the full training-state snapshot at an epoch boundary.
+///
+/// `next_epoch` is the epoch the run would execute next — the resume cursor.
+#[allow(clippy::too_many_arguments)] // lint: allow(panic-doc)
+fn capture_snapshot(
+    next_epoch: usize,
+    global_step: u64,
+    arch_steps: u64,
+    rng: &StdRng,
+    watchdog: &Watchdog,
+    degraded: bool,
+    supernet: &Supernet,
+    arch: &ArchParams,
+    w_opt: &Sgd,
+    a_opt: &Adam,
+    history: &[EpochStats],
+) -> Snapshot {
+    let mut s = Snapshot::new();
+    s.put_u64("meta.next_epoch", next_epoch as u64);
+    s.put_u64("meta.steps", global_step);
+    s.put_u64("meta.arch_steps", arch_steps);
+    s.put_rng("meta.rng", rng);
+    s.put_f64s("meta.watchdog", &watchdog.state());
+    s.put_u64("meta.degraded", u64::from(degraded));
+    s.put_params("supernet", &supernet.parameters());
+    s.put_params("alpha", &arch.parameters());
+    s.put_tensor_list("opt.w.vel", w_opt.velocity());
+    let (m, v) = a_opt.moments();
+    s.put_tensor_list("opt.a.m", m);
+    s.put_tensor_list("opt.a.v", v);
+    s.put_u64("opt.a.t", u64::from(a_opt.step_count()));
+    let flat: Vec<f32> = history
+        .iter()
+        .flat_map(|h| {
+            [
+                h.epoch as f32,
+                h.train_ce,
+                h.hw_cost,
+                h.arch_entropy,
+                h.lambda2,
+            ]
+        })
+        .collect();
+    s.put_tensor("history", Tensor::from_vec(flat, &[history.len(), 5]));
+    s
+}
+
+/// Restores parameters, optimizer state and watchdog statistics from a
+/// snapshot — the shared core of rollback (in-memory) and resume (disk).
+fn restore_training_state(
+    snap: &Snapshot,
+    supernet: &Supernet,
+    arch: &ArchParams,
+    w_opt: &mut Sgd,
+    a_opt: &mut Adam,
+    watchdog: &mut Watchdog,
+) -> io::Result<()> {
+    let invalid = |e: String| io::Error::new(io::ErrorKind::InvalidData, e);
+    snap.restore_params("supernet", &supernet.parameters())?;
+    snap.restore_params("alpha", &arch.parameters())?;
+    let n_w = supernet.parameters().len();
+    let n_a = arch.parameters().len();
+    w_opt
+        .set_velocity(snap.tensor_list("opt.w.vel", n_w)?)
+        .map_err(invalid)?;
+    a_opt
+        .set_moments(
+            snap.tensor_list("opt.a.m", n_a)?,
+            snap.tensor_list("opt.a.v", n_a)?,
+        )
+        .map_err(invalid)?;
+    a_opt.set_step_count(snap.u64_at("opt.a.t")? as u32);
+    let wd = snap.f64s_at("meta.watchdog")?;
+    if wd.len() != 3 {
+        return Err(invalid("malformed meta.watchdog state".to_string()));
+    }
+    watchdog.restore([wd[0], wd[1], wd[2]]);
+    Ok(())
+}
+
+/// Decodes the per-epoch history rows stored by [`capture_snapshot`].
+fn history_from_snapshot(snap: &Snapshot) -> io::Result<Vec<EpochStats>> {
+    let t = snap.tensor("history")?;
+    Ok(t.data()
+        .chunks_exact(5)
+        .map(|row| EpochStats {
+            epoch: row[0] as usize,
+            train_ce: row[1],
+            hw_cost: row[2],
+            arch_entropy: row[3],
+            lambda2: row[4],
+        })
+        .collect())
+}
+
+// Fault-injection query shims: compiled to constants unless the
+// `fault-injection` feature is on, so release search loops carry none of
+// the harness.
+#[cfg(feature = "fault-injection")]
+fn fault_nan_loss(g: &GuardConfig, step: u64) -> bool {
+    g.fault_plan.as_ref().map_or(false, |p| p.nan_loss_at(step))
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_nan_loss(_g: &GuardConfig, _step: u64) -> bool {
+    false
+}
+#[cfg(feature = "fault-injection")]
+fn fault_nan_tensor(g: &GuardConfig, step: u64) -> Option<String> {
+    g.fault_plan
+        .as_ref()
+        .and_then(|p| p.nan_tensor_at(step).map(str::to_string))
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_nan_tensor(_g: &GuardConfig, _step: u64) -> Option<String> {
+    None
+}
+#[cfg(feature = "fault-injection")]
+fn fault_cost_garbage(g: &GuardConfig, step: u64) -> Option<f32> {
+    g.fault_plan.as_ref().and_then(|p| p.cost_garbage_at(step))
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_cost_garbage(_g: &GuardConfig, _step: u64) -> Option<f32> {
+    None
+}
+#[cfg(feature = "fault-injection")]
+fn fault_crash_after(g: &GuardConfig, epoch: usize) -> bool {
+    g.fault_plan
+        .as_ref()
+        .map_or(false, |p| p.crash_after(epoch))
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_crash_after(_g: &GuardConfig, _epoch: usize) -> bool {
+    false
+}
+#[cfg(feature = "fault-injection")]
+fn fault_corrupt_checkpoint(g: &GuardConfig, epoch: usize, path: &std::path::Path) {
+    if g.fault_plan
+        .as_ref()
+        .map_or(false, |p| p.corrupt_checkpoint_at(epoch))
+    {
+        if let Err(e) = dance_guard::fault::FaultPlan::apply_corruption(path) {
+            eprintln!(
+                "dance-guard: fault injection could not corrupt {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_corrupt_checkpoint(_g: &GuardConfig, _epoch: usize, _path: &std::path::Path) {}
+
+/// Writes a NaN into the first element of the named parameter (fault
+/// injection target; names follow the checkpoint keys `supernet.N` /
+/// `alpha.N`).
+fn poison_named(named: &[(String, Var)], target: &str) {
+    if let Some((_, var)) = named.iter().find(|(n, _)| n == target) {
+        let mut data = var.value().into_data();
+        if let Some(first) = data.first_mut() {
+            *first = f32::NAN;
+        }
+        let shape = var.shape();
+        var.set_value(Tensor::from_vec(data, &shape));
+    } else {
+        eprintln!("dance-guard: fault injection target {target:?} does not exist; ignored");
+    }
+}
+
+/// [`dance_search`] with an explicit fault-tolerance configuration: a
+/// numeric-health watchdog with rollback-to-last-good, periodic atomic
+/// checkpoints, bit-for-bit resume, and graceful degradation of the learned
+/// cost model to an analytical surrogate.
+///
+/// All guard work is gated on [`dance_guard::enabled()`], so
+/// `DANCE_GUARD=off` reduces every guard site to a single branch and the
+/// behavior (including the RNG stream) is exactly the pre-guard search.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`dance_search`], and additionally
+/// when a checkpoint selected for resume restores tensors whose shapes
+/// disagree with the live supernet/arch (resuming a different workload). A
+/// missing resume directory or an all-corrupt one falls back to a fresh
+/// start with a warning instead.
+#[allow(clippy::too_many_lines)] // lint: allow(panic-doc)
+pub fn dance_search_guarded(
+    supernet: &Supernet,
+    arch: &ArchParams,
+    data: &TaskData,
+    penalty: &Penalty<'_>,
+    cfg: &SearchConfig,
+    guard_cfg: &GuardConfig,
 ) -> SearchOutcome {
     assert_eq!(
         supernet.num_slots(),
@@ -194,6 +404,7 @@ pub fn dance_search(
     if let Err(report) = lint_search_loss(supernet, arch, data, penalty, cfg) {
         panic!("refusing to train: {report}");
     }
+    let guard_on = dance_guard::enabled();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let train_batcher = Batcher::new(&data.train, cfg.batch_size);
     let val_batcher = Batcher::new(&data.val, cfg.batch_size);
@@ -203,9 +414,104 @@ pub fn dance_search(
         .with_nesterov()
         .with_weight_decay(cfg.weight_decay);
     let mut a_opt = Adam::new(arch.parameters(), cfg.lr_arch);
+    let mut watchdog = Watchdog::new(guard_cfg.watchdog);
+    let mut report = GuardReport::default();
+    let mut history: Vec<EpochStats> = Vec::with_capacity(cfg.epochs);
+    let mut global_step: u64 = 0; // weight steps, monotone across rollbacks
+    let mut arch_steps: u64 = 0; // arch steps, monotone across rollbacks
+    let mut cost_degraded = false; // sticky: learned cost net abandoned
+    let mut start_epoch = 0usize;
 
-    let mut history = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    // Checkpoint-key names for the watchdog scans and fault targeting.
+    let supernet_named: Vec<(String, Var)> = supernet
+        .parameters()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (format!("supernet.{i}"), p))
+        .collect();
+    let alpha_named: Vec<(String, Var)> = arch
+        .parameters()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (format!("alpha.{i}"), p))
+        .collect();
+
+    // --- Resume -----------------------------------------------------------
+    if guard_on {
+        if let Some(dir) = &guard_cfg.resume_from {
+            let resume_store = CheckpointStore::new(CheckpointConfig::every_epoch(dir.clone()));
+            if let Some((ckpt_epoch, snap)) = resume_store.latest_good() {
+                let restore = restore_training_state(
+                    &snap,
+                    supernet,
+                    arch,
+                    &mut w_opt,
+                    &mut a_opt,
+                    &mut watchdog,
+                )
+                .and_then(|()| {
+                    rng = snap.rng_at("meta.rng")?;
+                    global_step = snap.u64_at("meta.steps")?;
+                    arch_steps = snap.u64_at("meta.arch_steps")?;
+                    cost_degraded = snap.u64_at("meta.degraded")? != 0;
+                    history = history_from_snapshot(&snap)?;
+                    start_epoch = snap.u64_at("meta.next_epoch")? as usize;
+                    Ok(())
+                });
+                if let Err(e) = restore {
+                    panic!(
+                        "resume from {} failed (checkpoint does not match this workload): {e}",
+                        dir.display()
+                    );
+                }
+                report.resumed_from_epoch = Some(ckpt_epoch);
+                report.cost_model_degraded = cost_degraded;
+                dance_telemetry::counter!("guard.resume");
+                dance_telemetry::runlog::emit_guard(
+                    "resume",
+                    &format!("epoch {ckpt_epoch} from {}", dir.display()),
+                );
+                eprintln!(
+                    "dance-guard: resumed from {} (epoch {ckpt_epoch}, continuing at {start_epoch})",
+                    dir.display()
+                );
+            } else {
+                eprintln!(
+                    "dance-guard: no usable checkpoint under {}; starting fresh",
+                    dir.display()
+                );
+            }
+        }
+    }
+
+    let store = if guard_on {
+        guard_cfg
+            .checkpoint
+            .as_ref()
+            .map(|c| CheckpointStore::new(c.clone()))
+    } else {
+        None
+    };
+    // In-memory last-good snapshot: the rollback target. Captured at every
+    // healthy epoch boundary whether or not disk checkpointing is on.
+    let mut last_good: Option<Snapshot> = guard_on.then(|| {
+        capture_snapshot(
+            start_epoch,
+            global_step,
+            arch_steps,
+            &rng,
+            &watchdog,
+            cost_degraded,
+            supernet,
+            arch,
+            &w_opt,
+            &a_opt,
+            &history,
+        )
+    });
+
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
         let _epoch_span = dance_telemetry::span!("search.epoch");
         w_opt.set_lr(schedule.lr_at(epoch));
         let lambda2 = cfg.lambda2.lambda_at(epoch);
@@ -214,24 +520,44 @@ pub fn dance_search(
         let mut ce_sum = 0.0;
         let mut hw_sum = 0.0;
         let mut hw_count = 0usize;
+        let mut trip: Option<dance_guard::watchdog::TripReason> = None;
 
         for (step, tb) in train_batches.iter().enumerate() {
             // --- Weight step on the training split --------------------
-            let loss = {
+            if guard_on {
+                if let Some(target) = fault_nan_tensor(guard_cfg, global_step) {
+                    poison_named(&supernet_named, &target);
+                    poison_named(&alpha_named, &target);
+                }
+            }
+            let loss_val = {
                 let _step_span = dance_telemetry::hot_span!("search.weight_step");
                 let x = batch_input(supernet, tb);
                 let logits = supernet.forward(&x, ForwardMode::Mixture(arch));
                 let loss = cross_entropy(&logits, &tb.y, cfg.label_smoothing);
-                ce_sum += loss.item();
-                w_opt.zero_grad();
-                a_opt.zero_grad(); // mixture grads leak into α; discard them here
-                loss.backward();
-                a_opt.zero_grad();
-                clip_grad_norm(&supernet.parameters(), 5.0);
-                w_opt.step();
-                loss
+                let mut loss_val = loss.item();
+                if guard_on && fault_nan_loss(guard_cfg, global_step) {
+                    loss_val = f32::NAN;
+                }
+                ce_sum += loss_val;
+                if guard_on {
+                    trip = watchdog.observe_loss(loss_val);
+                }
+                if trip.is_none() {
+                    w_opt.zero_grad();
+                    a_opt.zero_grad(); // mixture grads leak into α; discard them here
+                    loss.backward();
+                    a_opt.zero_grad();
+                    clip_grad_norm(&supernet.parameters(), 5.0);
+                    w_opt.step();
+                }
+                loss_val
             };
-            dance_telemetry::histogram!("epoch.loss", f64::from(loss.item()));
+            global_step += 1;
+            if trip.is_some() {
+                break;
+            }
+            dance_telemetry::histogram!("epoch.loss", f64::from(loss_val));
 
             // --- Architecture step on the validation split ------------
             // Alternate: one α step per two weight steps keeps the search
@@ -255,11 +581,59 @@ pub fn dance_search(
                         cost_fn,
                         reference,
                     } => {
-                        let metrics = evaluator.predict_metrics(&arch.encode(), &mut rng);
-                        let hw = cost_hw_var(&metrics, cost_fn, *reference);
-                        hw_sum += hw.item();
-                        hw_count += 1;
-                        loss = loss.add(&hw.scale(lambda2).sum());
+                        let metrics = if cost_degraded {
+                            // Already degraded: the analytical surrogate (or
+                            // nothing, when no fallback was provided).
+                            guard_cfg
+                                .cost_fallback
+                                .as_ref()
+                                .map(|f| f.metrics_var(&arch.mixture_weights()))
+                        } else {
+                            let mut m = evaluator.predict_metrics(&arch.encode(), &mut rng);
+                            if guard_on {
+                                if let Some(garbage) = fault_cost_garbage(guard_cfg, arch_steps) {
+                                    m = Var::constant(Tensor::from_vec(vec![garbage; 3], &[1, 3]));
+                                }
+                            }
+                            if guard_on {
+                                let analytic = guard_cfg
+                                    .cost_fallback
+                                    .as_ref()
+                                    .map(|f| f.metrics_value(&arch.probs_matrix()));
+                                match check_metrics(
+                                    &m.value(),
+                                    analytic.as_ref(),
+                                    guard_cfg.cost_envelope,
+                                ) {
+                                    Some(reason) => {
+                                        cost_degraded = true;
+                                        report.cost_model_degraded = true;
+                                        dance_telemetry::counter!("guard.degrade.cost_model");
+                                        dance_telemetry::runlog::emit_guard(
+                                            "degrade.cost_model",
+                                            &reason,
+                                        );
+                                        eprintln!(
+                                            "dance-guard: degrading to the analytical cost \
+                                             model: {reason}"
+                                        );
+                                        guard_cfg
+                                            .cost_fallback
+                                            .as_ref()
+                                            .map(|f| f.metrics_var(&arch.mixture_weights()))
+                                    }
+                                    None => Some(m),
+                                }
+                            } else {
+                                Some(m)
+                            }
+                        };
+                        if let Some(metrics) = metrics {
+                            let hw = cost_hw_var(&metrics, cost_fn, *reference);
+                            hw_sum += hw.item();
+                            hw_count += 1;
+                            loss = loss.add(&hw.scale(lambda2).sum());
+                        }
                     }
                 }
                 a_opt.zero_grad();
@@ -268,9 +642,65 @@ pub fn dance_search(
                 w_opt.zero_grad();
                 clip_grad_norm(&arch.parameters(), 5.0);
                 a_opt.step();
+                arch_steps += 1;
+                if guard_on {
+                    trip = watchdog.scan_params(alpha_named.iter().map(|(n, v)| (n.as_str(), v)));
+                    if trip.is_some() {
+                        break;
+                    }
+                }
             }
         }
 
+        // Per-epoch full parameter sweep: cheap relative to an epoch of
+        // training, and catches weight corruption the loss has not yet
+        // surfaced.
+        if guard_on && trip.is_none() {
+            trip = watchdog.scan_params(supernet_named.iter().map(|(n, v)| (n.as_str(), v)));
+        }
+
+        // --- Trip handling: roll back to last-good and retry ----------
+        if let Some(reason) = trip {
+            report.watchdog_trips += 1;
+            dance_telemetry::counter!("guard.watchdog.trip");
+            dance_telemetry::runlog::emit_guard("watchdog.trip", &reason.to_string());
+            eprintln!("dance-guard: watchdog tripped in epoch {epoch}: {reason}");
+            let snap = last_good
+                .as_ref()
+                .expect("guard enabled implies a last-good snapshot");
+            restore_training_state(snap, supernet, arch, &mut w_opt, &mut a_opt, &mut watchdog)
+                .expect("in-memory snapshot always matches the live model");
+            if report.rollbacks >= guard_cfg.max_rollbacks {
+                dance_telemetry::runlog::emit_guard(
+                    "giveup",
+                    &format!("epoch {epoch} after {} rollbacks", report.rollbacks),
+                );
+                eprintln!(
+                    "dance-guard: giving up after {} rollbacks; returning last-good state",
+                    report.rollbacks
+                );
+                break;
+            }
+            report.rollbacks += 1;
+            // Fresh Gumbel noise and batch order for the retry, still fully
+            // deterministic in (seed, rollback count).
+            rng = StdRng::seed_from_u64(
+                cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(report.rollbacks)),
+            );
+            let decayed_lr = a_opt.lr() * guard_cfg.rollback_arch_lr_decay;
+            a_opt.set_lr(decayed_lr);
+            dance_telemetry::counter!("guard.rollback");
+            dance_telemetry::runlog::emit_guard(
+                "rollback",
+                &format!(
+                    "epoch {epoch} retry {}, arch lr {decayed_lr}",
+                    report.rollbacks
+                ),
+            );
+            continue; // retry the same epoch
+        }
+
+        // --- Healthy epoch end ----------------------------------------
         let stats = EpochStats {
             epoch,
             train_ce: ce_sum / train_batches.len().max(1) as f32,
@@ -287,6 +717,46 @@ pub fn dance_search(
         dance_telemetry::gauge!("search.arch_entropy", f64::from(stats.arch_entropy));
         dance_telemetry::gauge!("search.lambda2", f64::from(stats.lambda2));
         history.push(stats);
+
+        if guard_on {
+            let snap = capture_snapshot(
+                epoch + 1,
+                global_step,
+                arch_steps,
+                &rng,
+                &watchdog,
+                cost_degraded,
+                supernet,
+                arch,
+                &w_opt,
+                &a_opt,
+                &history,
+            );
+            if let Some(store) = &store {
+                if store.due(epoch) {
+                    match store.save(epoch, &snap) {
+                        Ok(path) => {
+                            report.checkpoints_written += 1;
+                            dance_telemetry::counter!("guard.checkpoint.saved");
+                            fault_corrupt_checkpoint(guard_cfg, epoch, &path);
+                        }
+                        // Checkpoint I/O failure must never abort a search.
+                        Err(e) => eprintln!("dance-guard: checkpoint save failed: {e}"),
+                    }
+                }
+            }
+            last_good = Some(snap);
+        }
+        let crashed = guard_on && fault_crash_after(guard_cfg, epoch);
+        epoch += 1;
+        if crashed {
+            report.aborted_by_fault = true;
+            dance_telemetry::runlog::emit_guard(
+                "fault.crash",
+                &format!("simulated crash after epoch {}", epoch - 1),
+            );
+            break;
+        }
     }
 
     let choices = arch.derive();
@@ -299,6 +769,7 @@ pub fn dance_search(
         choices,
         probs: arch.probs_matrix(),
         history,
+        guard: report,
     }
 }
 

@@ -15,6 +15,12 @@ use crate::cost_net::CostNet;
 use crate::evaluator::Evaluator;
 use crate::hwgen_net::HwGenNet;
 
+/// Wraps an I/O error with the file it concerns, so a failed load deep in a
+/// pipeline names the artifact instead of just "invalid data".
+fn with_path(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
 fn params_to_items(prefix: &str, params: &[dance_autograd::var::Var]) -> Vec<(String, Tensor)> {
     params
         .iter()
@@ -57,9 +63,11 @@ impl HwGenNet {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the file.
+    /// Returns any I/O error from writing the file, naming the path.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
         save_tensors(path, &params_to_items("hwgen", &self.parameters()))
+            .map_err(|e| with_path(path, e))
     }
 
     /// Loads weights saved by [`HwGenNet::save`] into this (same-shaped)
@@ -68,10 +76,11 @@ impl HwGenNet {
     /// # Errors
     ///
     /// Returns an error when the file is unreadable, tensors are missing,
-    /// or shapes disagree.
+    /// or shapes disagree; the message names the path.
     pub fn load(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let items = load_tensors(path)?;
-        load_params_into(&items, "hwgen", &self.parameters())
+        let path = path.as_ref();
+        let items = load_tensors(path).map_err(|e| with_path(path, e))?;
+        load_params_into(&items, "hwgen", &self.parameters()).map_err(|e| with_path(path, e))
     }
 }
 
@@ -95,9 +104,10 @@ impl CostNet {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the file.
+    /// Returns any I/O error from writing the file, naming the path.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        save_tensors(path, &self.state_items())
+        let path = path.as_ref();
+        save_tensors(path, &self.state_items()).map_err(|e| with_path(path, e))
     }
 
     /// Restores state saved by [`CostNet::save`] into this (same-shaped)
@@ -106,10 +116,12 @@ impl CostNet {
     /// # Errors
     ///
     /// Returns an error when the file is unreadable, tensors are missing,
-    /// or shapes disagree.
+    /// or shapes disagree; the message names the path.
     pub fn load(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
-        let items = load_tensors(path)?;
+        let path = path.as_ref();
+        let items = load_tensors(path).map_err(|e| with_path(path, e))?;
         self.load_state_items(&items)
+            .map_err(|e| with_path(path, e))
     }
 
     /// Restores state from pre-loaded items (shared-file case).
@@ -154,11 +166,12 @@ impl Evaluator {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from writing the file.
+    /// Returns any I/O error from writing the file, naming the path.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
         let mut items = params_to_items("hwgen", &self.hwgen().parameters());
         items.extend(self.cost_net().state_items());
-        save_tensors(path, &items)
+        save_tensors(path, &items).map_err(|e| with_path(path, e))
     }
 
     /// Restores both component networks from a file written by
@@ -167,11 +180,15 @@ impl Evaluator {
     /// # Errors
     ///
     /// Returns an error when the file is unreadable, tensors are missing,
-    /// or shapes disagree.
+    /// or shapes disagree; the message names the path.
     pub fn load(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
-        let items = load_tensors(path)?;
-        load_params_into(&items, "hwgen", &self.hwgen().parameters())?;
-        self.cost_net_mut().load_state_items(&items)
+        let path = path.as_ref();
+        let items = load_tensors(path).map_err(|e| with_path(path, e))?;
+        load_params_into(&items, "hwgen", &self.hwgen().parameters())
+            .map_err(|e| with_path(path, e))?;
+        self.cost_net_mut()
+            .load_state_items(&items)
+            .map_err(|e| with_path(path, e))
     }
 }
 
@@ -202,7 +219,7 @@ mod tests {
         let before = original.predict_metrics(&x, &mut r1).value();
 
         let path = temp("evaluator");
-        original.save(&path).unwrap();
+        original.save(&path).expect("save trained evaluator");
 
         // A fresh evaluator with different weights...
         let mut rng2 = StdRng::seed_from_u64(999);
@@ -214,7 +231,7 @@ mod tests {
             63,
             HeadSampling::Softmax { tau: 1.0 },
         );
-        restored.load(&path).unwrap();
+        restored.load(&path).expect("reload saved evaluator");
         restored.freeze();
 
         let mut r2 = StdRng::seed_from_u64(5);
@@ -232,9 +249,16 @@ mod tests {
         let small = HwGenNet::new(63, 16, &mut rng);
         let big = HwGenNet::new(63, 32, &mut rng);
         let path = temp("mismatch");
-        small.save(&path).unwrap();
-        let err = big.load(&path).unwrap_err();
+        small.save(&path).expect("save small network");
+        let err = big
+            .load(&path)
+            .expect_err("loading into a wider network must fail");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "error must name the file: {msg}"
+        );
         let _ = std::fs::remove_file(path);
     }
 
@@ -248,9 +272,9 @@ mod tests {
             let _ = net.forward(&x);
         }
         let path = temp("costnet");
-        net.save(&path).unwrap();
+        net.save(&path).expect("save cost net state");
         let mut other = CostNet::new(10, 16, &mut rng);
-        other.load(&path).unwrap();
+        other.load(&path).expect("reload cost net state");
         net.set_training(false);
         other.set_training(false);
         let x = Var::constant(Tensor::rand_normal(&[4, 10], 2.0, 1.0, &mut rng));

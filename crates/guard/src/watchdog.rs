@@ -1,0 +1,230 @@
+//! Numeric-health watchdog: non-finite scans and a rolling loss-spike
+//! detector.
+//!
+//! The detector keeps an exponentially weighted moving average (EWMA) of
+//! the loss and of its squared deviation, and flags a step whose z-score
+//! against that running distribution exceeds a threshold. Non-finite
+//! values (NaN/∞) in the loss, parameters or gradients trip immediately —
+//! once a NaN enters the tape it poisons every later step, so the only
+//! useful response is a rollback.
+
+use dance_autograd::var::Var;
+
+/// Thresholds for [`Watchdog`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// EWMA decay for the running loss mean/variance. Closer to 1.0 means
+    /// a longer memory and a less jumpy baseline.
+    pub ewma_alpha: f64,
+    /// Z-score above which a loss counts as a spike.
+    pub z_threshold: f64,
+    /// Absolute floor on the deviation: a spike must also exceed the mean
+    /// by this much, so a flat-lined loss with tiny variance cannot trip
+    /// on noise.
+    pub min_spike: f64,
+    /// Observations before spike detection arms; non-finite detection is
+    /// always armed.
+    pub warmup_steps: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            ewma_alpha: 0.9,
+            z_threshold: 6.0,
+            min_spike: 1.0,
+            warmup_steps: 20,
+        }
+    }
+}
+
+/// Why the watchdog tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TripReason {
+    /// The training loss itself was NaN or infinite.
+    NonFiniteLoss,
+    /// A named parameter tensor contains a non-finite value.
+    NonFiniteParam(String),
+    /// A named parameter's gradient contains a non-finite value.
+    NonFiniteGrad(String),
+    /// The loss jumped `z` standard deviations above its running mean.
+    LossSpike {
+        /// The z-score of the offending observation.
+        z: f64,
+    },
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripReason::NonFiniteLoss => write!(f, "non-finite loss"),
+            TripReason::NonFiniteParam(name) => write!(f, "non-finite value in param {name}"),
+            TripReason::NonFiniteGrad(name) => write!(f, "non-finite gradient of param {name}"),
+            TripReason::LossSpike { z } => write!(f, "loss spike (z = {z:.1})"),
+        }
+    }
+}
+
+/// Rolling numeric-health monitor for one search run.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    ewma_mean: f64,
+    ewma_var: f64,
+    count: u64,
+}
+
+impl Watchdog {
+    /// A fresh watchdog with no history.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Self {
+            cfg,
+            ewma_mean: 0.0,
+            ewma_var: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Feeds one loss observation; returns the trip, if any.
+    ///
+    /// A non-finite loss trips immediately and is *not* folded into the
+    /// running statistics (it would poison them). A spike trips but *is*
+    /// folded in, so a legitimate regime change stops tripping after one
+    /// rollback-and-retry cycle raises the baseline.
+    pub fn observe_loss(&mut self, loss: f32) -> Option<TripReason> {
+        let x = f64::from(loss);
+        if !x.is_finite() {
+            return Some(TripReason::NonFiniteLoss);
+        }
+        let armed = self.count >= self.cfg.warmup_steps;
+        let dev = x - self.ewma_mean;
+        let z = dev / (self.ewma_var.max(0.0) + 1e-12).sqrt();
+        let tripped = armed && z > self.cfg.z_threshold && dev > self.cfg.min_spike;
+        let a = self.cfg.ewma_alpha;
+        if self.count == 0 {
+            self.ewma_mean = x;
+        } else {
+            self.ewma_mean = a * self.ewma_mean + (1.0 - a) * x;
+            self.ewma_var = a * self.ewma_var + (1.0 - a) * dev * dev;
+        }
+        self.count += 1;
+        tripped.then_some(TripReason::LossSpike { z })
+    }
+
+    /// Scans named parameters for non-finite values or gradients.
+    ///
+    /// Returns the first offender found; `None` means all clean.
+    pub fn scan_params<'a>(
+        &self,
+        named: impl IntoIterator<Item = (&'a str, &'a Var)>,
+    ) -> Option<TripReason> {
+        for (name, var) in named {
+            let bad_value = var.with_value(|t| t.data().iter().any(|v| !v.is_finite()));
+            if bad_value {
+                return Some(TripReason::NonFiniteParam(name.to_string()));
+            }
+            if let Some(grad) = var.grad() {
+                if grad.data().iter().any(|v| !v.is_finite()) {
+                    return Some(TripReason::NonFiniteGrad(name.to_string()));
+                }
+            }
+        }
+        None
+    }
+
+    /// The internal state `(ewma_mean, ewma_var, count)` for checkpointing.
+    pub fn state(&self) -> [f64; 3] {
+        [self.ewma_mean, self.ewma_var, self.count as f64]
+    }
+
+    /// Restores state captured by [`Watchdog::state`].
+    pub fn restore(&mut self, state: [f64; 3]) {
+        self.ewma_mean = state[0];
+        self.ewma_var = state[1];
+        self.count = state[2] as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dance_autograd::tensor::Tensor;
+
+    fn warmed(cfg: WatchdogConfig) -> Watchdog {
+        let mut w = Watchdog::new(cfg);
+        for i in 0..50 {
+            // Gentle noise around 2.0, well inside any sane threshold.
+            let x = 2.0 + 0.01 * ((i % 5) as f32 - 2.0);
+            assert!(w.observe_loss(x).is_none(), "warmup tripped at {i}");
+        }
+        w
+    }
+
+    #[test]
+    fn nan_loss_trips_immediately_even_during_warmup() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        assert_eq!(w.observe_loss(f32::NAN), Some(TripReason::NonFiniteLoss));
+        assert_eq!(
+            w.observe_loss(f32::INFINITY),
+            Some(TripReason::NonFiniteLoss)
+        );
+    }
+
+    #[test]
+    fn spike_trips_after_warmup_and_baseline_recovers() {
+        let mut w = warmed(WatchdogConfig::default());
+        match w.observe_loss(50.0) {
+            Some(TripReason::LossSpike { z }) => assert!(z > 6.0, "weak z {z}"),
+            other => panic!("expected a spike trip, got {other:?}"),
+        }
+        // The spike was folded into the EWMA; a return to normal is clean.
+        assert!(w.observe_loss(2.0).is_none());
+    }
+
+    #[test]
+    fn gradual_drift_does_not_trip() {
+        let mut w = warmed(WatchdogConfig::default());
+        for i in 0..200 {
+            let x = 2.0 + 0.02 * i as f32; // slow upward drift
+            assert!(w.observe_loss(x).is_none(), "drift tripped at step {i}");
+        }
+    }
+
+    #[test]
+    fn tiny_jitter_is_saved_by_min_spike_floor() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        for _ in 0..100 {
+            assert!(w.observe_loss(1.0).is_none());
+        }
+        // Variance collapsed to ~0, so the z-score of any wiggle is huge —
+        // the absolute floor must hold the line.
+        assert!(w.observe_loss(1.5).is_none());
+    }
+
+    #[test]
+    fn scan_flags_bad_values_and_gradients() {
+        let w = Watchdog::new(WatchdogConfig::default());
+        let clean = Var::parameter(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let poisoned = Var::parameter(Tensor::from_vec(vec![1.0, f32::NAN], &[2]));
+        assert!(w.scan_params([("clean", &clean)]).is_none());
+        assert_eq!(
+            w.scan_params([("clean", &clean), ("bad", &poisoned)]),
+            Some(TripReason::NonFiniteParam("bad".to_string()))
+        );
+        clean.accumulate_grad(&Tensor::from_vec(vec![f32::INFINITY, 0.0], &[2]));
+        assert_eq!(
+            w.scan_params([("clean", &clean)]),
+            Some(TripReason::NonFiniteGrad("clean".to_string()))
+        );
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_behavior() {
+        let mut a = warmed(WatchdogConfig::default());
+        let mut b = Watchdog::new(WatchdogConfig::default());
+        b.restore(a.state());
+        for x in [2.0f32, 2.1, 1.9, 50.0, 2.0] {
+            assert_eq!(a.observe_loss(x), b.observe_loss(x));
+        }
+    }
+}

@@ -176,6 +176,43 @@ impl CostTable {
         }
     }
 
+    /// The soft cost at `cfg_idx` as an explicit linear function of the
+    /// per-slot choice probabilities, in final metric units.
+    ///
+    /// Returns `(fixed, per_slot)` where `fixed` is
+    /// `[latency_ms, energy_mj, area_mm2]` of the stem/head (area is
+    /// constant per configuration) and `per_slot[slot][choice]` is the
+    /// `[latency_ms, energy_mj]` contribution of assigning `choice` to
+    /// `slot`. Because [`CostTable::soft_cost`] is linear in the
+    /// probabilities at a fixed configuration, `fixed + Σ_s p_s · w_s`
+    /// reproduces it exactly — this is what `dance-guard` builds its
+    /// differentiable analytical fallback from when the learned cost net
+    /// degrades.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg_idx` is out of range.
+    pub fn linear_surrogate(&self, cfg_idx: usize) -> ([f64; 3], Vec<Vec<[f64; 2]>>) {
+        let n_choices = SlotChoice::CANDIDATES.len();
+        let to_ms = |cycles: f64| cycles / (CLOCK_GHZ * 1e9) * 1e3;
+        let fixed = [
+            to_ms(self.fixed[cfg_idx].cycles as f64),
+            self.fixed[cfg_idx].energy_pj * 1e-9,
+            self.area[cfg_idx],
+        ];
+        let per_slot = (0..self.template.num_slots())
+            .map(|slot| {
+                (0..n_choices)
+                    .map(|choice| {
+                        let pc = self.slot_costs[cfg_idx][slot * n_choices + choice];
+                        [to_ms(pc.cycles as f64), pc.energy_pj * 1e-9]
+                    })
+                    .collect()
+            })
+            .collect();
+        (fixed, per_slot)
+    }
+
     /// The exact network cost via the full model (no table) — used to verify
     /// table consistency.
     pub fn cost_direct(
@@ -266,6 +303,34 @@ mod tests {
         let soft = t.soft_cost(&probs, 777);
         assert!((hard.latency_ms - soft.latency_ms).abs() < 1e-6);
         assert!((hard.energy_mj - soft.energy_mj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_surrogate_reproduces_soft_cost() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (fixed, per_slot) = t.linear_surrogate(777);
+        for _ in 0..5 {
+            let probs: Vec<Vec<f32>> = (0..9)
+                .map(|_| {
+                    let raw: Vec<f32> = (0..7).map(|_| rng.gen_range(0.01f32..1.0)).collect();
+                    let sum: f32 = raw.iter().sum();
+                    raw.iter().map(|v| v / sum).collect()
+                })
+                .collect();
+            let direct = t.soft_cost(&probs, 777);
+            let mut lat = fixed[0];
+            let mut energy = fixed[1];
+            for (row, weights) in probs.iter().zip(&per_slot) {
+                for (&p, w) in row.iter().zip(weights) {
+                    lat += f64::from(p) * w[0];
+                    energy += f64::from(p) * w[1];
+                }
+            }
+            assert!((lat - direct.latency_ms).abs() < 1e-9 * direct.latency_ms.max(1.0));
+            assert!((energy - direct.energy_mj).abs() < 1e-9 * direct.energy_mj.max(1.0));
+            assert_eq!(fixed[2], direct.area_mm2);
+        }
     }
 
     #[test]

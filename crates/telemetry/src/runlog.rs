@@ -9,6 +9,7 @@
 //! | `meta`     | first line of the file                 | run id, kind, schema version, unix start time |
 //! | `span`     | a streamed [`crate::span!`] closes     | name, duration ms, nesting depth, thread, time offset |
 //! | `gauge`    | [`crate::gauge!`] fires                | name, value, time offset |
+//! | `guard`    | a `dance-guard` recovery action fires  | event name, detail, time offset |
 //! | `span_agg` | run end, one per span name             | count, total/mean/p50/p95/min/max ms |
 //! | `counter`  | run end, one per counter               | name, final value |
 //! | `hist`     | run end, one per histogram             | count, mean/min/max/p50/p95, non-empty buckets |
@@ -87,6 +88,28 @@ pub(crate) fn emit_span(name: &str, ns: u64, depth: u32) {
     push_num(&mut line, f64::from(depth));
     line.push_str(",\"thread\":");
     push_escaped(&mut line, std::thread::current().name().unwrap_or("?"));
+    line.push_str(",\"at_ms\":");
+    push_num(&mut line, sink.start.elapsed().as_secs_f64() * 1e3);
+    line.push_str(",\"seq\":");
+    push_num(&mut line, sink.seq as f64);
+    line.push('}');
+    write_line(sink, &line);
+}
+
+/// Streams a `guard` event: a fault-tolerance action (watchdog trip,
+/// rollback, checkpoint skip, cost-model degradation) with a free-form
+/// detail string. No-op when no run log is active; `summarize` readers that
+/// predate the event kind skip it (unknown `t` values are tolerated by
+/// contract).
+pub fn emit_guard(event: &str, detail: &str) {
+    let mut guard = lock_sink();
+    let Some(sink) = guard.as_mut() else { return };
+    sink.seq += 1;
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"t\":\"guard\",\"event\":");
+    push_escaped(&mut line, event);
+    line.push_str(",\"detail\":");
+    push_escaped(&mut line, detail);
     line.push_str(",\"at_ms\":");
     push_num(&mut line, sink.start.elapsed().as_secs_f64() * 1e3);
     line.push_str(",\"seq\":");
@@ -424,6 +447,13 @@ mod tests {
             v.get("total_wall_s").and_then(crate::json::Json::as_f64),
             Some(1.25)
         );
+    }
+
+    #[test]
+    fn emit_guard_without_a_run_is_a_noop() {
+        // No sink is open in this process at unit-test time; the emitter
+        // must simply return (events only flow while a run log is active).
+        emit_guard("watchdog.trip", "non-finite loss");
     }
 
     #[test]

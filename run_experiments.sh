@@ -6,6 +6,19 @@ set -x
 scripts/check.sh
 # Telemetry smoke: the stack must run clean with telemetry disabled too.
 DANCE_TELEMETRY=off cargo run --release -p dance-bench --bin smoke 2>&1 | tee results/smoke.log
+# Guard smoke: kill a checkpointing search partway through, resume it, and
+# require the bit-exact same final architecture as an uninterrupted run.
+cargo build --release --bin dance_search
+rm -rf results/checkpoints/smoke
+target/release/dance_search --epochs 4 --seed 3 --checkpoint-dir results/checkpoints/smoke-straight \
+    2>&1 | tee results/guard_smoke.log
+timeout 10 target/release/dance_search --epochs 4 --seed 3 \
+    --checkpoint-dir results/checkpoints/smoke || true
+target/release/dance_search --epochs 4 --seed 3 --checkpoint-dir results/checkpoints/smoke \
+    --resume results/checkpoints/smoke 2>&1 | tee -a results/guard_smoke.log
+digests=$(grep -c "$(grep -m1 arch-digest results/guard_smoke.log)" results/guard_smoke.log)
+[ "$digests" -eq 2 ] || { echo "GUARD_RESUME_MISMATCH"; exit 1; }
+echo GUARD_RESUME_OK
 cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
 cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
 cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log

@@ -19,4 +19,8 @@ cargo test -q --workspace --release
 echo "== telemetry integration test =="
 cargo test -q --release --test telemetry_run
 
+echo "== guard fault-injection suite =="
+cargo test -q --release -p dance-guard --features fault-injection
+cargo test -q --release --features fault-injection --test guard_faults
+
 echo "All checks passed."
