@@ -4,7 +4,7 @@
 //! exit with one diagnostic per rule.
 //!
 //! Expected findings in this file: `no-unwrap`, `expect-message`,
-//! `float-eq`, `must-use`, `span-guard`, `checkpoint-io`.
+//! `float-eq`, `must-use`, `span-guard`, `checkpoint-io`, `lock-unwrap`.
 
 /// Violates `no-unwrap`: library code must propagate or justify the error.
 pub fn seeded_unwrap(values: &[f32]) -> f32 {
@@ -35,6 +35,12 @@ pub fn seeded_dropped_span_guard() {
 /// atomic temp+rename helper, not a bare `fs::write`.
 pub fn seeded_direct_artifact_write() {
     std::fs::write("results/summary.json", "{}").ok();
+}
+
+/// Violates `lock-unwrap`: a poisoned mutex panics here instead of being
+/// recovered with `unwrap_or_else(PoisonError::into_inner)`.
+pub fn seeded_lock_unwrap(counter: &std::sync::Mutex<u64>) -> u64 {
+    *counter.lock().unwrap()
 }
 
 /// Stand-in so the fixture is a self-contained parse target.

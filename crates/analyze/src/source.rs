@@ -17,6 +17,7 @@
 //! | `must-use`    | all library code             | `pub fn … -> Var` must be `#[must_use]`       |
 //! | `span-guard`  | all library code             | `let _ = span!(…)` drops the guard instantly  |
 //! | `checkpoint-io` | all library code (minus the atomic helpers) | direct `File::create`/`fs::write` of a `.json`/`.bin`/`.ckpt` artifact |
+//! | `lock-unwrap` | all library code             | `.lock().unwrap()` panics on poison; recover or document |
 //!
 //! Diagnostics print as `file:line rule message` — one per line, greppable,
 //! and the CLI exits non-zero when any are present.
@@ -364,8 +365,25 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
             continue;
         }
 
-        // --- no-unwrap ----------------------------------------------------
-        if code.contains(".unwrap()") && !is_allowed(&lines, idx, "unwrap") {
+        // --- lock-unwrap / no-unwrap --------------------------------------
+        // `.lock().unwrap()` gets its own, more specific rule: the panic it
+        // hides is lock *poisoning*, and the fix is different (recover with
+        // `unwrap_or_else(PoisonError::into_inner)` or document why
+        // propagating the poison panic is intended). Such occurrences are
+        // carved out of `no-unwrap` so one site never reports twice.
+        let lock_unwraps = code.matches(".lock().unwrap()").count();
+        if lock_unwraps > 0 && !is_allowed(&lines, idx, "lock-unwrap") {
+            emit(
+                idx,
+                "lock-unwrap",
+                "`.lock().unwrap()` panics if the mutex is poisoned; recover with \
+                 `.lock().unwrap_or_else(PoisonError::into_inner)` or add \
+                 `// lint: allow(lock-unwrap)` explaining why propagating the \
+                 poison panic is intended"
+                    .to_string(),
+            );
+        }
+        if code.matches(".unwrap()").count() > lock_unwraps && !is_allowed(&lines, idx, "unwrap") {
             emit(
                 idx,
                 "no-unwrap",
@@ -607,6 +625,33 @@ mod tests {
     fn unwrap_inside_string_or_comment_is_ignored() {
         let src = "fn f() {\n    // explains .unwrap() usage\n    let s = \".unwrap()\";\n    let _ = s;\n}\n";
         assert!(rules_hit("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_is_flagged_once_not_twice() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().unwrap()\n}\n";
+        assert_eq!(rules_hit("crates/x/src/lib.rs", src), vec!["lock-unwrap"]);
+    }
+
+    #[test]
+    fn lock_unwrap_recovery_pattern_passes() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_allow_comment_suppresses() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    // lint: allow(lock-unwrap) poison is fatal here by design\n    *m.lock().unwrap()\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mixed_lock_and_plain_unwrap_reports_both_rules() {
+        let src =
+            "fn f(m: &std::sync::Mutex<Option<u32>>) -> u32 {\n    m.lock().unwrap().unwrap()\n}\n";
+        let mut hit = rules_hit("crates/x/src/lib.rs", src);
+        hit.sort_unstable();
+        assert_eq!(hit, vec!["lock-unwrap", "no-unwrap"]);
     }
 
     #[test]

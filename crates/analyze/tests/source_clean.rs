@@ -25,7 +25,7 @@ fn workspace_sources_are_lint_clean() {
     );
 }
 
-/// The fixture tree seeds exactly one violation per rule; all seven rules
+/// The fixture tree seeds exactly one violation per rule; all eight rules
 /// must fire, each with a populated `file:line rule message` diagnostic.
 #[test]
 fn fixture_trips_every_rule() {
@@ -40,6 +40,7 @@ fn fixture_trips_every_rule() {
         "must-use",
         "span-guard",
         "checkpoint-io",
+        "lock-unwrap",
     ]
     .into_iter()
     .collect();

@@ -63,6 +63,18 @@ impl Benchmark {
         }
     }
 
+    /// The seconds-scale smoke benchmark: SynthTiny data, the tiny supernet
+    /// and the CIFAR-10 workload template (same nine slots, so every cost
+    /// path is exercised). Used by CI smokes and `dance-serve` search jobs.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            name: "tiny",
+            template: NetworkTemplate::cifar10(),
+            supernet: SupernetConfig::tiny(),
+            data: dance_data::tasks::synth_tiny(seed),
+        }
+    }
+
     /// The ImageNet-scale benchmark.
     pub fn imagenet(seed: u64) -> Self {
         Self {

@@ -83,20 +83,35 @@ impl CostModel {
     /// Prices a whole network: latency and energy sum over layers, area is a
     /// property of the configuration alone.
     pub fn evaluate(&self, network: &Network, config: &AcceleratorConfig) -> HardwareCost {
+        self.evaluate_detailed(network, config).0
+    }
+
+    /// Like [`CostModel::evaluate`], but also returns the per-layer
+    /// mapping/cost breakdown (one [`LayerCost`] per network layer, in
+    /// order) — the payload behind `cost/analytic` detail responses in
+    /// `dance-serve`.
+    pub fn evaluate_detailed(
+        &self,
+        network: &Network,
+        config: &AcceleratorConfig,
+    ) -> (HardwareCost, Vec<LayerCost>) {
         let _span = dance_telemetry::hot_span!("cost_model.evaluate");
         dance_telemetry::counter!("cost_model.evaluations");
         let mut cycles = 0u64;
         let mut energy_pj = 0.0f64;
+        let mut layers = Vec::with_capacity(network.layers().len());
         for layer in network.layers() {
             let lc = self.evaluate_layer(layer, config);
             cycles += lc.cycles;
             energy_pj += lc.energy_pj;
+            layers.push(lc);
         }
-        HardwareCost {
+        let total = HardwareCost {
             latency_ms: cycles as f64 / (CLOCK_GHZ * 1e9) * 1e3,
             energy_mj: energy_pj * 1e-12 * 1e3,
             area_mm2: area_mm2(config),
-        }
+        };
+        (total, layers)
     }
 }
 

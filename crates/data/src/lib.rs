@@ -26,5 +26,5 @@ pub mod tasks;
 pub mod prelude {
     pub use crate::loader::{Batch, Batcher};
     pub use crate::synth::{Dataset, SynthSpec, SynthTask};
-    pub use crate::tasks::{synth_cifar, synth_imagenet, TaskData};
+    pub use crate::tasks::{synth_cifar, synth_imagenet, synth_tiny, TaskData};
 }

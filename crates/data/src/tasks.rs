@@ -42,6 +42,29 @@ pub fn synth_cifar(seed: u64) -> TaskData {
     }
 }
 
+/// SynthTiny: a seconds-scale smoke task — 3 classes, 2×8 signals — used by
+/// CI smokes and `dance-serve` search jobs, where the point is exercising
+/// the full search stack rather than reaching a paper accuracy number.
+pub fn synth_tiny(seed: u64) -> TaskData {
+    let task = SynthTask::new(SynthSpec {
+        num_classes: 3,
+        channels: 2,
+        length: 8,
+        noise: 0.25,
+        distractor: 0.15,
+        seed,
+    });
+    let train = task.generate(120, seed.wrapping_add(1));
+    let val = task.generate(60, seed.wrapping_add(2));
+    let test = task.generate(60, seed.wrapping_add(3));
+    TaskData {
+        task,
+        train,
+        val,
+        test,
+    }
+}
+
 /// SynthImageNet: the ImageNet stand-in — 100 classes, 4×32 signals, heavier
 /// noise (accuracy ceiling ≈70%).
 pub fn synth_imagenet(seed: u64) -> TaskData {

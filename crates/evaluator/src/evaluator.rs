@@ -84,6 +84,12 @@ impl Evaluator {
         self.feature_forwarding
     }
 
+    /// Width of the architecture encoding this evaluator accepts (the
+    /// second dimension [`Evaluator::predict_metrics`] asserts on).
+    pub fn arch_width(&self) -> usize {
+        self.arch_width
+    }
+
     /// The hardware generation component.
     pub fn hwgen(&self) -> &HwGenNet {
         &self.hwgen

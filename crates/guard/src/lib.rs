@@ -133,6 +133,24 @@ pub struct GuardReport {
     pub aborted_by_fault: bool,
 }
 
+impl GuardReport {
+    /// Folds another run's report into this one — counters add, flags OR,
+    /// and the earliest resume epoch wins. Long-lived processes that host
+    /// many guarded runs (the `dance-serve` job workers) aggregate per-job
+    /// reports this way for their `health` endpoint.
+    pub fn absorb(&mut self, other: &GuardReport) {
+        self.watchdog_trips += other.watchdog_trips;
+        self.rollbacks += other.rollbacks;
+        self.cost_model_degraded |= other.cost_model_degraded;
+        self.resumed_from_epoch = match (self.resumed_from_epoch, other.resumed_from_epoch) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.checkpoints_written += other.checkpoints_written;
+        self.aborted_by_fault |= other.aborted_by_fault;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +164,30 @@ mod tests {
         assert_eq!(cfg.max_rollbacks, 3);
         assert!(cfg.rollback_arch_lr_decay > 0.0 && cfg.rollback_arch_lr_decay < 1.0);
         assert!(cfg.cost_envelope > 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_ors_flags() {
+        let mut total = GuardReport {
+            watchdog_trips: 1,
+            checkpoints_written: 2,
+            resumed_from_epoch: Some(5),
+            ..GuardReport::default()
+        };
+        total.absorb(&GuardReport {
+            watchdog_trips: 2,
+            rollbacks: 1,
+            cost_model_degraded: true,
+            resumed_from_epoch: Some(3),
+            checkpoints_written: 4,
+            aborted_by_fault: false,
+        });
+        assert_eq!(total.watchdog_trips, 3);
+        assert_eq!(total.rollbacks, 1);
+        assert!(total.cost_model_degraded);
+        assert_eq!(total.resumed_from_epoch, Some(3));
+        assert_eq!(total.checkpoints_written, 6);
+        assert!(!total.aborted_by_fault);
     }
 
     #[test]

@@ -221,8 +221,7 @@ impl CostTable {
         choices: &[SlotChoice],
         cfg_idx: usize,
     ) -> HardwareCost {
-        let net: Network = self.template.instantiate(choices);
-        model.evaluate(&net, &self.space.config_at(cfg_idx))
+        cost_direct(&self.template, model, &self.space, choices, cfg_idx)
     }
 
     /// Scans the whole space for the configuration minimizing `cost_fn`,
@@ -242,6 +241,24 @@ impl CostTable {
         }
         (best_idx, best_cost)
     }
+}
+
+/// Exact cost of one discrete `(architecture, configuration)` pair straight
+/// through the analytical model — no table required.
+///
+/// This is the table-free core of [`CostTable::cost_direct`], split out so
+/// callers that never amortize over the whole space (notably the
+/// `cost/analytic` endpoint in `dance-serve`) can price a single pair
+/// without paying the `CostTable::new` precomputation.
+pub fn cost_direct(
+    template: &NetworkTemplate,
+    model: &CostModel,
+    space: &HardwareSpace,
+    choices: &[SlotChoice],
+    cfg_idx: usize,
+) -> HardwareCost {
+    let net: Network = template.instantiate(choices);
+    model.evaluate(&net, &space.config_at(cfg_idx))
 }
 
 #[cfg(test)]

@@ -48,6 +48,19 @@ impl SupernetConfig {
         }
     }
 
+    /// The SynthTiny-scale supernet — seconds-scale smoke searches (CI and
+    /// `dance-serve` jobs).
+    pub fn tiny() -> Self {
+        Self {
+            input_channels: 2,
+            length: 8,
+            num_classes: 3,
+            stem_width: 4,
+            stage_widths: [4, 6, 8],
+            head_width: 12,
+        }
+    }
+
     /// The SynthImageNet-scale supernet (longer signals, more classes).
     pub fn imagenet() -> Self {
         Self {

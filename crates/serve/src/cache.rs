@@ -1,0 +1,291 @@
+//! Sharded LRU response cache.
+//!
+//! Keys are the canonical quantized request payloads of
+//! [`crate::proto::cache_key`]; values are fully rendered response payload
+//! fragments, so a hit replays the exact bytes the cold computation
+//! produced. The map is sharded by key hash and each shard is an
+//! intrusively linked LRU (slab + doubly linked list), so eviction and
+//! touch are O(1) and contention is spread over `shards` mutexes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+const NO_SLOT: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    key: String,
+    value: String,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab storage plus an intrusive recency list.
+#[derive(Debug)]
+struct Shard {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NO_SLOT,
+            tail: NO_SLOT,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev == NO_SLOT {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NO_SLOT {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NO_SLOT;
+        self.slab[slot].next = self.head;
+        if self.head != NO_SLOT {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NO_SLOT {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<String> {
+        let slot = *self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slab[slot].value.clone())
+    }
+
+    fn insert(&mut self, key: String, value: String) {
+        if let Some(&slot) = self.map.get(&key) {
+            // Concurrent cold computations of the same key race benignly:
+            // both produce identical bytes, the last insert just touches.
+            self.slab[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NO_SLOT,
+            next: NO_SLOT,
+        };
+        let slot = if let Some(slot) = self.free.pop() {
+            self.slab[slot] = entry;
+            slot
+        } else {
+            self.slab.push(entry);
+            self.slab.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+/// The sharded response cache.
+#[derive(Debug)]
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Point-in-time cache statistics (for `health` and the load report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Lookup hits since start.
+    pub hits: u64,
+    /// Lookup misses since start.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// FNV-1a — stable, dependency-free shard selector.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ResponseCache {
+    /// Creates a cache with `shards` shards of `capacity / shards` entries
+    /// each (at least one per shard). `shards` is rounded up to 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity / shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let idx = (fnv1a(key) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks up a key, counting the hit/miss and refreshing recency.
+    pub fn get(&self, key: &str) -> Option<String> {
+        // A poisoned shard only means another thread panicked mid-insert;
+        // the intrusive list is repaired before every unlock, so reusing
+        // the inner state is safe.
+        let hit = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key);
+        match &hit {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                dance_telemetry::counter!("serve.cache.hit");
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                dance_telemetry::counter!("serve.cache.miss");
+            }
+        }
+        hit
+    }
+
+    /// Inserts (or refreshes) a rendered response payload.
+    pub fn insert(&self, key: String, value: String) {
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, value);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
+            .sum();
+        CacheStats {
+            entries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_bytes() {
+        let c = ResponseCache::new(64, 4);
+        assert!(c.get("k1").is_none());
+        c.insert("k1".into(), "payload-1".into());
+        assert_eq!(c.get("k1").as_deref(), Some("payload-1"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // Single shard of capacity 2 so recency order is easy to control.
+        let c = ResponseCache::new(2, 1);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert!(c.get("a").is_some()); // touch a → b is now LRU
+        c.insert("c".into(), "3".into()); // evicts b
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_growth() {
+        let c = ResponseCache::new(2, 1);
+        c.insert("a".into(), "1".into());
+        c.insert("a".into(), "2".into());
+        assert_eq!(c.get("a").as_deref(), Some("2"));
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_under_churn() {
+        let c = ResponseCache::new(128, 8);
+        for i in 0..10_000 {
+            c.insert(format!("key-{i}"), format!("value-{i}"));
+        }
+        assert!(c.stats().entries <= 128, "{:?}", c.stats());
+        // The newest keys of each shard must still be resident.
+        assert_eq!(c.get("key-9999").as_deref(), Some("value-9999"));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(ResponseCache::new(256, 8));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let key = format!("k-{}", i % 64);
+                    match c.get(&key) {
+                        Some(v) => assert_eq!(v, format!("v-{}", i % 64)),
+                        None => c.insert(key, format!("v-{}", i % 64)),
+                    }
+                    let _ = t;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("cache worker thread must not panic");
+        }
+    }
+}

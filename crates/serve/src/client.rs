@@ -1,0 +1,182 @@
+//! Blocking protocol client and the shared line reader.
+//!
+//! [`LineReader`] is a byte-buffered newline framer that survives read
+//! timeouts: a `WouldBlock`/`TimedOut` error surfaces to the caller while
+//! partially received bytes stay buffered, so the server's connection loops
+//! can poll their drain flag between reads without tearing frames (and
+//! without `BufReader::read_line`'s partial-UTF-8 hazards).
+//!
+//! [`Client`] is the blocking counterpart used by `serve_load`, the
+//! integration tests and scripts: send one [`Request`], read one response
+//! line.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use dance_telemetry::json::{self, Json};
+
+use crate::proto::{render_request, Request};
+
+/// Byte-buffered newline framer over any reader.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Reads one `\n`-terminated line (terminator stripped, lossy UTF-8).
+    ///
+    /// Returns `Ok(None)` on a clean EOF. Unterminated trailing bytes at
+    /// EOF are returned as a final line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; `WouldBlock`/`TimedOut` leave buffered
+    /// bytes intact so the caller can simply retry.
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|b| *b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    let line = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    return Ok(Some(line));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A blocking protocol-v1 client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: LineReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects; `timeout` bounds each response read (`None` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection/setup errors.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        let reader = LineReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Sends one request line and reads one response line (raw bytes, no
+    /// trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, including `UnexpectedEof` if the server closed
+    /// the connection before answering.
+    pub fn call_raw(&mut self, req: &Request) -> io::Result<String> {
+        let mut line = render_request(req);
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        self.reader
+            .read_line()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
+    }
+
+    /// Sends one request and parses the response as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` when the response line is not
+    /// valid JSON.
+    pub fn call(&mut self, req: &Request) -> io::Result<Json> {
+        let line = self.call_raw(req)?;
+        json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_lines_across_chunk_boundaries() {
+        let data: &[u8] = b"first\nseco";
+        let mut r = LineReader::new(data);
+        assert_eq!(r.read_line().expect("read"), Some("first".into()));
+        // Trailing unterminated bytes surface at EOF.
+        assert_eq!(r.read_line().expect("read"), Some("seco".into()));
+        assert_eq!(r.read_line().expect("read"), None);
+    }
+
+    #[test]
+    fn strips_carriage_returns_and_handles_empty_lines() {
+        let data: &[u8] = b"a\r\n\nb\n";
+        let mut r = LineReader::new(data);
+        assert_eq!(r.read_line().expect("read"), Some("a".into()));
+        assert_eq!(r.read_line().expect("read"), Some(String::new()));
+        assert_eq!(r.read_line().expect("read"), Some("b".into()));
+        assert_eq!(r.read_line().expect("read"), None);
+    }
+
+    /// A reader that times out once mid-line, then delivers the rest.
+    struct Flaky {
+        parts: Vec<io::Result<Vec<u8>>>,
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.parts.is_empty() {
+                return Ok(0);
+            }
+            match self.parts.remove(0) {
+                Ok(bytes) => {
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_mid_line_preserves_buffered_bytes() {
+        let mut r = LineReader::new(Flaky {
+            parts: vec![
+                Ok(b"par".to_vec()),
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "poll")),
+                Ok(b"tial\n".to_vec()),
+            ],
+        });
+        let err = r.read_line().expect_err("timeout must surface");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Retry completes the frame with nothing lost.
+        assert_eq!(r.read_line().expect("read"), Some("partial".into()));
+    }
+}

@@ -1,0 +1,384 @@
+//! Asynchronous guarded search jobs.
+//!
+//! `search/submit` enqueues a job spec into a bounded queue; a fixed pool
+//! of worker threads pops specs and runs `dance_search_guarded` on the
+//! tiny benchmark (the serving tier exercises the full search stack, not a
+//! paper-scale run). Job state lives in a shared table polled via
+//! `search/status`, and finished outcomes are rendered once and replayed
+//! verbatim by `search/result`. Worker panics mark the job failed instead
+//! of taking the server down, and each job's guard report is absorbed into
+//! a server-lifetime aggregate surfaced by `health`.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dance::prelude::*;
+use dance_telemetry::json::{push_escaped, push_num};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::proto::ProtoError;
+use crate::queue::Bounded;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running the search.
+    Running,
+    /// Finished; the rendered result payload is replayed by `search/result`.
+    Done(String),
+    /// The search panicked; the message is returned as a `500`.
+    Failed(String),
+}
+
+/// One accepted submission.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    id: String,
+    epochs: usize,
+    seed: u64,
+    lambda2: f32,
+    flops_penalty: bool,
+    checkpoint: bool,
+}
+
+#[derive(Debug)]
+struct JobsShared {
+    states: Mutex<HashMap<String, JobState>>,
+    queue: Bounded<JobSpec>,
+    guard_total: Mutex<GuardReport>,
+    ckpt_root: PathBuf,
+}
+
+impl JobsShared {
+    // Job-state maps are plain value stores; a panicking worker cannot
+    // leave them structurally broken, so poisoning is survivable.
+    fn states(&self) -> std::sync::MutexGuard<'_, HashMap<String, JobState>> {
+        self.states.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The job table + worker pool.
+#[derive(Debug)]
+pub struct JobTable {
+    shared: Arc<JobsShared>,
+    next_id: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Per-state job counts, for `health`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that panicked.
+    pub failed: usize,
+}
+
+impl JobTable {
+    /// Spawns `workers` search workers over a queue of `capacity` pending
+    /// jobs. Checkpointing jobs write under `ckpt_root/<job-id>/`.
+    pub fn start(workers: usize, capacity: usize, ckpt_root: PathBuf) -> Self {
+        let shared = Arc::new(JobsShared {
+            states: Mutex::new(HashMap::new()),
+            queue: Bounded::new(capacity),
+            guard_total: Mutex::new(GuardReport::default()),
+            ckpt_root,
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-search-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn search worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            next_id: AtomicU64::new(0),
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Accepts a submission, returning the new job id.
+    ///
+    /// # Errors
+    ///
+    /// `503` when the pending-job queue is full or the table is draining.
+    pub fn submit(
+        &self,
+        epochs: usize,
+        seed: u64,
+        lambda2: f32,
+        flops_penalty: bool,
+        checkpoint: bool,
+    ) -> Result<String, ProtoError> {
+        let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.shared.states().insert(id.clone(), JobState::Queued);
+        let spec = JobSpec {
+            id: id.clone(),
+            epochs: epochs.clamp(1, 64),
+            seed,
+            lambda2,
+            flops_penalty,
+            checkpoint,
+        };
+        if self.shared.queue.try_push(spec).is_err() {
+            self.shared.states().remove(&id);
+            dance_telemetry::counter!("serve.shed.job_queue");
+            return Err(ProtoError::overloaded("job queue full"));
+        }
+        dance_telemetry::counter!("serve.jobs.submitted");
+        Ok(id)
+    }
+
+    /// The state of a job, if known.
+    pub fn state(&self, id: &str) -> Option<JobState> {
+        self.shared.states().get(id).cloned()
+    }
+
+    /// The rendered result payload of a finished job.
+    ///
+    /// # Errors
+    ///
+    /// `404` for an unknown id, `400` for a job that has not finished,
+    /// `500` for a failed job.
+    pub fn result(&self, id: &str) -> Result<String, ProtoError> {
+        match self.state(id) {
+            None => Err(ProtoError::not_found(format!("unknown job {id:?}"))),
+            Some(JobState::Queued | JobState::Running) => Err(ProtoError::bad_request(format!(
+                "job {id:?} has not finished; poll search/status"
+            ))),
+            Some(JobState::Done(payload)) => Ok(payload),
+            Some(JobState::Failed(msg)) => {
+                Err(ProtoError::internal(format!("job {id:?} failed: {msg}")))
+            }
+        }
+    }
+
+    /// Per-state counts.
+    pub fn counts(&self) -> JobCounts {
+        let mut counts = JobCounts::default();
+        for state in self.shared.states().values() {
+            match state {
+                JobState::Queued => counts.queued += 1,
+                JobState::Running => counts.running += 1,
+                JobState::Done(_) => counts.done += 1,
+                JobState::Failed(_) => counts.failed += 1,
+            }
+        }
+        counts
+    }
+
+    /// Pending queue depth.
+    pub fn depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Aggregate guard report over every finished job.
+    pub fn guard_total(&self) -> GuardReport {
+        self.shared
+            .guard_total
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Stops accepting jobs, finishes everything queued or running, and
+    /// joins the workers.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            if h.join().is_err() {
+                eprintln!("warning: search worker thread panicked");
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &JobsShared) {
+    loop {
+        let Some(spec) = shared.queue.pop_timeout(Duration::from_millis(100)) else {
+            if shared.queue.is_closed() && shared.queue.is_empty() {
+                return;
+            }
+            continue;
+        };
+        shared.states().insert(spec.id.clone(), JobState::Running);
+        dance_telemetry::counter!("serve.jobs.started");
+        let outcome = {
+            let _span = dance_telemetry::span!("serve.search_job");
+            catch_unwind(AssertUnwindSafe(|| run_search(shared, &spec)))
+        };
+        let state = match outcome {
+            Ok((payload, guard)) => {
+                shared
+                    .guard_total
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .absorb(&guard);
+                dance_telemetry::counter!("serve.jobs.done");
+                JobState::Done(payload)
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "search panicked".to_string());
+                dance_telemetry::counter!("serve.jobs.failed");
+                JobState::Failed(msg)
+            }
+        };
+        shared.states().insert(spec.id.clone(), state);
+    }
+}
+
+/// FNV-1a digest over the final architecture probabilities — a cheap,
+/// deterministic fingerprint clients can compare across runs.
+fn arch_digest(probs: &[Vec<f32>]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in probs {
+        for p in row {
+            digest ^= u64::from(p.to_bits());
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    digest
+}
+
+fn run_search(shared: &JobsShared, spec: &JobSpec) -> (String, GuardReport) {
+    let bench = Benchmark::tiny(spec.seed);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let net = Supernet::new(bench.supernet, &mut rng);
+    let arch = ArchParams::new(bench.template.num_slots(), &mut rng);
+    let penalty = if spec.flops_penalty {
+        Penalty::Flops(&bench.template)
+    } else {
+        Penalty::None
+    };
+    let cfg = SearchConfig {
+        epochs: spec.epochs,
+        batch_size: 32,
+        lambda2: LambdaWarmup::ramp(spec.lambda2, 1),
+        seed: spec.seed,
+        ..SearchConfig::default()
+    };
+    let guard_cfg = GuardConfig {
+        checkpoint: spec.checkpoint.then(|| {
+            dance::guard::checkpoint::CheckpointConfig::every_epoch(shared.ckpt_root.join(&spec.id))
+        }),
+        ..GuardConfig::default()
+    };
+    let out = dance_search_guarded(&net, &arch, &bench.data, &penalty, &cfg, &guard_cfg);
+    (render_outcome(spec, &out), out.guard)
+}
+
+fn render_outcome(spec: &JobSpec, out: &SearchOutcome) -> String {
+    let mut payload = String::with_capacity(128);
+    payload.push_str("\"job\":");
+    push_escaped(&mut payload, &spec.id);
+    payload.push_str(",\"choices\":[");
+    for (i, c) in out.choices.iter().enumerate() {
+        if i > 0 {
+            payload.push(',');
+        }
+        push_num(&mut payload, c.index() as f64);
+    }
+    payload.push_str("],\"digest\":");
+    push_escaped(&mut payload, &format!("{:016x}", arch_digest(&out.probs)));
+    payload.push_str(",\"epochs\":");
+    push_num(&mut payload, out.history.len() as f64);
+    if let Some(last) = out.history.last() {
+        payload.push_str(",\"final_entropy\":");
+        push_num(&mut payload, f64::from(last.arch_entropy));
+    }
+    payload.push_str(",\"guard\":{\"watchdog_trips\":");
+    push_num(&mut payload, f64::from(out.guard.watchdog_trips));
+    payload.push_str(",\"rollbacks\":");
+    push_num(&mut payload, f64::from(out.guard.rollbacks));
+    payload.push_str(",\"checkpoints_written\":");
+    push_num(&mut payload, f64::from(out.guard.checkpoints_written));
+    payload.push('}');
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dance_serve_jobs_{tag}_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    fn wait_done(table: &JobTable, id: &str) -> JobState {
+        for _ in 0..600 {
+            match table.state(id) {
+                Some(JobState::Done(_) | JobState::Failed(_)) => {
+                    return table.state(id).expect("state exists");
+                }
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        panic!("job {id} did not finish in time");
+    }
+
+    #[test]
+    fn submitted_job_runs_to_done_with_result() {
+        let table = JobTable::start(1, 4, tmp_dir("done"));
+        let id = table.submit(1, 0, 0.3, true, false).expect("submit");
+        let state = wait_done(&table, &id);
+        assert!(matches!(state, JobState::Done(_)), "{state:?}");
+        let payload = table.result(&id).expect("result available");
+        assert!(payload.contains("\"choices\":["), "{payload}");
+        assert!(payload.contains("\"digest\":"), "{payload}");
+        assert_eq!(table.counts().done, 1);
+        table.shutdown();
+    }
+
+    #[test]
+    fn unknown_and_unfinished_jobs_report_correct_codes() {
+        let table = JobTable::start(1, 4, tmp_dir("codes"));
+        assert_eq!(table.result("job-999").expect_err("unknown").code, 404);
+        let id = table.submit(1, 1, 0.3, false, false).expect("submit");
+        // Freshly queued or already running — either way, not finished.
+        if let Err(e) = table.result(&id) {
+            assert_eq!(e.code, 400);
+        }
+        wait_done(&table, &id);
+        table.shutdown();
+    }
+
+    #[test]
+    fn full_job_queue_sheds() {
+        // One worker, capacity 1: the first job occupies the worker, the
+        // second fills the queue, the third must shed.
+        let table = JobTable::start(1, 1, tmp_dir("shed"));
+        let mut shed = false;
+        for _ in 0..3 {
+            if let Err(e) = table.submit(2, 2, 0.3, true, false) {
+                assert_eq!(e.code, 503);
+                shed = true;
+            }
+        }
+        assert!(shed, "third submission must be shed");
+        table.shutdown();
+    }
+}

@@ -1,0 +1,482 @@
+//! The TCP server: accept loop, per-connection threads, dispatch, drain.
+//!
+//! Thread-per-connection with 100 ms read polls so every connection loop
+//! observes the drain flag promptly. Dispatch routes each parsed request
+//! through the response cache, then to its endpoint family: analytic cost
+//! queries run inline under [`Admission`] control, predictions go through
+//! the micro-batch collector, and search jobs go to the worker pool. A
+//! graceful drain (the `admin/shutdown` op) stops the accept loop, sheds
+//! new work with `503`, lets in-flight work finish, and only then joins
+//! the batcher and job workers — so a kill mid-drain can at worst lose a
+//! response, never tear a checkpoint or run log (those writes are atomic
+//! temp+rename on the `dance-guard` side).
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dance_accel::space::HardwareSpace;
+use dance_accel::workload::{NetworkTemplate, SlotChoice};
+use dance_cost::model::CostModel;
+use dance_evaluator::cost_net::CostNet;
+use dance_evaluator::evaluator::Evaluator;
+use dance_evaluator::hwgen_net::{HeadSampling, HwGenNet};
+use dance_telemetry::json::push_num;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::batch::{BatchConfig, PredictBatcher};
+use crate::cache::ResponseCache;
+use crate::client::LineReader;
+use crate::jobs::JobTable;
+use crate::proto::{
+    self, cache_key, parse_request, render_err, render_ok, ProtoError, ReqBody, Request,
+};
+use crate::queue::Admission;
+
+/// Server tuning knobs; [`Default`] is sized for the dev machine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Search-job worker threads.
+    pub search_workers: usize,
+    /// Max concurrently executing analytic queries.
+    pub max_inflight: usize,
+    /// Max analytic queries queued behind the in-flight ones.
+    pub max_waiting: usize,
+    /// Queue-wait budget applied when a request carries no `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Micro-batch collector tuning.
+    pub batch: BatchConfig,
+    /// Pending search jobs accepted before shedding.
+    pub job_queue: usize,
+    /// Response-cache entries (across all shards).
+    pub cache_capacity: usize,
+    /// Response-cache shard count.
+    pub cache_shards: usize,
+    /// Seed for the served evaluator's (untrained) weights — fixed so the
+    /// same build serves identical predictions across restarts.
+    pub eval_seed: u64,
+    /// Hidden width of the served evaluator networks.
+    pub eval_width: usize,
+    /// Root directory for per-job checkpoints.
+    pub ckpt_root: std::path::PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            search_workers: 2,
+            max_inflight: 8,
+            max_waiting: 64,
+            default_deadline_ms: 100,
+            batch: BatchConfig::default(),
+            job_queue: 16,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            eval_seed: 0,
+            eval_width: 16,
+            ckpt_root: std::env::temp_dir().join("dance_serve_jobs"),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+#[derive(Debug)]
+struct Shared {
+    cache: ResponseCache,
+    admission: Admission,
+    batcher: PredictBatcher,
+    jobs: JobTable,
+    model: CostModel,
+    template: NetworkTemplate,
+    space: HardwareSpace,
+    drain: AtomicBool,
+    active_conns: AtomicUsize,
+    requests_served: AtomicU64,
+    default_deadline: Duration,
+}
+
+/// A running (bound but not yet serving) protocol-v1 server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the batcher and job workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(cfg: &ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let arch_width = proto::NUM_SLOTS * proto::NUM_CHOICES;
+        let (eval_seed, eval_width) = (cfg.eval_seed, cfg.eval_width);
+        // The autograd graph is Rc-based (not Send), so the evaluator is
+        // constructed inside the collector thread from plain seeds.
+        let make_evaluator = move || {
+            let mut rng = StdRng::seed_from_u64(eval_seed);
+            let hwgen = HwGenNet::new(arch_width, eval_width, &mut rng);
+            let cost_net = CostNet::new(
+                arch_width + dance_accel::space::ENCODED_WIDTH,
+                eval_width,
+                &mut rng,
+            );
+            Evaluator::with_feature_forwarding(
+                hwgen,
+                cost_net,
+                arch_width,
+                HeadSampling::Softmax { tau: 1.0 },
+            )
+        };
+        let shared = Arc::new(Shared {
+            cache: ResponseCache::new(cfg.cache_capacity, cfg.cache_shards),
+            admission: Admission::new(cfg.max_inflight, cfg.max_waiting),
+            batcher: PredictBatcher::start(arch_width, make_evaluator, cfg.batch),
+            jobs: JobTable::start(cfg.search_workers, cfg.job_queue, cfg.ckpt_root.clone()),
+            model: CostModel::new(),
+            template: NetworkTemplate::cifar10(),
+            space: HardwareSpace::new(),
+            drain: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            requests_served: AtomicU64::new(0),
+            default_deadline: Duration::from_millis(cfg.default_deadline_ms),
+        });
+        Ok(Self {
+            listener,
+            local_addr,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Flips the drain flag, as the `admin/shutdown` op does.
+    pub fn request_drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves until drained: accepts connections, spawns one thread each,
+    /// and — once `admin/shutdown` arrives — stops accepting, waits for
+    /// every connection to finish, then drains and joins the batcher and
+    /// job workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        dance_telemetry::counter!("serve.started");
+        while !self.shared.drain.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = self.shared.clone();
+                    shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                    dance_telemetry::counter!("serve.connections");
+                    if std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || handle_conn(&shared, stream))
+                        .is_err()
+                    {
+                        self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    eprintln!("warning: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+            dance_telemetry::gauge!(
+                "serve.active_connections",
+                self.shared.active_conns.load(Ordering::SeqCst) as f64
+            );
+        }
+        // Drain: connection loops observe the flag within one read poll.
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.batcher.shutdown();
+        self.shared.jobs.shutdown();
+        dance_telemetry::counter!("serve.drained");
+        dance_telemetry::gauge!(
+            "serve.requests_total",
+            self.shared.requests_served.load(Ordering::SeqCst) as f64
+        );
+        Ok(())
+    }
+}
+
+/// Decrements the connection gauge even if the handler panics.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _guard = ConnGuard(shared);
+    if stream.set_nodelay(true).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match reader.read_line() {
+            Ok(Some(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut resp = handle_line(shared, &line);
+                resp.push('\n');
+                if writer.write_all(resp.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Read poll tick: exit once draining, otherwise keep waiting.
+                if shared.drain.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses, caches, dispatches and renders one request line.
+fn handle_line(shared: &Shared, line: &str) -> String {
+    let t0 = Instant::now();
+    shared.requests_served.fetch_add(1, Ordering::Relaxed);
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            dance_telemetry::counter!("serve.req.bad");
+            return render_err("", &e);
+        }
+    };
+    let key = cache_key(&req.body);
+    if let Some(k) = &key {
+        if let Some(hit) = shared.cache.get(k) {
+            return render_ok(&req.id, &hit);
+        }
+    }
+    let out = dispatch(shared, &req);
+    dance_telemetry::histogram!("serve.request_us", t0.elapsed().as_secs_f64() * 1e6);
+    match out {
+        Ok(payload) => {
+            if let Some(k) = key {
+                shared.cache.insert(k, payload.clone());
+            }
+            render_ok(&req.id, &payload)
+        }
+        Err(e) => render_err(&req.id, &e),
+    }
+}
+
+fn dispatch(shared: &Shared, req: &Request) -> Result<String, ProtoError> {
+    let draining = shared.drain.load(Ordering::SeqCst);
+    let deadline = req
+        .deadline_ms
+        .map_or(shared.default_deadline, Duration::from_millis);
+    match &req.body {
+        ReqBody::CostAnalytic {
+            choices,
+            cfg,
+            detail,
+        } => {
+            if draining {
+                return Err(ProtoError::overloaded("server is draining"));
+            }
+            let _span = dance_telemetry::hot_span!("serve.analytic");
+            let _permit = shared.admission.acquire(deadline)?;
+            analytic_payload(shared, choices, *cfg, *detail)
+        }
+        ReqBody::CostPredict { arch } => {
+            if draining {
+                return Err(ProtoError::overloaded("server is draining"));
+            }
+            let _span = dance_telemetry::hot_span!("serve.predict");
+            let rx = shared.batcher.submit(arch.clone())?;
+            rx.recv_timeout(deadline.max(Duration::from_secs(5)))
+                .map_err(|_| ProtoError::internal("predict collector did not answer"))?
+        }
+        ReqBody::SearchSubmit {
+            epochs,
+            seed,
+            lambda2,
+            flops_penalty,
+            checkpoint,
+        } => {
+            if draining {
+                return Err(ProtoError::overloaded("server is draining"));
+            }
+            let id = shared
+                .jobs
+                .submit(*epochs, *seed, *lambda2, *flops_penalty, *checkpoint)?;
+            let mut payload = String::with_capacity(24);
+            payload.push_str("\"job\":");
+            dance_telemetry::json::push_escaped(&mut payload, &id);
+            Ok(payload)
+        }
+        ReqBody::SearchStatus { job } => {
+            let state = shared
+                .jobs
+                .state(job)
+                .ok_or_else(|| ProtoError::not_found(format!("unknown job {job:?}")))?;
+            let label = match state {
+                crate::jobs::JobState::Queued => "queued",
+                crate::jobs::JobState::Running => "running",
+                crate::jobs::JobState::Done(_) => "done",
+                crate::jobs::JobState::Failed(_) => "failed",
+            };
+            Ok(format!("\"state\":\"{label}\""))
+        }
+        ReqBody::SearchResult { job } => shared.jobs.result(job),
+        ReqBody::Health => Ok(health_payload(shared)),
+        ReqBody::Shutdown => {
+            shared.drain.store(true, Ordering::SeqCst);
+            dance_telemetry::counter!("serve.shutdown_requested");
+            Ok("\"draining\":true".into())
+        }
+    }
+}
+
+fn analytic_payload(
+    shared: &Shared,
+    choices: &[u8],
+    cfg_idx: usize,
+    detail: bool,
+) -> Result<String, ProtoError> {
+    if cfg_idx >= shared.space.len() {
+        return Err(ProtoError::bad_request(format!(
+            "`cfg` must be < {}",
+            shared.space.len()
+        )));
+    }
+    let choices: Vec<SlotChoice> = choices
+        .iter()
+        .map(|c| SlotChoice::from_index(usize::from(*c)))
+        .collect();
+    let mut payload = String::with_capacity(if detail { 512 } else { 96 });
+    let total = if detail {
+        let net = shared.template.instantiate(&choices);
+        let (total, layers) = shared
+            .model
+            .evaluate_detailed(&net, &shared.space.config_at(cfg_idx));
+        payload.push_str("\"layers\":[");
+        for (i, lc) in layers.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            payload.push_str("{\"cycles\":");
+            push_num(&mut payload, lc.cycles as f64);
+            payload.push_str(",\"energy_pj\":");
+            push_num(&mut payload, lc.energy_pj);
+            payload.push('}');
+        }
+        payload.push_str("],");
+        total
+    } else {
+        dance_hwgen::table::cost_direct(
+            &shared.template,
+            &shared.model,
+            &shared.space,
+            &choices,
+            cfg_idx,
+        )
+    };
+    payload.push_str("\"latency_ms\":");
+    push_num(&mut payload, total.latency_ms);
+    payload.push_str(",\"energy_mj\":");
+    push_num(&mut payload, total.energy_mj);
+    payload.push_str(",\"area_mm2\":");
+    push_num(&mut payload, total.area_mm2);
+    payload.push_str(",\"edap\":");
+    push_num(&mut payload, total.edap());
+    Ok(payload)
+}
+
+fn health_payload(shared: &Shared) -> String {
+    let cache = shared.cache.stats();
+    let jobs = shared.jobs.counts();
+    let guard = shared.jobs.guard_total();
+    let mut p = String::with_capacity(256);
+    p.push_str("\"draining\":");
+    p.push_str(if shared.drain.load(Ordering::SeqCst) {
+        "true"
+    } else {
+        "false"
+    });
+    p.push_str(",\"connections\":");
+    push_num(&mut p, shared.active_conns.load(Ordering::SeqCst) as f64);
+    p.push_str(",\"cache\":{\"entries\":");
+    push_num(&mut p, cache.entries as f64);
+    p.push_str(",\"hits\":");
+    push_num(&mut p, cache.hits as f64);
+    p.push_str(",\"misses\":");
+    push_num(&mut p, cache.misses as f64);
+    p.push_str(",\"hit_rate\":");
+    push_num(&mut p, cache.hit_rate());
+    p.push_str("},\"queues\":{\"predict\":");
+    push_num(&mut p, shared.batcher.depth() as f64);
+    p.push_str(",\"jobs\":");
+    push_num(&mut p, shared.jobs.depth() as f64);
+    p.push_str(",\"admission_active\":");
+    push_num(&mut p, shared.admission.active() as f64);
+    p.push_str(",\"admission_waiting\":");
+    push_num(&mut p, shared.admission.waiting() as f64);
+    p.push_str("},\"jobs\":{\"queued\":");
+    push_num(&mut p, jobs.queued as f64);
+    p.push_str(",\"running\":");
+    push_num(&mut p, jobs.running as f64);
+    p.push_str(",\"done\":");
+    push_num(&mut p, jobs.done as f64);
+    p.push_str(",\"failed\":");
+    push_num(&mut p, jobs.failed as f64);
+    p.push_str("},\"guard\":{\"enabled\":");
+    p.push_str(if dance_guard::enabled() {
+        "true"
+    } else {
+        "false"
+    });
+    p.push_str(",\"watchdog_trips\":");
+    push_num(&mut p, f64::from(guard.watchdog_trips));
+    p.push_str(",\"rollbacks\":");
+    push_num(&mut p, f64::from(guard.rollbacks));
+    p.push_str(",\"cost_model_degraded\":");
+    p.push_str(if guard.cost_model_degraded {
+        "true"
+    } else {
+        "false"
+    });
+    p.push_str(",\"checkpoints_written\":");
+    push_num(&mut p, f64::from(guard.checkpoints_written));
+    p.push('}');
+    p
+}

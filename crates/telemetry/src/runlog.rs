@@ -295,6 +295,37 @@ pub fn snapshot_json(label: &str, total_wall_s: f64) -> String {
     out
 }
 
+/// Claims a collision-free run id by creating its artifact with
+/// `create_new`: the timestamp/pid/counter id scheme alone is not unique
+/// when several sinks share one run dir — a server plus the search jobs it
+/// embeds, concurrent bench processes after pid reuse — so the filesystem
+/// is the arbiter. `AlreadyExists` bumps the process-wide counter and
+/// retries; any other error aborts (telemetry stays best-effort).
+fn create_unique_run_file(
+    dir: &Path,
+    kind: &str,
+    unix_ms: u128,
+) -> std::io::Result<(String, PathBuf, fs::File)> {
+    loop {
+        let id = format!(
+            "{kind}-{}-{}-{}",
+            unix_ms / 1000,
+            std::process::id(),
+            RUN_COUNTER.fetch_add(1, Ordering::Relaxed),
+        );
+        let path = dir.join(format!("{id}.jsonl"));
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(file) => return Ok((id, path, file)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// An open run log. Dropping the guard dumps every aggregate into the file,
 /// appends the `run_end` event and prints the summary table to stderr.
 #[must_use = "bind the run guard to a named variable; dropping it immediately closes the run"]
@@ -323,12 +354,6 @@ impl RunGuard {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis())
             .unwrap_or(0);
-        let id = format!(
-            "{kind}-{}-{}-{}",
-            unix_ms / 1000,
-            std::process::id(),
-            RUN_COUNTER.fetch_add(1, Ordering::Relaxed),
-        );
         let dir = run_dir();
         if let Err(e) = fs::create_dir_all(&dir) {
             eprintln!(
@@ -337,13 +362,12 @@ impl RunGuard {
             );
             return None;
         }
-        let path = dir.join(format!("{id}.jsonl"));
-        let file = match fs::File::create(&path) {
-            Ok(f) => f,
+        let (id, path, file) = match create_unique_run_file(&dir, kind, unix_ms) {
+            Ok(claimed) => claimed,
             Err(e) => {
                 eprintln!(
-                    "dance-telemetry: cannot create run log {}: {e}",
-                    path.display()
+                    "dance-telemetry: cannot create run log in {}: {e}",
+                    dir.display()
                 );
                 return None;
             }
@@ -427,6 +451,68 @@ impl Drop for RunGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn colliding_run_ids_skip_to_the_next_counter() {
+        let dir = std::env::temp_dir().join(format!("dance_runid_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        // Pre-claim the ids the next two counter values would produce, as a
+        // colliding process (same second, reused pid) would have.
+        let next = RUN_COUNTER.load(Ordering::Relaxed);
+        let stamp: u128 = 1_700_000_000_000;
+        for n in [next, next + 1] {
+            let clash = dir.join(format!(
+                "clash-{}-{}-{n}.jsonl",
+                stamp / 1000,
+                std::process::id()
+            ));
+            fs::write(&clash, "taken").expect("pre-create clash file");
+        }
+        let (id, path, _file) =
+            create_unique_run_file(&dir, "clash", stamp).expect("must find a free id");
+        // The global counter may be bumped concurrently by other tests, so
+        // assert the invariants rather than the exact skip count: a fresh
+        // file was claimed, and the taken ids were not truncated (the old
+        // `File::create` path silently overwrote them).
+        let counter: u64 = id
+            .rsplit('-')
+            .next()
+            .and_then(|n| n.parse().ok())
+            .expect("id ends in a counter");
+        assert!(counter >= next + 2, "id {id} must skip the taken counters");
+        assert!(path.exists());
+        assert_eq!(fs::read_to_string(&path).expect("exists"), "");
+        for n in [next, next + 1] {
+            let clash = dir.join(format!(
+                "clash-{}-{}-{n}.jsonl",
+                stamp / 1000,
+                std::process::id()
+            ));
+            assert_eq!(
+                fs::read_to_string(&clash).expect("clash file still present"),
+                "taken",
+                "pre-existing artifact must not be truncated"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequential_runs_in_one_process_get_distinct_artifacts() {
+        let dir = std::env::temp_dir().join(format!("dance_runseq_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        let stamp: u128 = 1_700_000_000_000;
+        let (id_a, path_a, _fa) = create_unique_run_file(&dir, "seq", stamp).expect("first");
+        // Same kind, same timestamp — previously only the counter separated
+        // them; now the filesystem claim guarantees it.
+        let (id_b, path_b, _fb) = create_unique_run_file(&dir, "seq", stamp).expect("second");
+        assert_ne!(id_a, id_b);
+        assert_ne!(path_a, path_b);
+        assert!(path_a.exists() && path_b.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn run_dir_defaults_under_results() {

@@ -19,6 +19,22 @@ target/release/dance_search --epochs 4 --seed 3 --checkpoint-dir results/checkpo
 digests=$(grep -c "$(grep -m1 arch-digest results/guard_smoke.log)" results/guard_smoke.log)
 [ "$digests" -eq 2 ] || { echo "GUARD_RESUME_MISMATCH"; exit 1; }
 echo GUARD_RESUME_OK
+# Serve smoke: start the service, push 1k mixed requests through it with the
+# closed-loop load generator (which writes BENCH_serve.json), drain it
+# gracefully, and require a clean run log (run_end present — a torn log means
+# the drain was not graceful).
+cargo build --release --bin dance_serve --bin serve_load
+rm -rf results/runs/serve-smoke
+mkdir -p results/runs/serve-smoke
+DANCE_RUN_DIR=results/runs/serve-smoke target/release/dance_serve --addr 127.0.0.1:7421 --workers 4 &
+SERVE_PID=$!
+sleep 2
+target/release/serve_load --addr 127.0.0.1:7421 --requests 1000 --clients 8 \
+    --mix mixed --shutdown 2>&1 | tee results/serve_smoke.log
+wait "$SERVE_PID" || { echo "SERVE_EXIT_NONZERO"; exit 1; }
+grep -q '"t":"run_end"' results/runs/serve-smoke/serve-*.jsonl \
+    || { echo "SERVE_RUN_LOG_TORN"; exit 1; }
+echo SERVE_SMOKE_OK
 cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
 cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
 cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log

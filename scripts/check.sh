@@ -13,11 +13,18 @@ cargo run --release -q -p dance-analyze -- --all
 echo "== dance-analyze --source crates/telemetry =="
 cargo run --release -q -p dance-analyze -- --source crates/telemetry
 
+echo "== dance-analyze --source crates/serve =="
+cargo run --release -q -p dance-analyze -- --source crates/serve
+
 echo "== cargo test =="
 cargo test -q --workspace --release
 
 echo "== telemetry integration test =="
 cargo test -q --release --test telemetry_run
+
+echo "== serve integration tests =="
+cargo test -q --release --test serve_service
+cargo test -q --release -p dance-serve --test proto_roundtrip
 
 echo "== guard fault-injection suite =="
 cargo test -q --release -p dance-guard --features fault-injection

@@ -1,0 +1,255 @@
+//! `serve_load` — closed-loop load generator for `dance_serve`.
+//!
+//! ```text
+//! serve_load [--addr HOST:PORT] [--requests N] [--clients C]
+//!            [--mix analytic|mixed] [--deadline-ms N] [--shutdown]
+//! ```
+//!
+//! Each client thread keeps one connection and fires requests back-to-back
+//! from a fixed pool of distinct payloads (so the server's response cache
+//! sees a realistic mix of cold and warm keys). Runs under `dance-bench`,
+//! which writes `BENCH_serve.json` at the workspace root with QPS,
+//! p50/p95/p99 latency and the server-reported cache hit-rate. With
+//! `--shutdown` it finishes by draining the server via `admin/shutdown`.
+
+use std::time::{Duration, Instant};
+
+use dance_bench::bench_run;
+use dance_serve::proto::{ReqBody, Request, NUM_CHOICES, NUM_SLOTS};
+use dance_serve::Client;
+use dance_telemetry::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct LoadConfig {
+    addr: String,
+    requests: usize,
+    clients: usize,
+    mixed: bool,
+    deadline_ms: u64,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load [--addr HOST:PORT] [--requests N] [--clients C] \
+         [--mix analytic|mixed] [--deadline-ms N] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> LoadConfig {
+    let mut cfg = LoadConfig {
+        addr: "127.0.0.1:7421".into(),
+        requests: 1000,
+        clients: 8,
+        mixed: true,
+        deadline_ms: 250,
+        shutdown: false,
+    };
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = next("--addr"),
+            "--requests" => cfg.requests = next("--requests").parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.clients = next("--clients").parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                cfg.mixed = match next("--mix").as_str() {
+                    "analytic" => false,
+                    "mixed" => true,
+                    _ => usage(),
+                }
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = next("--deadline-ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--shutdown" => cfg.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    cfg.clients = cfg.clients.clamp(1, 64);
+    cfg.requests = cfg.requests.max(cfg.clients);
+    cfg
+}
+
+/// Fixed pools of distinct payloads — small enough that the cache warms,
+/// large enough that cold misses happen.
+fn request_pool(cfg: &LoadConfig) -> Vec<ReqBody> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut pool = Vec::with_capacity(320);
+    for _ in 0..256 {
+        let choices = (0..NUM_SLOTS)
+            .map(|_| rng.gen_range(0..NUM_CHOICES as u32) as u8)
+            .collect();
+        pool.push(ReqBody::CostAnalytic {
+            choices,
+            cfg: rng.gen_range(0..4335u32) as usize,
+            detail: false,
+        });
+    }
+    if cfg.mixed {
+        for _ in 0..48 {
+            let arch = (0..NUM_SLOTS * NUM_CHOICES)
+                .map(|_| rng.gen_range(0..1000u32) as f32 / 1000.0)
+                .collect();
+            pool.push(ReqBody::CostPredict { arch });
+        }
+        for _ in 0..16 {
+            pool.push(ReqBody::Health);
+        }
+    }
+    pool
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+#[derive(Debug, Default)]
+struct ThreadStats {
+    latencies_us: Vec<u64>,
+    shed: u64,
+    errors: u64,
+}
+
+fn client_loop(cfg: &LoadConfig, pool: &[ReqBody], thread: usize, count: usize) -> ThreadStats {
+    let mut stats = ThreadStats::default();
+    let mut client = match Client::connect(&cfg.addr, Some(Duration::from_secs(10))) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client {thread}: connect failed: {e}");
+            stats.errors = count as u64;
+            return stats;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(1000 + thread as u64);
+    for i in 0..count {
+        let body = pool[rng.gen_range(0..pool.len() as u32) as usize].clone();
+        let req = Request {
+            id: format!("{thread}-{i}"),
+            deadline_ms: Some(cfg.deadline_ms),
+            body,
+        };
+        let t0 = Instant::now();
+        match client.call(&req) {
+            Ok(resp) => {
+                let us = t0.elapsed().as_micros() as u64;
+                match resp.get("ok") {
+                    Some(Json::Bool(true)) => stats.latencies_us.push(us),
+                    _ => {
+                        if resp.get("code").and_then(Json::as_f64) == Some(503.0) {
+                            stats.shed += 1;
+                        } else {
+                            stats.errors += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("client {thread}: request failed: {e}");
+                stats.errors += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Server-side cache hit-rate, read off the `health` endpoint.
+fn fetch_hit_rate(cfg: &LoadConfig) -> f64 {
+    let probe = Client::connect(&cfg.addr, Some(Duration::from_secs(5))).and_then(|mut c| {
+        c.call(&Request {
+            id: "health".into(),
+            deadline_ms: None,
+            body: ReqBody::Health,
+        })
+    });
+    match probe {
+        Ok(resp) => resp
+            .get("cache")
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        Err(e) => {
+            eprintln!("health probe failed: {e}");
+            0.0
+        }
+    }
+}
+
+fn run_load(cfg: &LoadConfig) {
+    let pool = request_pool(cfg);
+    let per_client = cfg.requests / cfg.clients;
+    let t0 = Instant::now();
+    let pool = &pool;
+    let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|t| scope.spawn(move || client_loop(cfg, pool, t, per_client)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread must not panic"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let (mut shed, mut errors) = (0u64, 0u64);
+    for s in &stats {
+        latencies.extend_from_slice(&s.latencies_us);
+        shed += s.shed;
+        errors += s.errors;
+    }
+    latencies.sort_unstable();
+    let ok = latencies.len() as u64;
+    let qps = ok as f64 / wall_s.max(1e-9);
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let hit_rate = fetch_hit_rate(cfg);
+    dance_telemetry::gauge!("serve_load.qps", qps);
+    dance_telemetry::gauge!("serve_load.p50_us", p50 as f64);
+    dance_telemetry::gauge!("serve_load.p95_us", p95 as f64);
+    dance_telemetry::gauge!("serve_load.p99_us", p99 as f64);
+    dance_telemetry::gauge!("serve_load.ok", ok as f64);
+    dance_telemetry::gauge!("serve_load.shed", shed as f64);
+    dance_telemetry::gauge!("serve_load.errors", errors as f64);
+    dance_telemetry::gauge!("serve_load.cache_hit_rate", hit_rate);
+    println!(
+        "serve_load: {ok} ok / {shed} shed / {errors} errors over {wall_s:.2}s \
+         → {qps:.0} qps, p50 {p50}us p95 {p95}us p99 {p99}us, cache hit-rate {hit_rate:.2}"
+    );
+    if cfg.shutdown {
+        match Client::connect(&cfg.addr, Some(Duration::from_secs(5))).and_then(|mut c| {
+            c.call(&Request {
+                id: "drain".into(),
+                deadline_ms: None,
+                body: ReqBody::Shutdown,
+            })
+        }) {
+            Ok(_) => println!("shutdown requested; server draining"),
+            Err(e) => eprintln!("shutdown request failed: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    bench_run("serve", || run_load(&cfg));
+}

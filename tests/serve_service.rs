@@ -1,0 +1,258 @@
+//! End-to-end service tests for `dance-serve`: cache hits must be
+//! byte-identical to cold responses, eight concurrent clients must each get
+//! exactly their own responses back, and overload must shed with `503`
+//! while queues stay bounded.
+
+use std::time::{Duration, Instant};
+
+use dance_serve::proto::{ReqBody, Request, NUM_CHOICES, NUM_SLOTS};
+use dance_serve::{Client, ServeConfig, Server};
+use dance_telemetry::json::Json;
+
+/// Binds a server on an ephemeral port, runs it on a background thread and
+/// returns its address plus the join handle (joined after `admin/shutdown`).
+fn start_server(cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&cfg).expect("ephemeral bind succeeds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || {
+        server.run().expect("server run loop exits cleanly");
+    });
+    (addr, handle)
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr, Some(Duration::from_secs(10))).expect("client connects")
+}
+
+fn shutdown(addr: &str) {
+    let mut c = connect(addr);
+    let resp = c
+        .call(&Request {
+            id: "drain".into(),
+            deadline_ms: None,
+            body: ReqBody::Shutdown,
+        })
+        .expect("shutdown request succeeds");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+}
+
+fn analytic(id: &str, choices: Vec<u8>, cfg: usize) -> Request {
+    Request {
+        id: id.into(),
+        deadline_ms: Some(2_000),
+        body: ReqBody::CostAnalytic {
+            choices,
+            cfg,
+            detail: false,
+        },
+    }
+}
+
+#[test]
+fn cache_hits_are_byte_identical_to_cold_responses() {
+    let (addr, handle) = start_server(ServeConfig::default());
+    let mut client = connect(&addr);
+
+    // Analytic: same request (same id) twice — the second answer comes from
+    // the response cache and must match the cold one byte for byte.
+    let req = analytic("cold-vs-warm", vec![0, 3, 6, 1, 2, 4, 5, 0, 3], 1234);
+    let cold = client.call_raw(&req).expect("cold analytic succeeds");
+    let warm = client.call_raw(&req).expect("warm analytic succeeds");
+    assert_eq!(cold, warm, "cache replay changed the response bytes");
+    assert!(cold.contains("\"ok\":true"), "unexpected response: {cold}");
+
+    // Predict: batched inference must also replay byte-identically.
+    let arch: Vec<f32> = (0..NUM_SLOTS * NUM_CHOICES)
+        .map(|i| (i % 10) as f32 / 10.0)
+        .collect();
+    let preq = Request {
+        id: "predict-replay".into(),
+        deadline_ms: Some(5_000),
+        body: ReqBody::CostPredict { arch },
+    };
+    let pcold = client.call_raw(&preq).expect("cold predict succeeds");
+    let pwarm = client.call_raw(&preq).expect("warm predict succeeds");
+    assert_eq!(pcold, pwarm, "predict cache replay changed the bytes");
+    assert!(pcold.contains("\"metrics\":"), "unexpected: {pcold}");
+
+    // The health endpoint must report the hits the two replays produced.
+    let health = client
+        .call(&Request {
+            id: "h".into(),
+            deadline_ms: None,
+            body: ReqBody::Health,
+        })
+        .expect("health succeeds");
+    let hits = health
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_f64)
+        .expect("health reports cache hits");
+    assert!(hits >= 2.0, "expected >= 2 cache hits, saw {hits}");
+
+    shutdown(&addr);
+    handle.join().expect("server thread joins after drain");
+}
+
+#[test]
+fn eight_concurrent_clients_each_get_their_own_responses() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 40;
+    let (addr, handle) = start_server(ServeConfig::default());
+
+    let addr_ref = &addr;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = connect(addr_ref);
+                    for i in 0..PER_CLIENT {
+                        let id = format!("client{t}-req{i}");
+                        // Distinct payload per (client, request) so a crossed
+                        // wire would also produce a visibly wrong body.
+                        let choices: Vec<u8> = (0..NUM_SLOTS)
+                            .map(|s| ((t + i + s) % NUM_CHOICES) as u8)
+                            .collect();
+                        let cfg = (t * PER_CLIENT + i) % 4335;
+                        let resp = client
+                            .call(&analytic(&id, choices, cfg))
+                            .expect("analytic request succeeds");
+                        assert_eq!(
+                            resp.get("id").and_then(Json::as_str),
+                            Some(id.as_str()),
+                            "response id does not match request id"
+                        );
+                        assert_eq!(
+                            resp.get("ok"),
+                            Some(&Json::Bool(true)),
+                            "request {id} failed: {resp:?}"
+                        );
+                        assert!(
+                            resp.get("latency_ms").and_then(Json::as_f64).is_some(),
+                            "request {id} got no payload"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client thread must not panic");
+        }
+    });
+
+    shutdown(&addr);
+    handle.join().expect("server thread joins after drain");
+}
+
+#[test]
+fn overload_sheds_with_503_and_queues_stay_bounded() {
+    // One search worker and a one-deep job queue: a burst of submissions
+    // must accept at most worker+queue jobs and shed the rest with 503.
+    let cfg = ServeConfig {
+        search_workers: 1,
+        job_queue: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start_server(cfg);
+    let mut client = connect(&addr);
+
+    const BURST: usize = 6;
+    let (mut accepted, mut shed) = (Vec::new(), 0usize);
+    for i in 0..BURST {
+        let resp = client
+            .call(&Request {
+                id: format!("submit-{i}"),
+                deadline_ms: Some(2_000),
+                body: ReqBody::SearchSubmit {
+                    epochs: 1,
+                    seed: 7 + i as u64,
+                    lambda2: 0.1,
+                    flops_penalty: false,
+                    checkpoint: false,
+                },
+            })
+            .expect("submit request round-trips");
+        match resp.get("ok") {
+            Some(Json::Bool(true)) => {
+                let job = resp
+                    .get("job")
+                    .and_then(Json::as_str)
+                    .expect("accepted submit returns a job id")
+                    .to_string();
+                accepted.push(job);
+            }
+            _ => {
+                assert_eq!(
+                    resp.get("code").and_then(Json::as_f64),
+                    Some(503.0),
+                    "rejection must be a 503 shed, got {resp:?}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(accepted.len() + shed, BURST);
+    assert!(
+        !accepted.is_empty(),
+        "the first submission must be accepted"
+    );
+    assert!(
+        shed >= 1,
+        "a {BURST}-deep burst into a 1-worker/1-slot server must shed"
+    );
+
+    // Bounded: the health endpoint must never report more queued jobs than
+    // the configured queue depth.
+    let health = client
+        .call(&Request {
+            id: "h".into(),
+            deadline_ms: None,
+            body: ReqBody::Health,
+        })
+        .expect("health succeeds");
+    let job_depth = health
+        .get("queues")
+        .and_then(|q| q.get("jobs"))
+        .and_then(Json::as_f64)
+        .expect("health reports job queue depth");
+    assert!(
+        job_depth <= 1.0,
+        "job queue exceeded its bound: {job_depth}"
+    );
+
+    // The accepted jobs must all finish (tiny 1-epoch searches).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for job in &accepted {
+        loop {
+            let resp = client
+                .call(&Request {
+                    id: "status".into(),
+                    deadline_ms: None,
+                    body: ReqBody::SearchStatus { job: job.clone() },
+                })
+                .expect("status request succeeds");
+            let state = resp.get("state").and_then(Json::as_str).unwrap_or("?");
+            if state == "done" {
+                break;
+            }
+            assert_ne!(state, "failed", "job {job} failed");
+            assert!(Instant::now() < deadline, "job {job} stuck in {state}");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let result = client
+            .call(&Request {
+                id: "result".into(),
+                deadline_ms: None,
+                body: ReqBody::SearchResult { job: job.clone() },
+            })
+            .expect("result request succeeds");
+        assert_eq!(result.get("ok"), Some(&Json::Bool(true)));
+        assert!(
+            result.get("choices").and_then(Json::as_arr).is_some(),
+            "finished job must report its chosen architecture: {result:?}"
+        );
+    }
+
+    shutdown(&addr);
+    handle.join().expect("server thread joins after drain");
+}
