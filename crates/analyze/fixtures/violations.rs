@@ -4,7 +4,8 @@
 //! exit with one diagnostic per rule.
 //!
 //! Expected findings in this file: `no-unwrap`, `expect-message`,
-//! `float-eq`, `must-use`, `span-guard`, `checkpoint-io`, `lock-unwrap`.
+//! `float-eq`, `must-use`, `span-guard`, `checkpoint-io`, `lock-unwrap`,
+//! `raw-spawn`.
 
 /// Violates `no-unwrap`: library code must propagate or justify the error.
 pub fn seeded_unwrap(values: &[f32]) -> f32 {
@@ -41,6 +42,12 @@ pub fn seeded_direct_artifact_write() {
 /// recovered with `unwrap_or_else(PoisonError::into_inner)`.
 pub fn seeded_lock_unwrap(counter: &std::sync::Mutex<u64>) -> u64 {
     *counter.lock().unwrap()
+}
+
+/// Violates `raw-spawn`: an ad-hoc thread bypasses the shared backend pool
+/// (it ignores `DANCE_THREADS` and the deterministic chunk decomposition).
+pub fn seeded_raw_spawn() {
+    std::thread::spawn(|| {}).join().ok();
 }
 
 /// Stand-in so the fixture is a self-contained parse target.

@@ -18,6 +18,7 @@
 //! | `span-guard`  | all library code             | `let _ = span!(…)` drops the guard instantly  |
 //! | `checkpoint-io` | all library code (minus the atomic helpers) | direct `File::create`/`fs::write` of a `.json`/`.bin`/`.ckpt` artifact |
 //! | `lock-unwrap` | all library code             | `.lock().unwrap()` panics on poison; recover or document |
+//! | `raw-spawn`   | all but `crates/backend` (the pool itself) | ad-hoc `thread::spawn`/`.spawn(` bypasses the shared worker pool |
 //!
 //! Diagnostics print as `file:line rule message` — one per line, greppable,
 //! and the CLI exits non-zero when any are present.
@@ -285,6 +286,12 @@ struct FileRules {
     /// `checkpoint-io` applies everywhere except the atomic-save helpers
     /// themselves (which necessarily perform the raw write).
     checkpoint_io: bool,
+    /// `raw-spawn` applies everywhere except `crates/backend` — the worker
+    /// pool is the one place allowed to create threads. (The serve accept
+    /// loop carries an explicit `// lint: allow(raw-spawn)` instead of a
+    /// path exemption, so linting `crates/serve` as its own root — where
+    /// the path prefix is stripped — still works.)
+    raw_spawn: bool,
 }
 
 fn rules_for(path: &str) -> FileRules {
@@ -294,6 +301,7 @@ fn rules_for(path: &str) -> FileRules {
     FileRules {
         panic_doc: normalized.contains("crates/cost/") || normalized.contains("crates/autograd/"),
         checkpoint_io: !atomic_helper,
+        raw_spawn: !normalized.contains("crates/backend/"),
     }
 }
 
@@ -469,6 +477,28 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
                     );
                 }
             }
+        }
+
+        // --- raw-spawn ----------------------------------------------------
+        // An ad-hoc thread bypasses the shared `dance-backend` pool: it
+        // ignores `DANCE_THREADS`, is invisible to the `backend.threads`
+        // gauge, and sidesteps the fixed chunk decomposition that keeps
+        // results bit-identical across thread counts. Chunked work belongs
+        // on `dance_backend::run`; long-lived service threads go through
+        // `dance_backend::spawn_service` (which at least names them).
+        if rules.raw_spawn
+            && (code.contains("thread::spawn(") || code.contains(".spawn("))
+            && !is_allowed(&lines, idx, "raw-spawn")
+        {
+            emit(
+                idx,
+                "raw-spawn",
+                "raw thread spawn outside `crates/backend`; run chunked work via \
+                 `dance_backend::run`, name service threads via \
+                 `dance_backend::spawn_service`, or add `// lint: allow(raw-spawn)` \
+                 with a rationale"
+                    .to_string(),
+            );
         }
 
         // --- checkpoint-io ------------------------------------------------
@@ -764,6 +794,49 @@ mod tests {
         assert!(rules_hit("crates/guard/src/checkpoint.rs", src).is_empty());
         let allowed = "fn f() {\n    // lint: allow(checkpoint-io) scratch file, never reloaded\n    std::fs::write(\"scratch.json\", \"{}\").ok();\n}\n";
         assert!(rules_hit("crates/x/src/lib.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_is_flagged_outside_backend() {
+        let plain = "fn f() { std::thread::spawn(|| {}); }\n";
+        let builder =
+            "fn f() { std::thread::Builder::new().name(\"w\".into()).spawn(|| {}).ok(); }\n";
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert_eq!(
+            rules_hit("crates/serve/src/jobs.rs", plain),
+            vec!["raw-spawn"]
+        );
+        assert_eq!(
+            rules_hit("src/bin/serve_load.rs", builder),
+            vec!["raw-spawn"]
+        );
+        assert_eq!(
+            rules_hit("crates/hwgen/src/dataset.rs", scoped),
+            vec!["raw-spawn"]
+        );
+    }
+
+    #[test]
+    fn raw_spawn_in_backend_pool_is_exempt() {
+        let src = "fn f() { std::thread::Builder::new().spawn(|| {}).ok(); }\n";
+        assert!(rules_hit("crates/backend/src/pool.rs", src).is_empty());
+        assert!(rules_hit("crates/backend/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_allow_comment_and_test_module_are_exempt() {
+        let allowed = "fn f() {\n    // lint: allow(raw-spawn) accept loop: one thread per connection\n    std::thread::spawn(|| {});\n}\n";
+        assert!(rules_hit("crates/serve/src/server.rs", allowed).is_empty());
+        let in_test = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::spawn(|| {}).join().ok(); }\n}\n";
+        assert!(rules_hit("crates/serve/src/queue.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn pool_dispatch_and_spawn_service_pass() {
+        let run = "fn f() { let _v = dance_backend::run(4, move |i| i * 2); }\n";
+        let svc = "fn f() { dance_backend::spawn_service(\"collector\", move || {}).ok(); }\n";
+        assert!(rules_hit("crates/serve/src/batch.rs", run).is_empty());
+        assert!(rules_hit("crates/serve/src/batch.rs", svc).is_empty());
     }
 
     #[test]

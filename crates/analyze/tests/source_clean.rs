@@ -25,7 +25,7 @@ fn workspace_sources_are_lint_clean() {
     );
 }
 
-/// The fixture tree seeds exactly one violation per rule; all eight rules
+/// The fixture tree seeds exactly one violation per rule; all nine rules
 /// must fire, each with a populated `file:line rule message` diagnostic.
 #[test]
 fn fixture_trips_every_rule() {
@@ -41,6 +41,7 @@ fn fixture_trips_every_rule() {
         "span-guard",
         "checkpoint-io",
         "lock-unwrap",
+        "raw-spawn",
     ]
     .into_iter()
     .collect();

@@ -264,26 +264,23 @@ pub fn mul_row_broadcast(x: &Var, row: &Var) -> Var {
         r_val.numel(),
         n
     );
-    let mut out = x_val.clone();
-    for i in 0..m {
-        for j in 0..n {
-            out.data_mut()[i * n + j] *= r_val.data()[j];
-        }
-    }
+    let out = Tensor::from_vec(
+        dance_backend::kernels().mul_row_broadcast(x_val.shared(), r_val.shared(), m, n),
+        &[m, n],
+    );
     Var::from_op(
         "mul_row_broadcast",
         out,
         vec![x.clone(), row.clone()],
         Box::new(move |g, parents| {
-            let mut dx = Tensor::zeros(&[m, n]);
-            let mut dr = Tensor::zeros(&[n]);
-            for i in 0..m {
-                for j in 0..n {
-                    let gv = g.data()[i * n + j];
-                    dx.data_mut()[i * n + j] = gv * r_val.data()[j];
-                    dr.data_mut()[j] += gv * x_val.data()[i * n + j];
-                }
-            }
+            let ks = dance_backend::kernels();
+            let dx = Tensor::from_vec(
+                ks.mul_row_broadcast(g.shared(), r_val.shared(), m, n),
+                &[m, n],
+            );
+            // dr[j] = Σᵢ g[i,j]·x[i,j]: element-wise product then column sum,
+            // in the same row-ascending accumulation order as before.
+            let dr = g.mul(&x_val).sum_rows();
             parents[0].accumulate_grad(&dx);
             parents[1].accumulate_grad(&dr);
         }),

@@ -5,6 +5,8 @@
 //! noted; the 1-D convolution ops operate on `[batch, channels, length]`
 //! tensors used by the MBConv-1D supernet blocks.
 
+use dance_backend::{kernels, BinaryOp, UnaryOp};
+
 use crate::tensor::Tensor;
 use crate::var::Var;
 
@@ -117,7 +119,7 @@ impl Var {
     /// Adds the scalar `c` to every element.
     #[must_use]
     pub fn add_scalar(&self, c: f32) -> Var {
-        let value = self.with_value(|a| a.map(|x| x + c));
+        let value = self.with_value(|a| a.unary_op(UnaryOp::AddScalar(c)));
         Var::from_op(
             "add_scalar",
             value,
@@ -150,13 +152,10 @@ impl Var {
                     x.shape()[1]
                 );
                 let (m, n) = (x.shape()[0], x.shape()[1]);
-                let mut out = x.clone();
-                for i in 0..m {
-                    for j in 0..n {
-                        out.data_mut()[i * n + j] += b.data()[j];
-                    }
-                }
-                out
+                Tensor::from_vec(
+                    kernels().add_row_broadcast(x.shared(), b.shared(), m, n),
+                    &[m, n],
+                )
             })
         });
         Var::from_op(
@@ -195,13 +194,13 @@ impl Var {
     #[must_use]
     pub fn relu(&self) -> Var {
         let x_val = self.value();
-        let value = x_val.map(|x| x.max(0.0));
+        let value = x_val.unary_op(UnaryOp::Relu);
         Var::from_op(
             "relu",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let mask = x_val.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                let mask = x_val.unary_op(UnaryOp::ReluMask);
                 parents[0].accumulate_grad(&g.mul(&mask));
             }),
         )
@@ -210,14 +209,14 @@ impl Var {
     /// Logistic sigmoid.
     #[must_use]
     pub fn sigmoid(&self) -> Var {
-        let value = self.with_value(|a| a.map(|x| 1.0 / (1.0 + (-x).exp())));
+        let value = self.with_value(|a| a.unary_op(UnaryOp::Sigmoid));
         let y_val = value.clone();
         Var::from_op(
             "sigmoid",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let d = y_val.map(|y| y * (1.0 - y));
+                let d = y_val.unary_op(UnaryOp::SigmoidGrad);
                 parents[0].accumulate_grad(&g.mul(&d));
             }),
         )
@@ -226,14 +225,14 @@ impl Var {
     /// Hyperbolic tangent.
     #[must_use]
     pub fn tanh(&self) -> Var {
-        let value = self.with_value(|a| a.map(f32::tanh));
+        let value = self.with_value(|a| a.unary_op(UnaryOp::Tanh));
         let y_val = value.clone();
         Var::from_op(
             "tanh",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let d = y_val.map(|y| 1.0 - y * y);
+                let d = y_val.unary_op(UnaryOp::TanhGrad);
                 parents[0].accumulate_grad(&g.mul(&d));
             }),
         )
@@ -242,7 +241,7 @@ impl Var {
     /// Element-wise exponential.
     #[must_use]
     pub fn exp(&self) -> Var {
-        let value = self.with_value(|a| a.map(f32::exp));
+        let value = self.with_value(|a| a.unary_op(UnaryOp::Exp));
         let y_val = value.clone();
         Var::from_op(
             "exp",
@@ -256,13 +255,13 @@ impl Var {
     #[must_use]
     pub fn ln(&self) -> Var {
         let x_val = self.value();
-        let value = x_val.map(|x| x.max(1e-12).ln());
+        let value = x_val.unary_op(UnaryOp::LnClamped);
         Var::from_op(
             "ln",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let d = x_val.map(|x| 1.0 / x.max(1e-12));
+                let d = x_val.unary_op(UnaryOp::LnGradClamped);
                 parents[0].accumulate_grad(&g.mul(&d));
             }),
         )
@@ -435,7 +434,8 @@ impl Var {
         let mut value = Tensor::zeros(&shape);
         for (v, &w) in op_vals.iter().zip(w_val.data()) {
             assert_eq!(v.shape(), &shape[..], "weighted_sum operand shape mismatch");
-            value.add_assign(&v.scale(w));
+            // axpy-style fused accumulate: value[i] += v[i]·w, one kernel pass.
+            value = value.binary_op(v, BinaryOp::AddScaled(w));
         }
         let mut parents: Vec<Var> = ops.iter().map(|o| (*o).clone()).collect();
         parents.push(weights.clone());
@@ -480,56 +480,36 @@ impl Var {
         assert_eq!(b_val.numel(), k, "pw_conv1d bias length");
 
         let out = dance_telemetry::time("autograd.fwd.pw_conv1d", || {
-            let mut out = Tensor::zeros(&[bsz, k, l]);
-            for b in 0..bsz {
-                for ko in 0..k {
-                    let w_row = &w_val.data()[ko * c..(ko + 1) * c];
-                    let o_base = (b * k + ko) * l;
-                    for (ci, &w) in w_row.iter().enumerate() {
-                        // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
-                        if w == 0.0 {
-                            continue;
-                        }
-                        let x_base = (b * c + ci) * l;
-                        for li in 0..l {
-                            out.data_mut()[o_base + li] += w * x_val.data()[x_base + li];
-                        }
-                    }
-                    for li in 0..l {
-                        out.data_mut()[o_base + li] += b_val.data()[ko];
-                    }
-                }
-            }
-            out
+            Tensor::from_vec(
+                kernels().pw_conv1d_fwd(
+                    x_val.shared(),
+                    w_val.shared(),
+                    b_val.shared(),
+                    bsz,
+                    c,
+                    l,
+                    k,
+                ),
+                &[bsz, k, l],
+            )
         });
         Var::from_op(
             "pw_conv1d",
             out,
             vec![self.clone(), weight.clone(), bias.clone()],
             Box::new(move |g, parents| {
-                let mut dx = Tensor::zeros(&[bsz, c, l]);
-                let mut dw = Tensor::zeros(&[k, c]);
-                let mut db = Tensor::zeros(&[k]);
-                for b in 0..bsz {
-                    for ko in 0..k {
-                        let g_base = (b * k + ko) * l;
-                        let g_row = &g.data()[g_base..g_base + l];
-                        db.data_mut()[ko] += g_row.iter().sum::<f32>();
-                        for ci in 0..c {
-                            let w = w_val.data()[ko * c + ci];
-                            let x_base = (b * c + ci) * l;
-                            let mut dw_acc = 0.0;
-                            for li in 0..l {
-                                dx.data_mut()[x_base + li] += w * g_row[li];
-                                dw_acc += g_row[li] * x_val.data()[x_base + li];
-                            }
-                            dw.data_mut()[ko * c + ci] += dw_acc;
-                        }
-                    }
-                }
-                parents[0].accumulate_grad(&dx);
-                parents[1].accumulate_grad(&dw);
-                parents[2].accumulate_grad(&db);
+                let (dx, dw, db) = kernels().pw_conv1d_bwd(
+                    x_val.shared(),
+                    w_val.shared(),
+                    g.shared(),
+                    bsz,
+                    c,
+                    l,
+                    k,
+                );
+                parents[0].accumulate_grad(&Tensor::from_vec(dx, &[bsz, c, l]));
+                parents[1].accumulate_grad(&Tensor::from_vec(dw, &[k, c]));
+                parents[2].accumulate_grad(&Tensor::from_vec(db, &[k]));
             }),
         )
     }
@@ -555,58 +535,29 @@ impl Var {
         assert_eq!(w_val.shape()[0], c, "dw_conv1d channel mismatch");
         let kw = w_val.shape()[1];
         assert!(kw % 2 == 1, "dw_conv1d kernel width {kw} must be odd");
-        let pad = kw / 2;
 
         let out = dance_telemetry::time("autograd.fwd.dw_conv1d", || {
-            let mut out = Tensor::zeros(&[bsz, c, l]);
-            for b in 0..bsz {
-                for ci in 0..c {
-                    let x_base = (b * c + ci) * l;
-                    let w_row = &w_val.data()[ci * kw..(ci + 1) * kw];
-                    for li in 0..l {
-                        let mut acc = 0.0;
-                        for (j, &w) in w_row.iter().enumerate() {
-                            let src = li as isize + j as isize - pad as isize;
-                            if src >= 0 && (src as usize) < l {
-                                acc += w * x_val.data()[x_base + src as usize];
-                            }
-                        }
-                        out.data_mut()[x_base + li] = acc;
-                    }
-                }
-            }
-            out
+            Tensor::from_vec(
+                kernels().dw_conv1d_fwd(x_val.shared(), w_val.shared(), bsz, c, l, kw),
+                &[bsz, c, l],
+            )
         });
         Var::from_op(
             "dw_conv1d",
             out,
             vec![self.clone(), weight.clone()],
             Box::new(move |g, parents| {
-                let mut dx = Tensor::zeros(&[bsz, c, l]);
-                let mut dw = Tensor::zeros(&[c, kw]);
-                for b in 0..bsz {
-                    for ci in 0..c {
-                        let base = (b * c + ci) * l;
-                        for li in 0..l {
-                            let gv = g.data()[base + li];
-                            // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            for j in 0..kw {
-                                let src = li as isize + j as isize - pad as isize;
-                                if src >= 0 && (src as usize) < l {
-                                    let x = x_val.data()[base + src as usize];
-                                    dx.data_mut()[base + src as usize] +=
-                                        gv * w_val.data()[ci * kw + j];
-                                    dw.data_mut()[ci * kw + j] += gv * x;
-                                }
-                            }
-                        }
-                    }
-                }
-                parents[0].accumulate_grad(&dx);
-                parents[1].accumulate_grad(&dw);
+                let (dx, dw) = kernels().dw_conv1d_bwd(
+                    x_val.shared(),
+                    w_val.shared(),
+                    g.shared(),
+                    bsz,
+                    c,
+                    l,
+                    kw,
+                );
+                parents[0].accumulate_grad(&Tensor::from_vec(dx, &[bsz, c, l]));
+                parents[1].accumulate_grad(&Tensor::from_vec(dw, &[c, kw]));
             }),
         )
     }
@@ -668,30 +619,19 @@ impl Var {
         assert_eq!(shape.len(), 3, "to_channels_last input shape {shape:?}");
         let (bsz, c, l) = (shape[0], shape[1], shape[2]);
         let value = self.with_value(|x| {
-            let mut out = Tensor::zeros(&[bsz * l, c]);
-            for b in 0..bsz {
-                for ci in 0..c {
-                    for li in 0..l {
-                        out.data_mut()[(b * l + li) * c + ci] = x.data()[(b * c + ci) * l + li];
-                    }
-                }
-            }
-            out
+            Tensor::from_vec(
+                kernels().to_channels_last(x.shared(), bsz, c, l),
+                &[bsz * l, c],
+            )
         });
         Var::from_op(
             "to_channels_last",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let mut dx = Tensor::zeros(&[bsz, c, l]);
-                for b in 0..bsz {
-                    for ci in 0..c {
-                        for li in 0..l {
-                            dx.data_mut()[(b * c + ci) * l + li] = g.data()[(b * l + li) * c + ci];
-                        }
-                    }
-                }
-                parents[0].accumulate_grad(&dx);
+                // The inverse permutation is exactly `from_channels_last`.
+                let dx = kernels().from_channels_last(g.shared(), bsz, c, l);
+                parents[0].accumulate_grad(&Tensor::from_vec(dx, &[bsz, c, l]));
             }),
         )
     }
@@ -713,32 +653,19 @@ impl Var {
         );
         let c = shape[1];
         let value = self.with_value(|x| {
-            let mut out = Tensor::zeros(&[batch, c, length]);
-            for b in 0..batch {
-                for ci in 0..c {
-                    for li in 0..length {
-                        out.data_mut()[(b * c + ci) * length + li] =
-                            x.data()[(b * length + li) * c + ci];
-                    }
-                }
-            }
-            out
+            Tensor::from_vec(
+                kernels().from_channels_last(x.shared(), batch, c, length),
+                &[batch, c, length],
+            )
         });
         Var::from_op(
             "from_channels_last",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                let mut dx = Tensor::zeros(&[batch * length, c]);
-                for b in 0..batch {
-                    for ci in 0..c {
-                        for li in 0..length {
-                            dx.data_mut()[(b * length + li) * c + ci] =
-                                g.data()[(b * c + ci) * length + li];
-                        }
-                    }
-                }
-                parents[0].accumulate_grad(&dx);
+                // The inverse permutation is exactly `to_channels_last`.
+                let dx = kernels().to_channels_last(g.shared(), batch, c, length);
+                parents[0].accumulate_grad(&Tensor::from_vec(dx, &[batch * length, c]));
             }),
         )
     }

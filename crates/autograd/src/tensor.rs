@@ -1,10 +1,17 @@
 //! Dense row-major `f32` tensors.
 //!
 //! [`Tensor`] is the value type that flows through the autodiff tape in
-//! [`crate::var`]. It is deliberately simple: a contiguous `Vec<f32>` plus a
-//! shape. All operations are implemented for the ranks the DANCE stack
-//! actually needs (scalars, vectors, matrices and `[batch, channel, length]`
-//! activations), with shape checks that panic loudly on misuse.
+//! [`crate::var`]. It is deliberately simple: contiguous storage plus a
+//! shape. The storage is an `Arc<Vec<f32>>` so clones are O(1) and the
+//! compute kernels in `dance-backend` can share it with pool workers without
+//! copying; mutation goes through copy-on-write ([`Tensor::data_mut`]).
+//! The hot operations (matmul, transpose, element-wise maps, reductions,
+//! softmax) dispatch through [`dance_backend::kernels`], whose parallel
+//! implementation is bit-identical to the original scalar loops at any
+//! `DANCE_THREADS` setting. All operations are implemented for the ranks the
+//! DANCE stack actually needs (scalars, vectors, matrices and
+//! `[batch, channel, length]` activations), with shape checks that panic
+//! loudly on misuse.
 //!
 //! ```
 //! use dance_autograd::tensor::Tensor;
@@ -15,14 +22,17 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
+use dance_backend::{kernels, BinaryOp, UnaryOp};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// A dense row-major tensor of `f32` values.
+/// A dense row-major tensor of `f32` values with shared, copy-on-write
+/// storage.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Vec<usize>,
 }
 
@@ -58,7 +68,7 @@ impl Tensor {
             shape
         );
         Self {
-            data,
+            data: Arc::new(data),
             shape: shape.to_vec(),
         }
     }
@@ -66,7 +76,7 @@ impl Tensor {
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         Self {
-            data: vec![0.0; shape.iter().product()],
+            data: Arc::new(vec![0.0; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -79,7 +89,7 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         Self {
-            data: vec![value; shape.iter().product()],
+            data: Arc::new(vec![value; shape.iter().product()]),
             shape: shape.to_vec(),
         }
     }
@@ -87,18 +97,21 @@ impl Tensor {
     /// A rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
         Self {
-            data: vec![value],
+            data: Arc::new(vec![value]),
             shape: vec![1],
         }
     }
 
     /// The `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Self::zeros(&[n, n]);
+        let mut data = vec![0.0f32; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Self {
+            data: Arc::new(data),
+            shape: vec![n, n],
+        }
     }
 
     /// Uniform random values in `[lo, hi)`.
@@ -106,7 +119,7 @@ impl Tensor {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(lo..hi)).collect();
         Self {
-            data,
+            data: Arc::new(data),
             shape: shape.to_vec(),
         }
     }
@@ -126,7 +139,7 @@ impl Tensor {
             }
         }
         Self {
-            data,
+            data: Arc::new(data),
             shape: shape.to_vec(),
         }
     }
@@ -141,9 +154,12 @@ impl Tensor {
             index < n,
             "one-hot index {index} out of range for length {n}"
         );
-        let mut t = Self::zeros(&[n]);
-        t.data[index] = 1.0;
-        t
+        let mut data = vec![0.0f32; n];
+        data[index] = 1.0;
+        Self {
+            data: Arc::new(data),
+            shape: vec![n],
+        }
     }
 
     /// The shape of the tensor.
@@ -166,14 +182,22 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the underlying data.
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+    /// The shared storage handle, for handing to backend kernels without a
+    /// copy.
+    pub fn shared(&self) -> &Arc<Vec<f32>> {
+        &self.data
     }
 
-    /// Consumes the tensor, returning the underlying data.
+    /// Mutable view of the underlying data (copy-on-write: clones the
+    /// storage first if it is shared with another tensor or a kernel job).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Consumes the tensor, returning the underlying data (cloning only if
+    /// the storage is still shared).
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// The single value of a one-element tensor.
@@ -191,13 +215,24 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Returns a reshaped copy sharing no storage.
+    /// Returns a reshaped copy (O(1): the storage is shared).
     ///
     /// # Panics
     ///
     /// Panics if the new shape has a different element count.
     pub fn reshape(&self, shape: &[usize]) -> Self {
-        Self::from_vec(self.data.clone(), shape)
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            self.data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            self.data.len(),
+            shape
+        );
+        Self {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        }
     }
 
     /// Element at 2-D index `(row, col)`.
@@ -214,7 +249,7 @@ impl Tensor {
     /// Applies `f` element-wise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         Self {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
@@ -231,39 +266,65 @@ impl Tensor {
             self.shape, other.shape
         );
         Self {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies a backend element-wise unary kernel.
+    pub fn unary_op(&self, op: UnaryOp) -> Self {
+        Self {
+            data: Arc::new(kernels().unary(&self.data, op)),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies a backend element-wise binary kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn binary_op(&self, other: &Self, op: BinaryOp) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "binary op shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        Self {
+            data: Arc::new(kernels().binary(&self.data, &other.data, op)),
             shape: self.shape.clone(),
         }
     }
 
     /// Element-wise sum.
     pub fn add(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a + b)
+        self.binary_op(other, BinaryOp::Add)
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a - b)
+        self.binary_op(other, BinaryOp::Sub)
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a * b)
+        self.binary_op(other, BinaryOp::Mul)
     }
 
     /// Element-wise quotient.
     pub fn div(&self, other: &Self) -> Self {
-        self.zip_map(other, |a, b| a / b)
+        self.binary_op(other, BinaryOp::Div)
     }
 
     /// Multiplies every element by `c`.
     pub fn scale(&self, c: f32) -> Self {
-        self.map(|x| x * c)
+        self.unary_op(UnaryOp::Scale(c))
     }
 
     /// Adds `other` into `self` in place.
@@ -277,19 +338,19 @@ impl Tensor {
             "add_assign shape mismatch: {:?} vs {:?}",
             self.shape, other.shape
         );
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
 
     /// Fills the tensor with zeros in place.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data_mut().iter_mut().for_each(|x| *x = 0.0);
     }
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        kernels().sum(&self.data)
     }
 
     /// Mean of all elements.
@@ -336,24 +397,8 @@ impl Tensor {
             "matmul inner dims: {:?} × {:?}",
             self.shape, other.shape
         );
-        let mut out = vec![0.0f32; m * n];
-        // Loop order m-k-n keeps both B rows and C rows contiguous.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (c, &b) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a * b;
-                }
-            }
-        }
         Self {
-            data: out,
+            data: Arc::new(kernels().matmul(&self.data, &other.data, m, k, n)),
             shape: vec![m, n],
         }
     }
@@ -371,14 +416,8 @@ impl Tensor {
             self.shape
         );
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
         Self {
-            data: out,
+            data: Arc::new(kernels().transpose(&self.data, m, n)),
             shape: vec![n, m],
         }
     }
@@ -396,14 +435,8 @@ impl Tensor {
             self.shape
         );
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
-            }
-        }
         Self {
-            data: out,
+            data: Arc::new(kernels().sum_rows(&self.data, m, n)),
             shape: vec![n],
         }
     }
@@ -473,7 +506,7 @@ impl Tensor {
             }
         }
         Self {
-            data: out,
+            data: Arc::new(out),
             shape: vec![rows, total_cols],
         }
     }
@@ -502,7 +535,7 @@ impl Tensor {
                 .copy_from_slice(&self.data[i * n + start..i * n + start + len]);
         }
         Self {
-            data: out,
+            data: Arc::new(out),
             shape: vec![m, len],
         }
     }
@@ -520,22 +553,8 @@ impl Tensor {
             self.shape
         );
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for j in 0..n {
-                let e = (row[j] - max).exp();
-                out[i * n + j] = e;
-                denom += e;
-            }
-            for v in &mut out[i * n..(i + 1) * n] {
-                *v /= denom;
-            }
-        }
         Self {
-            data: out,
+            data: Arc::new(kernels().softmax_rows(&self.data, m, n)),
             shape: vec![m, n],
         }
     }
@@ -660,5 +679,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let a = Tensor::rand_uniform(&[5, 5], -2.0, 2.0, &mut rng);
         assert!(a.matmul(&Tensor::eye(5)).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn clone_shares_storage_and_mutation_is_cow() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(a.shared(), b.shared()), "clone must be O(1)");
+        b.data_mut()[0] = 9.0;
+        assert_eq!(
+            a.data(),
+            &[1.0, 2.0, 3.0],
+            "CoW must not touch the original"
+        );
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0]);
     }
 }

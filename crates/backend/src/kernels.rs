@@ -1,0 +1,936 @@
+//! The kernel set the tensor ops dispatch through.
+//!
+//! Two implementations of one [`Kernels`] trait:
+//!
+//! * [`ScalarKernels`] — the reference: literally the original single-thread
+//!   loop nests the autograd crate shipped with.
+//! * [`ParallelKernels`] — the default: partitions each kernel's *output*
+//!   into disjoint contiguous chunks executed on the [`crate::pool`].
+//!
+//! **Determinism contract.** Every parallel kernel decomposes its output by
+//! problem size alone (never by thread count), and within each output
+//! element the floating-point accumulation order is identical to the scalar
+//! reference. Consequently `ParallelKernels` is *bit-identical* to
+//! `ScalarKernels` at any `DANCE_THREADS` value — checkpoint digests, serve
+//! cache byte-replay and seed-tuned test expectations are all preserved.
+//! The one deliberately re-associated op is the full reduction [`Kernels::sum`],
+//! which always folds fixed [`SUM_CHUNK`]-sized blocks (so it too is
+//! identical across thread counts *and* between the two implementations, and
+//! coincides with the strict left-to-right sum below [`SUM_CHUNK`] elements).
+
+use std::sync::Arc;
+
+use crate::pool;
+
+/// Shared tensor storage: kernels borrow it and clone the `Arc` (not the
+/// data) into pool jobs.
+pub type Data = Arc<Vec<f32>>;
+
+/// Fixed block size for the chunked full reduction.
+pub const SUM_CHUNK: usize = 65_536;
+
+/// Minimum per-kernel work (output elements × inner length) before a
+/// parallel dispatch pays for itself; below it the scalar path runs inline.
+const PAR_MIN_WORK: usize = 32_768;
+
+/// Target work units per chunk. Chunk counts derive from this and the
+/// problem size only — never from the thread count.
+const GRAIN: usize = 16_384;
+
+/// Element-wise unary operations (enumerated so jobs stay `'static`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryOp {
+    /// `max(x, 0)`.
+    Relu,
+    /// `1` where `x > 0`, else `0` (the ReLU gradient mask).
+    ReluMask,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// `y·(1−y)` applied to a sigmoid *output*.
+    SigmoidGrad,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// `1−y²` applied to a tanh *output*.
+    TanhGrad,
+    /// `exp(x)`.
+    Exp,
+    /// `ln(max(x, 1e-12))` — the clamped log the autograd ops use.
+    LnClamped,
+    /// `1 / max(x, 1e-12)` — the clamped-log gradient.
+    LnGradClamped,
+    /// `x·c`.
+    Scale(f32),
+    /// `x + c`.
+    AddScalar(f32),
+}
+
+impl UnaryOp {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::ReluMask => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::SigmoidGrad => x * (1.0 - x),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::TanhGrad => 1.0 - x * x,
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::LnClamped => x.max(1e-12).ln(),
+            UnaryOp::LnGradClamped => 1.0 / x.max(1e-12),
+            UnaryOp::Scale(c) => x * c,
+            UnaryOp::AddScalar(c) => x + c,
+        }
+    }
+}
+
+/// Element-wise binary operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinaryOp {
+    /// `a + b`.
+    Add,
+    /// `a − b`.
+    Sub,
+    /// `a · b`.
+    Mul,
+    /// `a / b`.
+    Div,
+    /// `a + b·c` (fused accumulate used by mixture ops).
+    AddScaled(f32),
+}
+
+impl BinaryOp {
+    #[inline]
+    fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::AddScaled(c) => a + b * c,
+        }
+    }
+}
+
+/// The compute kernels the `Tensor`/`Var` hot paths dispatch through.
+///
+/// Shapes are passed explicitly (row-major storage throughout); every
+/// method returns freshly allocated output data. See the module docs for
+/// the determinism contract binding the implementations together.
+pub trait Kernels: Sync {
+    /// `[m, k] × [k, n] → [m, n]` matrix product.
+    fn matmul(&self, a: &Data, b: &Data, m: usize, k: usize, n: usize) -> Vec<f32>;
+
+    /// Transpose of an `[m, n]` matrix.
+    fn transpose(&self, a: &Data, m: usize, n: usize) -> Vec<f32>;
+
+    /// Element-wise unary map.
+    fn unary(&self, a: &Data, op: UnaryOp) -> Vec<f32>;
+
+    /// Element-wise binary combination of equal-length data.
+    fn binary(&self, a: &Data, b: &Data, op: BinaryOp) -> Vec<f32>;
+
+    /// Full reduction (fixed-block association; see module docs).
+    fn sum(&self, a: &Data) -> f32;
+
+    /// Column sums of an `[m, n]` matrix → `[n]`.
+    fn sum_rows(&self, a: &Data, m: usize, n: usize) -> Vec<f32>;
+
+    /// Row-wise numerically stable softmax of an `[m, n]` matrix.
+    fn softmax_rows(&self, a: &Data, m: usize, n: usize) -> Vec<f32>;
+
+    /// `out[i, j] = x[i, j] + bias[j]` over an `[m, n]` matrix.
+    fn add_row_broadcast(&self, x: &Data, bias: &Data, m: usize, n: usize) -> Vec<f32>;
+
+    /// `out[i, j] = x[i, j] · scale[j]` over an `[m, n]` matrix.
+    fn mul_row_broadcast(&self, x: &Data, scale: &Data, m: usize, n: usize) -> Vec<f32>;
+
+    /// Pointwise conv forward: `[B, C, L] × [K, C] (+[K]) → [B, K, L]`.
+    #[allow(clippy::too_many_arguments)]
+    fn pw_conv1d_fwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        bias: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        k: usize,
+    ) -> Vec<f32>;
+
+    /// Pointwise conv backward: returns `(dx, dw, db)`.
+    #[allow(clippy::too_many_arguments)]
+    fn pw_conv1d_bwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        g: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>);
+
+    /// Depthwise conv forward ("same" padding, odd `kw`):
+    /// `[B, C, L] × [C, Kw] → [B, C, L]`.
+    fn dw_conv1d_fwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        kw: usize,
+    ) -> Vec<f32>;
+
+    /// Depthwise conv backward: returns `(dx, dw)`.
+    #[allow(clippy::too_many_arguments)]
+    fn dw_conv1d_bwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        g: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        kw: usize,
+    ) -> (Vec<f32>, Vec<f32>);
+
+    /// `[B, C, L] → [B·L, C]` permutation.
+    fn to_channels_last(&self, x: &Data, bsz: usize, c: usize, l: usize) -> Vec<f32>;
+
+    /// `[B·L, C] → [B, C, L]` permutation.
+    fn from_channels_last(&self, x: &Data, bsz: usize, c: usize, l: usize) -> Vec<f32>;
+}
+
+// ---------------------------------------------------------------------------
+// Range-parameterized loop nests shared by both implementations. Each helper
+// computes rows `rows.start..rows.end` (or the stated range) of the output,
+// with per-element accumulation order identical to the original code.
+// ---------------------------------------------------------------------------
+
+use std::ops::Range;
+
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, rows: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (local, i) in rows.enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut out[local * n..(local + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    out
+}
+
+fn transpose_cols(a: &[f32], m: usize, n: usize, cols: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; cols.len() * m];
+    for (local, j) in cols.enumerate() {
+        for i in 0..m {
+            out[local * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+fn unary_range(a: &[f32], op: UnaryOp, range: Range<usize>) -> Vec<f32> {
+    a[range].iter().map(|&x| op.apply(x)).collect()
+}
+
+fn binary_range(a: &[f32], b: &[f32], op: BinaryOp, range: Range<usize>) -> Vec<f32> {
+    a[range.clone()]
+        .iter()
+        .zip(b[range].iter())
+        .map(|(&x, &y)| op.apply(x, y))
+        .collect()
+}
+
+/// Fixed-block sum: strict left-to-right inside each `SUM_CHUNK` block,
+/// blocks combined in order. Equal to the plain sequential sum whenever
+/// `a.len() <= SUM_CHUNK`.
+fn blocked_sum(a: &[f32]) -> f32 {
+    if a.len() <= SUM_CHUNK {
+        return a.iter().sum();
+    }
+    a.chunks(SUM_CHUNK).map(|c| c.iter().sum::<f32>()).sum()
+}
+
+fn sum_rows_cols(a: &[f32], m: usize, n: usize, cols: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; cols.len()];
+    for i in 0..m {
+        for (local, j) in cols.clone().enumerate() {
+            out[local] += a[i * n + j];
+        }
+    }
+    out
+}
+
+fn softmax_rows_range(a: &[f32], n: usize, rows: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (local, i) in rows.enumerate() {
+        let row = &a[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for j in 0..n {
+            let e = (row[j] - max).exp();
+            out[local * n + j] = e;
+            denom += e;
+        }
+        for v in &mut out[local * n..(local + 1) * n] {
+            *v /= denom;
+        }
+    }
+    out
+}
+
+fn add_row_broadcast_rows(x: &[f32], bias: &[f32], n: usize, rows: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (local, i) in rows.enumerate() {
+        for j in 0..n {
+            out[local * n + j] = x[i * n + j] + bias[j];
+        }
+    }
+    out
+}
+
+fn mul_row_broadcast_rows(x: &[f32], scale: &[f32], n: usize, rows: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * n];
+    for (local, i) in rows.enumerate() {
+        for j in 0..n {
+            out[local * n + j] = x[i * n + j] * scale[j];
+        }
+    }
+    out
+}
+
+/// Pointwise forward over flattened output rows `r = b·K + ko` (each row is
+/// the contiguous `L`-length span `out[(b·K + ko)·L ..]`).
+fn pw_fwd_rows(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    c: usize,
+    l: usize,
+    k: usize,
+    rows: Range<usize>,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * l];
+    for (local, r) in rows.enumerate() {
+        let (b, ko) = (r / k, r % k);
+        let w_row = &w[ko * c..(ko + 1) * c];
+        let o_row = &mut out[local * l..(local + 1) * l];
+        for (ci, &wv) in w_row.iter().enumerate() {
+            // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
+            if wv == 0.0 {
+                continue;
+            }
+            let x_base = (b * c + ci) * l;
+            for (li, o) in o_row.iter_mut().enumerate() {
+                *o += wv * x[x_base + li];
+            }
+        }
+        for o in o_row.iter_mut() {
+            *o += bias[ko];
+        }
+    }
+    out
+}
+
+/// Pointwise backward, weight/bias half: for each output channel `ko` in
+/// the range, accumulates `dw[ko, :]` and `db[ko]` over batches in batch
+/// order — exactly the original `b`-outer traversal restricted to `ko`.
+#[allow(clippy::too_many_arguments)]
+fn pw_bwd_dwdb_kos(
+    x: &[f32],
+    g: &[f32],
+    bsz: usize,
+    c: usize,
+    l: usize,
+    k: usize,
+    kos: Range<usize>,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut dw = vec![0.0f32; kos.len() * c];
+    let mut db = vec![0.0f32; kos.len()];
+    for (local, ko) in kos.enumerate() {
+        for b in 0..bsz {
+            let g_row = &g[(b * k + ko) * l..(b * k + ko + 1) * l];
+            db[local] += g_row.iter().sum::<f32>();
+            for ci in 0..c {
+                let x_base = (b * c + ci) * l;
+                let mut dw_acc = 0.0;
+                for (li, &gv) in g_row.iter().enumerate() {
+                    dw_acc += gv * x[x_base + li];
+                }
+                dw[local * c + ci] += dw_acc;
+            }
+        }
+    }
+    (dw, db)
+}
+
+/// Pointwise backward, input half: `dx` for whole batches in the range
+/// (each batch is the contiguous span `dx[b·C·L ..]`); `ko` stays the inner
+/// accumulation axis, as in the original.
+fn pw_bwd_dx_batches(
+    w: &[f32],
+    g: &[f32],
+    c: usize,
+    l: usize,
+    k: usize,
+    batches: Range<usize>,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; batches.len() * c * l];
+    for (local, b) in batches.enumerate() {
+        for ko in 0..k {
+            let g_row = &g[(b * k + ko) * l..(b * k + ko + 1) * l];
+            for ci in 0..c {
+                let wv = w[ko * c + ci];
+                let dx_base = (local * c + ci) * l;
+                for (li, &gv) in g_row.iter().enumerate() {
+                    dx[dx_base + li] += wv * gv;
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Depthwise forward over flattened rows `r = b·C + ci` (contiguous output).
+fn dw_fwd_rows(
+    x: &[f32],
+    w: &[f32],
+    c: usize,
+    l: usize,
+    kw: usize,
+    rows: Range<usize>,
+) -> Vec<f32> {
+    let pad = kw / 2;
+    let mut out = vec![0.0f32; rows.len() * l];
+    for (local, r) in rows.enumerate() {
+        let ci = r % c;
+        let x_base = r * l;
+        let w_row = &w[ci * kw..(ci + 1) * kw];
+        for li in 0..l {
+            let mut acc = 0.0;
+            for (j, &wv) in w_row.iter().enumerate() {
+                let src = li as isize + j as isize - pad as isize;
+                if src >= 0 && (src as usize) < l {
+                    acc += wv * x[x_base + src as usize];
+                }
+            }
+            out[local * l + li] = acc;
+        }
+    }
+    out
+}
+
+/// Depthwise backward, input half: `dx` rows `r = b·C + ci` (contiguous).
+/// A depthwise `dx[b, ci]` row only receives contributions from the matching
+/// `g[b, ci]` row, in the original `(li, j)` order.
+fn dw_bwd_dx_rows(
+    w: &[f32],
+    g: &[f32],
+    c: usize,
+    l: usize,
+    kw: usize,
+    rows: Range<usize>,
+) -> Vec<f32> {
+    let pad = kw / 2;
+    let mut dx = vec![0.0f32; rows.len() * l];
+    for (local, r) in rows.enumerate() {
+        let ci = r % c;
+        let base = r * l;
+        for li in 0..l {
+            let gv = g[base + li];
+            // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
+            if gv == 0.0 {
+                continue;
+            }
+            for j in 0..kw {
+                let src = li as isize + j as isize - pad as isize;
+                if src >= 0 && (src as usize) < l {
+                    dx[local * l + src as usize] += gv * w[ci * kw + j];
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Depthwise backward, weight half: `dw[ci, :]` for channels in the range,
+/// accumulated in the original `(b, li, j)` order restricted to each `ci`.
+fn dw_bwd_dw_channels(
+    x: &[f32],
+    g: &[f32],
+    bsz: usize,
+    c: usize,
+    l: usize,
+    kw: usize,
+    cis: Range<usize>,
+) -> Vec<f32> {
+    let pad = kw / 2;
+    let mut dw = vec![0.0f32; cis.len() * kw];
+    for (local, ci) in cis.enumerate() {
+        for b in 0..bsz {
+            let base = (b * c + ci) * l;
+            for li in 0..l {
+                let gv = g[base + li];
+                // lint: allow(float-eq) exact-zero skip: sparsity fast path, not a tolerance check
+                if gv == 0.0 {
+                    continue;
+                }
+                for j in 0..kw {
+                    let src = li as isize + j as isize - pad as isize;
+                    if src >= 0 && (src as usize) < l {
+                        dw[local * kw + j] += gv * x[base + src as usize];
+                    }
+                }
+            }
+        }
+    }
+    dw
+}
+
+/// `[B, C, L] → [B·L, C]` for whole batches (contiguous output spans).
+fn to_cl_batches(x: &[f32], c: usize, l: usize, batches: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; batches.len() * l * c];
+    for (local, b) in batches.enumerate() {
+        for ci in 0..c {
+            for li in 0..l {
+                out[(local * l + li) * c + ci] = x[(b * c + ci) * l + li];
+            }
+        }
+    }
+    out
+}
+
+/// `[B·L, C] → [B, C, L]` for whole batches (contiguous output spans).
+fn from_cl_batches(x: &[f32], c: usize, l: usize, batches: Range<usize>) -> Vec<f32> {
+    let mut out = vec![0.0f32; batches.len() * c * l];
+    for (local, b) in batches.enumerate() {
+        for ci in 0..c {
+            for li in 0..l {
+                out[(local * c + ci) * l + li] = x[(b * l + li) * c + ci];
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementation.
+// ---------------------------------------------------------------------------
+
+/// Single-thread reference implementation (the original loop nests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScalarKernels;
+
+impl Kernels for ScalarKernels {
+    fn matmul(&self, a: &Data, b: &Data, m: usize, k: usize, n: usize) -> Vec<f32> {
+        matmul_rows(a, b, k, n, 0..m)
+    }
+
+    fn transpose(&self, a: &Data, m: usize, n: usize) -> Vec<f32> {
+        transpose_cols(a, m, n, 0..n)
+    }
+
+    fn unary(&self, a: &Data, op: UnaryOp) -> Vec<f32> {
+        unary_range(a, op, 0..a.len())
+    }
+
+    fn binary(&self, a: &Data, b: &Data, op: BinaryOp) -> Vec<f32> {
+        binary_range(a, b, op, 0..a.len())
+    }
+
+    fn sum(&self, a: &Data) -> f32 {
+        blocked_sum(a)
+    }
+
+    fn sum_rows(&self, a: &Data, m: usize, n: usize) -> Vec<f32> {
+        sum_rows_cols(a, m, n, 0..n)
+    }
+
+    fn softmax_rows(&self, a: &Data, m: usize, n: usize) -> Vec<f32> {
+        softmax_rows_range(a, n, 0..m)
+    }
+
+    fn add_row_broadcast(&self, x: &Data, bias: &Data, m: usize, n: usize) -> Vec<f32> {
+        add_row_broadcast_rows(x, bias, n, 0..m)
+    }
+
+    fn mul_row_broadcast(&self, x: &Data, scale: &Data, m: usize, n: usize) -> Vec<f32> {
+        mul_row_broadcast_rows(x, scale, n, 0..m)
+    }
+
+    fn pw_conv1d_fwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        bias: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        k: usize,
+    ) -> Vec<f32> {
+        pw_fwd_rows(x, w, bias, c, l, k, 0..bsz * k)
+    }
+
+    fn pw_conv1d_bwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        g: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (dw, db) = pw_bwd_dwdb_kos(x, g, bsz, c, l, k, 0..k);
+        let dx = pw_bwd_dx_batches(w, g, c, l, k, 0..bsz);
+        (dx, dw, db)
+    }
+
+    fn dw_conv1d_fwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        kw: usize,
+    ) -> Vec<f32> {
+        dw_fwd_rows(x, w, c, l, kw, 0..bsz * c)
+    }
+
+    fn dw_conv1d_bwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        g: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        kw: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let dx = dw_bwd_dx_rows(w, g, c, l, kw, 0..bsz * c);
+        let dw = dw_bwd_dw_channels(x, g, bsz, c, l, kw, 0..c);
+        (dx, dw)
+    }
+
+    fn to_channels_last(&self, x: &Data, bsz: usize, c: usize, l: usize) -> Vec<f32> {
+        to_cl_batches(x, c, l, 0..bsz)
+    }
+
+    fn from_channels_last(&self, x: &Data, bsz: usize, c: usize, l: usize) -> Vec<f32> {
+        from_cl_batches(x, c, l, 0..bsz)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel implementation.
+// ---------------------------------------------------------------------------
+
+/// Chunked-parallel implementation dispatching on the worker pool.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParallelKernels;
+
+/// Splits `rows` output rows of `row_work` work units each into chunk
+/// ranges of roughly [`GRAIN`] work, independent of the thread count.
+fn row_chunks(rows: usize, row_work: usize) -> (usize, usize) {
+    let per_chunk = (GRAIN / row_work.max(1)).max(1);
+    (rows.div_ceil(per_chunk), per_chunk)
+}
+
+/// Whether a kernel of `total_work` units should dispatch in parallel.
+fn parallel_worthwhile(total_work: usize) -> bool {
+    total_work >= PAR_MIN_WORK && pool::threads() > 1
+}
+
+impl Kernels for ParallelKernels {
+    fn matmul(&self, a: &Data, b: &Data, m: usize, k: usize, n: usize) -> Vec<f32> {
+        if !parallel_worthwhile(m * k * n) {
+            return matmul_rows(a, b, k, n, 0..m);
+        }
+        let _span = dance_telemetry::hot_span!("backend.matmul");
+        let (n_chunks, per_chunk) = row_chunks(m, k * n);
+        let (a, b) = (a.clone(), b.clone());
+        pool::run_concat(n_chunks, m * n, move |i| {
+            let rows = i * per_chunk..((i + 1) * per_chunk).min(m);
+            matmul_rows(&a, &b, k, n, rows)
+        })
+    }
+
+    fn transpose(&self, a: &Data, m: usize, n: usize) -> Vec<f32> {
+        if !parallel_worthwhile(m * n) {
+            return transpose_cols(a, m, n, 0..n);
+        }
+        let _span = dance_telemetry::hot_span!("backend.transpose");
+        let (n_chunks, per_chunk) = row_chunks(n, m);
+        let a = a.clone();
+        pool::run_concat(n_chunks, m * n, move |i| {
+            let cols = i * per_chunk..((i + 1) * per_chunk).min(n);
+            transpose_cols(&a, m, n, cols)
+        })
+    }
+
+    fn unary(&self, a: &Data, op: UnaryOp) -> Vec<f32> {
+        let len = a.len();
+        if !parallel_worthwhile(len) {
+            return unary_range(a, op, 0..len);
+        }
+        let _span = dance_telemetry::hot_span!("backend.unary");
+        let (n_chunks, per_chunk) = row_chunks(len, 1);
+        let a = a.clone();
+        pool::run_concat(n_chunks, len, move |i| {
+            let range = i * per_chunk..((i + 1) * per_chunk).min(len);
+            unary_range(&a, op, range)
+        })
+    }
+
+    fn binary(&self, a: &Data, b: &Data, op: BinaryOp) -> Vec<f32> {
+        let len = a.len();
+        if !parallel_worthwhile(len) {
+            return binary_range(a, b, op, 0..len);
+        }
+        let _span = dance_telemetry::hot_span!("backend.binary");
+        let (n_chunks, per_chunk) = row_chunks(len, 1);
+        let (a, b) = (a.clone(), b.clone());
+        pool::run_concat(n_chunks, len, move |i| {
+            let range = i * per_chunk..((i + 1) * per_chunk).min(len);
+            binary_range(&a, &b, op, range)
+        })
+    }
+
+    fn sum(&self, a: &Data) -> f32 {
+        let len = a.len();
+        if len <= SUM_CHUNK || !parallel_worthwhile(len) {
+            return blocked_sum(a);
+        }
+        let _span = dance_telemetry::hot_span!("backend.sum");
+        let n_chunks = len.div_ceil(SUM_CHUNK);
+        let a = a.clone();
+        let partials = pool::run(n_chunks, move |i| {
+            let range = i * SUM_CHUNK..((i + 1) * SUM_CHUNK).min(len);
+            a[range].iter().sum::<f32>()
+        });
+        partials.iter().sum()
+    }
+
+    fn sum_rows(&self, a: &Data, m: usize, n: usize) -> Vec<f32> {
+        if !parallel_worthwhile(m * n) {
+            return sum_rows_cols(a, m, n, 0..n);
+        }
+        let _span = dance_telemetry::hot_span!("backend.sum_rows");
+        let (n_chunks, per_chunk) = row_chunks(n, m);
+        let a = a.clone();
+        pool::run_concat(n_chunks, n, move |i| {
+            let cols = i * per_chunk..((i + 1) * per_chunk).min(n);
+            sum_rows_cols(&a, m, n, cols)
+        })
+    }
+
+    fn softmax_rows(&self, a: &Data, m: usize, n: usize) -> Vec<f32> {
+        if !parallel_worthwhile(m * n) {
+            return softmax_rows_range(a, n, 0..m);
+        }
+        let _span = dance_telemetry::hot_span!("backend.softmax_rows");
+        let (n_chunks, per_chunk) = row_chunks(m, n);
+        let a = a.clone();
+        pool::run_concat(n_chunks, m * n, move |i| {
+            let rows = i * per_chunk..((i + 1) * per_chunk).min(m);
+            softmax_rows_range(&a, n, rows)
+        })
+    }
+
+    fn add_row_broadcast(&self, x: &Data, bias: &Data, m: usize, n: usize) -> Vec<f32> {
+        if !parallel_worthwhile(m * n) {
+            return add_row_broadcast_rows(x, bias, n, 0..m);
+        }
+        let _span = dance_telemetry::hot_span!("backend.add_row_broadcast");
+        let (n_chunks, per_chunk) = row_chunks(m, n);
+        let (x, bias) = (x.clone(), bias.clone());
+        pool::run_concat(n_chunks, m * n, move |i| {
+            let rows = i * per_chunk..((i + 1) * per_chunk).min(m);
+            add_row_broadcast_rows(&x, &bias, n, rows)
+        })
+    }
+
+    fn mul_row_broadcast(&self, x: &Data, scale: &Data, m: usize, n: usize) -> Vec<f32> {
+        if !parallel_worthwhile(m * n) {
+            return mul_row_broadcast_rows(x, scale, n, 0..m);
+        }
+        let _span = dance_telemetry::hot_span!("backend.mul_row_broadcast");
+        let (n_chunks, per_chunk) = row_chunks(m, n);
+        let (x, scale) = (x.clone(), scale.clone());
+        pool::run_concat(n_chunks, m * n, move |i| {
+            let rows = i * per_chunk..((i + 1) * per_chunk).min(m);
+            mul_row_broadcast_rows(&x, &scale, n, rows)
+        })
+    }
+
+    fn pw_conv1d_fwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        bias: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        k: usize,
+    ) -> Vec<f32> {
+        let rows = bsz * k;
+        if !parallel_worthwhile(rows * c * l) {
+            return pw_fwd_rows(x, w, bias, c, l, k, 0..rows);
+        }
+        let _span = dance_telemetry::hot_span!("backend.pw_conv1d_fwd");
+        let (n_chunks, per_chunk) = row_chunks(rows, c * l);
+        let (x, w, bias) = (x.clone(), w.clone(), bias.clone());
+        pool::run_concat(n_chunks, rows * l, move |i| {
+            let r = i * per_chunk..((i + 1) * per_chunk).min(rows);
+            pw_fwd_rows(&x, &w, &bias, c, l, k, r)
+        })
+    }
+
+    fn pw_conv1d_bwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        g: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        k: usize,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        if !parallel_worthwhile(bsz * k * c * l) {
+            let (dw, db) = pw_bwd_dwdb_kos(x, g, bsz, c, l, k, 0..k);
+            let dx = pw_bwd_dx_batches(w, g, c, l, k, 0..bsz);
+            return (dx, dw, db);
+        }
+        let _span = dance_telemetry::hot_span!("backend.pw_conv1d_bwd");
+        // Weight/bias half: partition over output channels.
+        let (ko_chunks, ko_per) = row_chunks(k, bsz * c * l);
+        let (xc, gc) = (x.clone(), g.clone());
+        let wdb = pool::run(ko_chunks, move |i| {
+            let kos = i * ko_per..((i + 1) * ko_per).min(k);
+            pw_bwd_dwdb_kos(&xc, &gc, bsz, c, l, k, kos)
+        });
+        let mut dw = Vec::with_capacity(k * c);
+        let mut db = Vec::with_capacity(k);
+        for (dw_part, db_part) in wdb {
+            dw.extend_from_slice(&dw_part);
+            db.extend_from_slice(&db_part);
+        }
+        // Input half: partition over batches.
+        let (b_chunks, b_per) = row_chunks(bsz, k * c * l);
+        let (wc, gc) = (w.clone(), g.clone());
+        let dx = pool::run_concat(b_chunks, bsz * c * l, move |i| {
+            let bs = i * b_per..((i + 1) * b_per).min(bsz);
+            pw_bwd_dx_batches(&wc, &gc, c, l, k, bs)
+        });
+        (dx, dw, db)
+    }
+
+    fn dw_conv1d_fwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        kw: usize,
+    ) -> Vec<f32> {
+        let rows = bsz * c;
+        if !parallel_worthwhile(rows * l * kw) {
+            return dw_fwd_rows(x, w, c, l, kw, 0..rows);
+        }
+        let _span = dance_telemetry::hot_span!("backend.dw_conv1d_fwd");
+        let (n_chunks, per_chunk) = row_chunks(rows, l * kw);
+        let (x, w) = (x.clone(), w.clone());
+        pool::run_concat(n_chunks, rows * l, move |i| {
+            let r = i * per_chunk..((i + 1) * per_chunk).min(rows);
+            dw_fwd_rows(&x, &w, c, l, kw, r)
+        })
+    }
+
+    fn dw_conv1d_bwd(
+        &self,
+        x: &Data,
+        w: &Data,
+        g: &Data,
+        bsz: usize,
+        c: usize,
+        l: usize,
+        kw: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let rows = bsz * c;
+        if !parallel_worthwhile(rows * l * kw) {
+            let dx = dw_bwd_dx_rows(w, g, c, l, kw, 0..rows);
+            let dw = dw_bwd_dw_channels(x, g, bsz, c, l, kw, 0..c);
+            return (dx, dw);
+        }
+        let _span = dance_telemetry::hot_span!("backend.dw_conv1d_bwd");
+        // Input half: partition over (batch, channel) rows.
+        let (r_chunks, r_per) = row_chunks(rows, l * kw);
+        let (wc, gc) = (w.clone(), g.clone());
+        let dx = pool::run_concat(r_chunks, rows * l, move |i| {
+            let r = i * r_per..((i + 1) * r_per).min(rows);
+            dw_bwd_dx_rows(&wc, &gc, c, l, kw, r)
+        });
+        // Weight half: partition over channels.
+        let (c_chunks, c_per) = row_chunks(c, bsz * l * kw);
+        let (xc, gc) = (x.clone(), g.clone());
+        let dw = pool::run_concat(c_chunks, c * kw, move |i| {
+            let cis = i * c_per..((i + 1) * c_per).min(c);
+            dw_bwd_dw_channels(&xc, &gc, bsz, c, l, kw, cis)
+        });
+        (dx, dw)
+    }
+
+    fn to_channels_last(&self, x: &Data, bsz: usize, c: usize, l: usize) -> Vec<f32> {
+        if !parallel_worthwhile(bsz * c * l) {
+            return to_cl_batches(x, c, l, 0..bsz);
+        }
+        let _span = dance_telemetry::hot_span!("backend.to_channels_last");
+        let (n_chunks, per_chunk) = row_chunks(bsz, c * l);
+        let x = x.clone();
+        pool::run_concat(n_chunks, bsz * c * l, move |i| {
+            let bs = i * per_chunk..((i + 1) * per_chunk).min(bsz);
+            to_cl_batches(&x, c, l, bs)
+        })
+    }
+
+    fn from_channels_last(&self, x: &Data, bsz: usize, c: usize, l: usize) -> Vec<f32> {
+        if !parallel_worthwhile(bsz * c * l) {
+            return from_cl_batches(x, c, l, 0..bsz);
+        }
+        let _span = dance_telemetry::hot_span!("backend.from_channels_last");
+        let (n_chunks, per_chunk) = row_chunks(bsz, c * l);
+        let x = x.clone();
+        pool::run_concat(n_chunks, bsz * c * l, move |i| {
+            let bs = i * per_chunk..((i + 1) * per_chunk).min(bsz);
+            from_cl_batches(&x, c, l, bs)
+        })
+    }
+}
+
+static PARALLEL: ParallelKernels = ParallelKernels;
+
+/// The process-wide kernel implementation tensor ops dispatch through.
+///
+/// Always the parallel implementation; it degrades to the scalar loops
+/// whenever `threads() == 1` or the problem is too small to split.
+pub fn kernels() -> &'static dyn Kernels {
+    &PARALLEL
+}

@@ -1,0 +1,254 @@
+//! Property tests pinning the backend determinism contract: the parallel
+//! kernel implementation is **exactly** (bit-for-bit) equal to the scalar
+//! reference for every kernel, at a thread count high enough to force real
+//! chunked dispatch whenever the problem crosses the parallel threshold.
+//!
+//! Sizes are drawn to straddle the dispatch thresholds so both the inline
+//! and the pooled paths are exercised; values include exact zeros to cover
+//! the sparsity fast paths.
+
+use std::sync::Arc;
+
+use dance_backend::{BinaryOp, Data, Kernels, ParallelKernels, ScalarKernels, UnaryOp};
+use proptest::prelude::*;
+
+const SCALAR: ScalarKernels = ScalarKernels;
+const PARALLEL: ParallelKernels = ParallelKernels;
+
+/// Values in ±2 with a fat spike of exact zeros (sparsity fast paths).
+fn values(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, len).prop_map(|v| {
+        v.into_iter()
+            .map(|x| if x.abs() < 0.25 { 0.0 } else { x })
+            .collect()
+    })
+}
+
+fn data(v: Vec<f32>) -> Data {
+    Arc::new(v)
+}
+
+/// All proptests force a multi-worker pool; every test writes the same
+/// value, so concurrent test threads cannot disturb each other.
+fn force_parallel_pool() {
+    dance_backend::set_threads(8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_matmul_parallel_equals_scalar(
+        m in 16usize..64,
+        k in 8usize..40,
+        n in 8usize..40,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let a = data(values(m * k).sample_value(&mut proptest::test_rng(&format!("mm-a-{seed}"))));
+        let b = data(values(k * n).sample_value(&mut proptest::test_rng(&format!("mm-b-{seed}"))));
+        prop_assert_eq!(SCALAR.matmul(&a, &b, m, k, n), PARALLEL.matmul(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn prop_transpose_parallel_equals_scalar(
+        m in 1usize..300,
+        n in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let a = data(values(m * n).sample_value(&mut proptest::test_rng(&format!("tr-{seed}"))));
+        prop_assert_eq!(SCALAR.transpose(&a, m, n), PARALLEL.transpose(&a, m, n));
+    }
+
+    #[test]
+    fn prop_unary_parallel_equals_scalar(
+        len in 1usize..120_000,
+        which in 0usize..11,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let ops = [
+            UnaryOp::Relu,
+            UnaryOp::ReluMask,
+            UnaryOp::Sigmoid,
+            UnaryOp::SigmoidGrad,
+            UnaryOp::Tanh,
+            UnaryOp::TanhGrad,
+            UnaryOp::Exp,
+            UnaryOp::LnClamped,
+            UnaryOp::LnGradClamped,
+            UnaryOp::Scale(-1.75),
+            UnaryOp::AddScalar(0.5),
+        ];
+        let op = ops[which];
+        let a = data(values(len).sample_value(&mut proptest::test_rng(&format!("un-{seed}"))));
+        prop_assert_eq!(SCALAR.unary(&a, op), PARALLEL.unary(&a, op));
+    }
+
+    #[test]
+    fn prop_binary_parallel_equals_scalar(
+        len in 1usize..120_000,
+        which in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let ops = [
+            BinaryOp::Add,
+            BinaryOp::Sub,
+            BinaryOp::Mul,
+            BinaryOp::Div,
+            BinaryOp::AddScaled(0.37),
+        ];
+        let op = ops[which];
+        let a = data(values(len).sample_value(&mut proptest::test_rng(&format!("bi-a-{seed}"))));
+        let b = data(values(len).sample_value(&mut proptest::test_rng(&format!("bi-b-{seed}"))));
+        // Div of exact zeros produces NaN, for which `==` is always false —
+        // compare bit patterns so the equality stays exact *and* total.
+        let bits = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<_>>();
+        prop_assert_eq!(
+            bits(SCALAR.binary(&a, &b, op)),
+            bits(PARALLEL.binary(&a, &b, op))
+        );
+    }
+
+    #[test]
+    fn prop_sum_parallel_equals_scalar(
+        len in 1usize..200_000,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let a = data(values(len).sample_value(&mut proptest::test_rng(&format!("sum-{seed}"))));
+        let s = SCALAR.sum(&a);
+        let p = PARALLEL.sum(&a);
+        prop_assert_eq!(s.to_bits(), p.to_bits());
+    }
+
+    #[test]
+    fn prop_sum_rows_parallel_equals_scalar(
+        m in 1usize..200,
+        n in 1usize..400,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let a = data(values(m * n).sample_value(&mut proptest::test_rng(&format!("sr-{seed}"))));
+        prop_assert_eq!(SCALAR.sum_rows(&a, m, n), PARALLEL.sum_rows(&a, m, n));
+    }
+
+    #[test]
+    fn prop_softmax_rows_parallel_equals_scalar(
+        m in 1usize..600,
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let a = data(values(m * n).sample_value(&mut proptest::test_rng(&format!("sm-{seed}"))));
+        prop_assert_eq!(SCALAR.softmax_rows(&a, m, n), PARALLEL.softmax_rows(&a, m, n));
+    }
+
+    #[test]
+    fn prop_row_broadcasts_parallel_equal_scalar(
+        m in 1usize..500,
+        n in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let x = data(values(m * n).sample_value(&mut proptest::test_rng(&format!("rb-x-{seed}"))));
+        let r = data(values(n).sample_value(&mut proptest::test_rng(&format!("rb-r-{seed}"))));
+        prop_assert_eq!(
+            SCALAR.add_row_broadcast(&x, &r, m, n),
+            PARALLEL.add_row_broadcast(&x, &r, m, n)
+        );
+        prop_assert_eq!(
+            SCALAR.mul_row_broadcast(&x, &r, m, n),
+            PARALLEL.mul_row_broadcast(&x, &r, m, n)
+        );
+    }
+
+    #[test]
+    fn prop_pw_conv1d_parallel_equals_scalar(
+        bsz in 1usize..6,
+        c in 4usize..24,
+        l in 16usize..96,
+        k in 4usize..24,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let x = data(values(bsz * c * l).sample_value(&mut proptest::test_rng(&format!("pw-x-{seed}"))));
+        let w = data(values(k * c).sample_value(&mut proptest::test_rng(&format!("pw-w-{seed}"))));
+        let bias = data(values(k).sample_value(&mut proptest::test_rng(&format!("pw-b-{seed}"))));
+        let g = data(values(bsz * k * l).sample_value(&mut proptest::test_rng(&format!("pw-g-{seed}"))));
+        prop_assert_eq!(
+            SCALAR.pw_conv1d_fwd(&x, &w, &bias, bsz, c, l, k),
+            PARALLEL.pw_conv1d_fwd(&x, &w, &bias, bsz, c, l, k)
+        );
+        let (sdx, sdw, sdb) = SCALAR.pw_conv1d_bwd(&x, &w, &g, bsz, c, l, k);
+        let (pdx, pdw, pdb) = PARALLEL.pw_conv1d_bwd(&x, &w, &g, bsz, c, l, k);
+        prop_assert_eq!(sdx, pdx);
+        prop_assert_eq!(sdw, pdw);
+        prop_assert_eq!(sdb, pdb);
+    }
+
+    #[test]
+    fn prop_dw_conv1d_parallel_equals_scalar(
+        bsz in 1usize..6,
+        c in 4usize..32,
+        l in 16usize..128,
+        kw_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let kw = [3, 5, 7][kw_idx];
+        let x = data(values(bsz * c * l).sample_value(&mut proptest::test_rng(&format!("dw-x-{seed}"))));
+        let w = data(values(c * kw).sample_value(&mut proptest::test_rng(&format!("dw-w-{seed}"))));
+        let g = data(values(bsz * c * l).sample_value(&mut proptest::test_rng(&format!("dw-g-{seed}"))));
+        prop_assert_eq!(
+            SCALAR.dw_conv1d_fwd(&x, &w, bsz, c, l, kw),
+            PARALLEL.dw_conv1d_fwd(&x, &w, bsz, c, l, kw)
+        );
+        let (sdx, sdw) = SCALAR.dw_conv1d_bwd(&x, &w, &g, bsz, c, l, kw);
+        let (pdx, pdw) = PARALLEL.dw_conv1d_bwd(&x, &w, &g, bsz, c, l, kw);
+        prop_assert_eq!(sdx, pdx);
+        prop_assert_eq!(sdw, pdw);
+    }
+
+    #[test]
+    fn prop_channel_permutes_parallel_equal_scalar_and_invert(
+        bsz in 1usize..8,
+        c in 1usize..32,
+        l in 1usize..256,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let x = data(values(bsz * c * l).sample_value(&mut proptest::test_rng(&format!("cl-{seed}"))));
+        let s_cl = SCALAR.to_channels_last(&x, bsz, c, l);
+        let p_cl = PARALLEL.to_channels_last(&x, bsz, c, l);
+        prop_assert_eq!(&s_cl, &p_cl);
+        let back = PARALLEL.from_channels_last(&data(p_cl), bsz, c, l);
+        prop_assert_eq!(&back, &*x);
+        prop_assert_eq!(
+            SCALAR.from_channels_last(&x, bsz, l, c),
+            PARALLEL.from_channels_last(&x, bsz, l, c)
+        );
+    }
+}
+
+/// The `kernels()` accessor must hand out the parallel implementation, and
+/// the whole suite must behave identically when the pool is pinned to one
+/// thread (the inline path).
+#[test]
+fn kernels_accessor_single_thread_matches_scalar() {
+    dance_backend::set_threads(1);
+    let ks = dance_backend::kernels();
+    let a = data((0..64 * 48).map(|i| (i as f32 * 0.37).sin()).collect());
+    let b = data((0..48 * 32).map(|i| (i as f32 * 0.11).cos()).collect());
+    assert_eq!(
+        ks.matmul(&a, &b, 64, 48, 32),
+        SCALAR.matmul(&a, &b, 64, 48, 32)
+    );
+    dance_backend::set_threads(8);
+    assert_eq!(
+        ks.matmul(&a, &b, 64, 48, 32),
+        SCALAR.matmul(&a, &b, 64, 48, 32)
+    );
+}

@@ -30,7 +30,7 @@ fn bench_cost_model(c: &mut Criterion) {
         b.iter(|| black_box(map_layer(black_box(&layer), black_box(&cfg))))
     });
     group.bench_function("evaluate_cifar_network", |b| {
-        b.iter(|| black_box(model.evaluate(black_box(&network), black_box(&cfg))))
+        b.iter(|| black_box(model.evaluate(black_box(&network), black_box(&cfg), Detail::Totals)))
     });
     group.bench_function("table_lookup_cost", |b| {
         b.iter(|| black_box(table.cost(black_box(&choices), 777)))

@@ -1,9 +1,16 @@
 //! Smoke — a minimal co-exploration run for CI and overhead checks.
 //!
-//! Runs a two-epoch gradient search on a tiny synthetic task with a FLOPs
+//! Runs a two-epoch gradient search on a small synthetic task with a FLOPs
 //! penalty (no evaluator training), so `run_experiments.sh` can verify the
 //! whole stack — including the telemetry run log — in seconds, and compare
 //! `DANCE_TELEMETRY=off` against the default mode.
+//!
+//! The shapes are sized so the supernet's matmul/conv kernels clear the
+//! backend's parallel-dispatch threshold: running once with
+//! `DANCE_THREADS=1` and once with `DANCE_THREADS=N` and diffing the
+//! `search.weight_step` span in `BENCH_smoke.json` measures the pool's
+//! speedup on the search hot path (the choices printed must not change —
+//! the kernels are bit-identical across thread counts).
 
 use dance::prelude::*;
 use dance_bench::bench_run;
@@ -14,40 +21,41 @@ fn main() {
 }
 
 fn run() {
+    println!("smoke backend threads: {}", dance_backend::threads());
     let task = SynthTask::new(SynthSpec {
         num_classes: 3,
-        channels: 2,
-        length: 8,
+        channels: 4,
+        length: 32,
         noise: 0.25,
         distractor: 0.15,
         seed: 0,
     });
     let data = TaskData {
-        train: task.generate(120, 1),
-        val: task.generate(60, 2),
-        test: task.generate(60, 3),
+        train: task.generate(256, 1),
+        val: task.generate(64, 2),
+        test: task.generate(64, 3),
         task,
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let net = Supernet::new(
         SupernetConfig {
-            input_channels: 2,
-            length: 8,
+            input_channels: 4,
+            length: 32,
             num_classes: 3,
-            stem_width: 4,
-            stage_widths: [4, 6, 8],
-            head_width: 12,
+            stem_width: 12,
+            stage_widths: [12, 16, 24],
+            head_width: 32,
         },
         &mut rng,
     );
-    let arch = ArchParams::new(9, &mut rng);
+    let arch = ArchParams::new(net.num_slots(), &mut rng);
     let template = NetworkTemplate::cifar10();
-    let cfg = SearchConfig {
-        epochs: 2,
-        batch_size: 32,
-        lambda2: LambdaWarmup::ramp(0.3, 1),
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig::builder()
+        .epochs(2)
+        .batch_size(64)
+        .lambda2(LambdaWarmup::ramp(0.3, 1))
+        .build()
+        .expect("smoke search config is statically valid");
     let out = dance_search(&net, &arch, &data, &Penalty::Flops(&template), &cfg);
     println!("smoke choices: {:?}", out.choices);
 }

@@ -76,13 +76,13 @@ pub fn evaluator_sizes(scale: Scale, seed: u64) -> EvaluatorSizes {
 /// warm-up recipe (ramping over the first half of the search).
 pub fn search_config(scale: Scale, lambda2: f32, seed: u64) -> SearchConfig {
     let epochs = if scale.is_quick() { 6 } else { 14 };
-    SearchConfig {
-        epochs,
-        batch_size: 64,
-        lambda2: LambdaWarmup::ramp(lambda2, epochs / 2),
-        seed,
-        ..SearchConfig::default()
-    }
+    SearchConfig::builder()
+        .epochs(epochs)
+        .batch_size(64)
+        .lambda2(LambdaWarmup::ramp(lambda2, epochs / 2))
+        .seed(seed)
+        .build()
+        .expect("bench search config is statically valid")
 }
 
 /// Standard retraining configuration for a scale.

@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::rl::{rl_co_exploration, RlCandidate, RlConfig, RlOutcome};
     pub use crate::search::{
         dance_search, dance_search_guarded, evaluate_fixed, train_derived, EpochStats, Penalty,
-        SearchConfig, SearchOutcome,
+        SearchConfig, SearchConfigBuilder, SearchConfigError, SearchOutcome,
     };
     pub use dance_accel::prelude::*;
     pub use dance_autograd::prelude::*;

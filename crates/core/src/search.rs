@@ -73,6 +73,150 @@ impl Default for SearchConfig {
     }
 }
 
+impl SearchConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    ///
+    /// This is the shared construction path for the `dance_search` CLI,
+    /// `dance-serve` job submission, and tests: set only the knobs that
+    /// differ from the defaults, then [`SearchConfigBuilder::build`] checks
+    /// the whole configuration at once.
+    #[must_use]
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// A rejected [`SearchConfigBuilder::build`] call: which knob and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchConfigError {
+    field: &'static str,
+    message: &'static str,
+}
+
+impl SearchConfigError {
+    /// The offending knob, e.g. `"epochs"`.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl std::fmt::Display for SearchConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for SearchConfigError {}
+
+/// Validating builder for [`SearchConfig`]; see [`SearchConfig::builder`].
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct SearchConfigBuilder {
+    cfg: SearchConfig,
+}
+
+impl SearchConfigBuilder {
+    /// Sets the number of search epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the peak weight learning rate.
+    pub fn lr_weights(mut self, lr: f32) -> Self {
+        self.cfg.lr_weights = lr;
+        self
+    }
+
+    /// Sets the architecture learning rate.
+    pub fn lr_arch(mut self, lr: f32) -> Self {
+        self.cfg.lr_arch = lr;
+        self
+    }
+
+    /// Sets the λ₁ weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.cfg.weight_decay = wd;
+        self
+    }
+
+    /// Sets the cross-entropy label smoothing.
+    pub fn label_smoothing(mut self, ls: f32) -> Self {
+        self.cfg.label_smoothing = ls;
+        self
+    }
+
+    /// Sets the λ₂ hardware-cost schedule.
+    pub fn lambda2(mut self, schedule: LambdaWarmup) -> Self {
+        self.cfg.lambda2 = schedule;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Lets warning-severity graph-lint findings through.
+    pub fn allow_graph_warnings(mut self, allow: bool) -> Self {
+        self.cfg.allow_graph_warnings = allow;
+        self
+    }
+
+    /// Validates the whole configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SearchConfigError`] naming the first offending knob:
+    /// zero epochs, a batch too small for batch norm, non-positive or
+    /// non-finite learning rates, a negative or non-finite weight decay,
+    /// label smoothing outside `[0, 1)`, or a negative/non-finite λ₂
+    /// schedule.
+    pub fn build(self) -> Result<SearchConfig, SearchConfigError> {
+        let err = |field, message| Err(SearchConfigError { field, message });
+        let c = self.cfg;
+        if c.epochs == 0 {
+            return err("epochs", "must be at least 1");
+        }
+        if c.batch_size < 2 {
+            return err("batch_size", "must be at least 2 (batch norm)");
+        }
+        if !(c.lr_weights.is_finite() && c.lr_weights > 0.0) {
+            return err("lr_weights", "must be positive and finite");
+        }
+        if !(c.lr_arch.is_finite() && c.lr_arch > 0.0) {
+            return err("lr_arch", "must be positive and finite");
+        }
+        if !(c.weight_decay.is_finite() && c.weight_decay >= 0.0) {
+            return err("weight_decay", "must be non-negative and finite");
+        }
+        if !(c.label_smoothing.is_finite() && (0.0..1.0).contains(&c.label_smoothing)) {
+            return err("label_smoothing", "must lie in [0, 1)");
+        }
+        let l2 = c.lambda2;
+        if !(l2.initial.is_finite()
+            && l2.initial >= 0.0
+            && l2.target.is_finite()
+            && l2.target >= 0.0)
+        {
+            return err(
+                "lambda2",
+                "warm-up and target must be non-negative and finite",
+            );
+        }
+        Ok(c)
+    }
+}
+
 /// Per-epoch diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
@@ -936,5 +1080,66 @@ mod tests {
         let out = dance_search(&net, &arch, &data, &Penalty::None, &cfg);
         assert!(out.history[0].lambda2 < out.history[3].lambda2);
         assert_eq!(out.history.len(), 4);
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = SearchConfig::builder().build().expect("defaults are valid");
+        assert_eq!(built, SearchConfig::default());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = SearchConfig::builder()
+            .epochs(3)
+            .batch_size(16)
+            .lr_weights(0.1)
+            .lr_arch(0.05)
+            .weight_decay(1e-4)
+            .label_smoothing(0.2)
+            .lambda2(LambdaWarmup::constant(0.5))
+            .seed(9)
+            .allow_graph_warnings(true)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.batch_size, 16);
+        assert_eq!(cfg.lr_weights, 0.1); // lint: allow(float-eq) exact round-trip
+        assert_eq!(cfg.lr_arch, 0.05); // lint: allow(float-eq) exact round-trip
+        assert_eq!(cfg.lambda2, LambdaWarmup::constant(0.5));
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.allow_graph_warnings);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_knobs() {
+        let cases = [
+            (SearchConfig::builder().epochs(0).build(), "epochs"),
+            (SearchConfig::builder().batch_size(1).build(), "batch_size"),
+            (
+                SearchConfig::builder().lr_weights(0.0).build(),
+                "lr_weights",
+            ),
+            (SearchConfig::builder().lr_arch(f32::NAN).build(), "lr_arch"),
+            (
+                SearchConfig::builder().weight_decay(-1.0).build(),
+                "weight_decay",
+            ),
+            (
+                SearchConfig::builder().label_smoothing(1.0).build(),
+                "label_smoothing",
+            ),
+            (
+                SearchConfig::builder()
+                    .lambda2(LambdaWarmup::constant(-0.1))
+                    .build(),
+                "lambda2",
+            ),
+        ];
+        for (result, field) in cases {
+            let err = result.expect_err(field);
+            assert_eq!(err.field(), field);
+            assert!(err.to_string().contains(field), "{err}");
+        }
     }
 }

@@ -18,7 +18,9 @@
 //!
 //! let net = NetworkTemplate::cifar10()
 //!     .instantiate(&[SlotChoice::MbConv { kernel: 3, expand: 6 }; 9]);
-//! let cost = CostModel::new().evaluate(&net, &AcceleratorConfig::default());
+//! let cost = CostModel::new()
+//!     .evaluate(&net, &AcceleratorConfig::default(), Detail::Totals)
+//!     .total;
 //! assert!(cost.edap() > 0.0);
 //! ```
 
@@ -32,5 +34,5 @@ pub mod model;
 pub mod prelude {
     pub use crate::mapping::{map_layer, Mapping};
     pub use crate::metrics::{CostFunction, CostWeights};
-    pub use crate::model::{CostModel, HardwareCost, LayerCost, CLOCK_GHZ};
+    pub use crate::model::{CostModel, Detail, Evaluation, HardwareCost, LayerCost, CLOCK_GHZ};
 }

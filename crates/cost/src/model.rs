@@ -59,6 +59,25 @@ pub struct LayerCost {
     pub energy_pj: f64,
 }
 
+/// How much detail [`CostModel::evaluate`] computes and returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detail {
+    /// Whole-network totals only — the common, allocation-free case.
+    Totals,
+    /// Totals plus the per-layer mapping/cost breakdown.
+    PerLayer,
+}
+
+/// Result of a [`CostModel::evaluate`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Whole-network cost totals.
+    pub total: HardwareCost,
+    /// Per-layer breakdown (one [`LayerCost`] per network layer, in order);
+    /// `Some` exactly when [`Detail::PerLayer`] was requested.
+    pub layers: Option<Vec<LayerCost>>,
+}
+
 /// The analytical cost model (Timeloop + Accelergy substitute).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostModel;
@@ -82,36 +101,56 @@ impl CostModel {
 
     /// Prices a whole network: latency and energy sum over layers, area is a
     /// property of the configuration alone.
-    pub fn evaluate(&self, network: &Network, config: &AcceleratorConfig) -> HardwareCost {
-        self.evaluate_detailed(network, config).0
-    }
-
-    /// Like [`CostModel::evaluate`], but also returns the per-layer
-    /// mapping/cost breakdown (one [`LayerCost`] per network layer, in
-    /// order) — the payload behind `cost/analytic` detail responses in
-    /// `dance-serve`.
-    pub fn evaluate_detailed(
+    ///
+    /// `detail` selects how much the call computes: [`Detail::Totals`] skips
+    /// the per-layer allocation entirely; [`Detail::PerLayer`] additionally
+    /// records one [`LayerCost`] per network layer, in order — the payload
+    /// behind `cost/analytic` detail responses in `dance-serve`.
+    pub fn evaluate(
         &self,
         network: &Network,
         config: &AcceleratorConfig,
-    ) -> (HardwareCost, Vec<LayerCost>) {
+        detail: Detail,
+    ) -> Evaluation {
         let _span = dance_telemetry::hot_span!("cost_model.evaluate");
         dance_telemetry::counter!("cost_model.evaluations");
         let mut cycles = 0u64;
         let mut energy_pj = 0.0f64;
-        let mut layers = Vec::with_capacity(network.layers().len());
+        let mut layers = match detail {
+            Detail::Totals => None,
+            Detail::PerLayer => Some(Vec::with_capacity(network.layers().len())),
+        };
         for layer in network.layers() {
             let lc = self.evaluate_layer(layer, config);
             cycles += lc.cycles;
             energy_pj += lc.energy_pj;
-            layers.push(lc);
+            if let Some(v) = layers.as_mut() {
+                v.push(lc);
+            }
         }
         let total = HardwareCost {
             latency_ms: cycles as f64 / (CLOCK_GHZ * 1e9) * 1e3,
             energy_mj: energy_pj * 1e-12 * 1e3,
             area_mm2: area_mm2(config),
         };
-        (total, layers)
+        Evaluation { total, layers }
+    }
+
+    /// Transitional shim for the old two-argument `evaluate`.
+    #[deprecated(note = "use `evaluate(network, config, Detail::Totals).total`")]
+    pub fn evaluate_totals(&self, network: &Network, config: &AcceleratorConfig) -> HardwareCost {
+        self.evaluate(network, config, Detail::Totals).total
+    }
+
+    /// Transitional shim for the old totals-plus-breakdown pair API.
+    #[deprecated(note = "use `evaluate(network, config, Detail::PerLayer)`")]
+    pub fn evaluate_detailed(
+        &self,
+        network: &Network,
+        config: &AcceleratorConfig,
+    ) -> (HardwareCost, Vec<LayerCost>) {
+        let e = self.evaluate(network, config, Detail::PerLayer);
+        (e.total, e.layers.unwrap_or_default())
     }
 }
 
@@ -135,7 +174,7 @@ mod tests {
     fn cifar_cost_in_paper_ballpark() {
         let model = CostModel::new();
         let cfg = AcceleratorConfig::default();
-        let cost = model.evaluate(&cifar_net(), &cfg);
+        let cost = model.evaluate(&cifar_net(), &cfg, Detail::Totals).total;
         // Shape check against Table 2 magnitudes: ms-scale latency,
         // mJ-scale energy, few-mm² area.
         assert!(cost.latency_ms > 0.1 && cost.latency_ms < 100.0, "{cost:?}");
@@ -158,13 +197,41 @@ mod tests {
         let model = CostModel::new();
         let cfg = AcceleratorConfig::default();
         let net = cifar_net();
-        let total = model.evaluate(&net, &cfg);
+        let total = model.evaluate(&net, &cfg, Detail::Totals).total;
         let cycles: u64 = net
             .layers()
             .iter()
             .map(|l| model.evaluate_layer(l, &cfg).cycles)
             .sum();
         assert!((total.latency_ms - cycles as f64 / 2e5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_layer_detail_sums_to_totals() {
+        let model = CostModel::new();
+        let cfg = AcceleratorConfig::default();
+        let net = cifar_net();
+        let e = model.evaluate(&net, &cfg, Detail::PerLayer);
+        let layers = e.layers.clone().unwrap_or_default();
+        assert_eq!(layers.len(), net.layers().len());
+        let cycles: u64 = layers.iter().map(|l| l.cycles).sum();
+        assert!((e.total.latency_ms - cycles as f64 / 2e5).abs() < 1e-9);
+        let totals_only = model.evaluate(&net, &cfg, Detail::Totals);
+        assert!(totals_only.layers.is_none());
+        assert_eq!(totals_only.total, e.total);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_new_entry_point() {
+        let model = CostModel::new();
+        let cfg = AcceleratorConfig::default();
+        let net = cifar_net();
+        let e = model.evaluate(&net, &cfg, Detail::PerLayer);
+        assert_eq!(model.evaluate_totals(&net, &cfg), e.total);
+        let (total, layers) = model.evaluate_detailed(&net, &cfg);
+        assert_eq!(total, e.total);
+        assert_eq!(Some(layers), e.layers);
     }
 
     #[test]
@@ -177,16 +244,36 @@ mod tests {
         let channel_heavy = Network::from_layers(vec![ConvLayer::pointwise(512, 512, 4, 4)]);
         let spatial_heavy = Network::from_layers(vec![ConvLayer::new(8, 8, 64, 64, 3, 3, 1)]);
         let ws_ch = model
-            .evaluate(&channel_heavy, &mk(Dataflow::WeightStationary))
+            .evaluate(
+                &channel_heavy,
+                &mk(Dataflow::WeightStationary),
+                Detail::Totals,
+            )
+            .total
             .latency_ms;
         let os_ch = model
-            .evaluate(&channel_heavy, &mk(Dataflow::OutputStationary))
+            .evaluate(
+                &channel_heavy,
+                &mk(Dataflow::OutputStationary),
+                Detail::Totals,
+            )
+            .total
             .latency_ms;
         let ws_sp = model
-            .evaluate(&spatial_heavy, &mk(Dataflow::WeightStationary))
+            .evaluate(
+                &spatial_heavy,
+                &mk(Dataflow::WeightStationary),
+                Detail::Totals,
+            )
+            .total
             .latency_ms;
         let os_sp = model
-            .evaluate(&spatial_heavy, &mk(Dataflow::OutputStationary))
+            .evaluate(
+                &spatial_heavy,
+                &mk(Dataflow::OutputStationary),
+                Detail::Totals,
+            )
+            .total
             .latency_ms;
         assert!(ws_ch < os_ch, "channel-heavy: WS {ws_ch} OS {os_ch}");
         assert!(os_sp < ws_sp, "spatial-heavy: WS {ws_sp} OS {os_sp}");
@@ -201,7 +288,12 @@ mod tests {
         let space = HardwareSpace::new();
         let costs: Vec<f64> = (0..space.len())
             .step_by(97)
-            .map(|i| model.evaluate(&net, &space.config_at(i)).edap())
+            .map(|i| {
+                model
+                    .evaluate(&net, &space.config_at(i), Detail::Totals)
+                    .total
+                    .edap()
+            })
             .collect();
         let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = costs.iter().cloned().fold(0.0, f64::max);
@@ -213,8 +305,10 @@ mod tests {
         let model = CostModel::new();
         let cfg = AcceleratorConfig::default();
         let t = NetworkTemplate::cifar10();
-        let zero = model.evaluate(&t.instantiate(&[SlotChoice::Zero; 9]), &cfg);
-        let heavy = model.evaluate(&t.max_network(), &cfg);
+        let zero = model
+            .evaluate(&t.instantiate(&[SlotChoice::Zero; 9]), &cfg, Detail::Totals)
+            .total;
+        let heavy = model.evaluate(&t.max_network(), &cfg, Detail::Totals).total;
         assert!(zero.latency_ms < heavy.latency_ms);
         assert!(zero.energy_mj < heavy.energy_mj);
     }

@@ -113,6 +113,9 @@ pub fn train_hwgen(
     optim: OptimKind,
 ) -> [f32; 4] {
     assert!(!train.is_empty(), "empty hwgen training set");
+    // Every Tensor op below dispatches through the shared worker pool;
+    // re-emit its width so it lands inside this training run's telemetry.
+    dance_telemetry::gauge!("backend.threads", dance_backend::threads() as f64);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let schedule = StepLr::new(cfg.lr, (cfg.epochs / 4).max(1), 0.1);
     let mut sgd = Sgd::new(net.parameters(), cfg.lr).with_momentum(0.9);
@@ -195,6 +198,7 @@ pub fn train_cost(
     loss_kind: RegressionLoss,
 ) -> [f32; 3] {
     assert!(!train.is_empty(), "empty cost training set");
+    dance_telemetry::gauge!("backend.threads", dance_backend::threads() as f64);
     net.set_normalizer(dance_hwgen::dataset::metric_means(train));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(net.parameters(), cfg.lr);

@@ -114,9 +114,12 @@ pub fn generate_hwgen_dataset(
 ) -> Vec<HwGenSample> {
     let _span = dance_telemetry::span!("hwgen.dataset.generate");
     dance_telemetry::counter!("hwgen.samples", n as u64);
-    parallel_generate(n, seed, |rng| {
+    // The pool wants `'static` jobs; share one snapshot of the table.
+    let table = std::sync::Arc::new(table.clone());
+    let cost_fn = *cost_fn;
+    parallel_generate(n, seed, move |rng| {
         let choices = random_choices(table.template().num_slots(), rng);
-        let (idx, _) = table.optimal(&choices, cost_fn);
+        let (idx, _) = table.optimal(&choices, &cost_fn);
         let config = table.space().config_at(idx);
         HwGenSample {
             arch: encode_choices(&choices),
@@ -135,16 +138,19 @@ pub fn generate_cost_dataset(
 ) -> Vec<CostSample> {
     let _span = dance_telemetry::span!("cost.dataset.generate");
     dance_telemetry::counter!("cost.samples", n as u64);
-    parallel_generate(n, seed, |rng| {
+    // The pool wants `'static` jobs; share one snapshot of the table.
+    let table = std::sync::Arc::new(table.clone());
+    let cost_fn = *cost_fn;
+    parallel_generate(n, seed, move |rng| {
         let choices = random_choices(table.template().num_slots(), rng);
         let cfg_idx = match sampling {
             HwSampling::Random => rng.gen_range(0..table.space().len()),
-            HwSampling::Optimal => table.optimal(&choices, cost_fn).0,
+            HwSampling::Optimal => table.optimal(&choices, &cost_fn).0,
             HwSampling::Mixed => {
                 if rng.gen_bool(0.5) {
                     rng.gen_range(0..table.space().len())
                 } else {
-                    table.optimal(&choices, cost_fn).0
+                    table.optimal(&choices, &cost_fn).0
                 }
             }
         };
@@ -193,42 +199,36 @@ pub fn metric_means(data: &[CostSample]) -> [f32; 3] {
     ]
 }
 
-/// Runs `make` across all available threads, preserving determinism: sample
-/// `i` is always produced from the RNG stream seeded by `(seed, i)`.
-fn parallel_generate<T: Send>(
-    n: usize,
-    seed: u64,
-    make: impl Fn(&mut StdRng) -> T + Sync,
-) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .step_by(chunk)
-            .map(|start| {
-                let make = &make;
-                let end = (start + chunk).min(n);
-                scope.spawn(move || {
-                    (start..end)
-                        .map(|i| {
-                            let mut rng = StdRng::seed_from_u64(
-                                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                            );
-                            make(&mut rng)
-                        })
-                        .collect::<Vec<T>>()
-                })
+/// Samples produced per backend-pool chunk.
+///
+/// Fixed (never derived from the thread count); combined with per-index RNG
+/// seeding this makes generation bit-identical at any `DANCE_THREADS`.
+const SAMPLE_CHUNK: usize = 64;
+
+/// Runs `make` across the backend worker pool, preserving determinism:
+/// sample `i` is always produced from the RNG stream seeded by `(seed, i)`,
+/// and chunks are reassembled in index order.
+fn parallel_generate<T, F>(n: usize, seed: u64, make: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut StdRng) -> T + Send + Sync + 'static,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_chunks = n.div_ceil(SAMPLE_CHUNK);
+    let parts = dance_backend::run(n_chunks, move |chunk_idx| {
+        let start = chunk_idx * SAMPLE_CHUNK;
+        let end = (start + SAMPLE_CHUNK).min(n);
+        (start..end)
+            .map(|i| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                make(&mut rng)
             })
-            .collect();
-        for h in handles {
-            chunks.push(h.join().expect("generator thread panicked"));
-        }
+            .collect::<Vec<T>>()
     });
-    chunks.into_iter().flatten().collect()
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use dance_accel::config::AcceleratorConfig;
 use dance_accel::space::HardwareSpace;
 use dance_accel::workload::{Network, SlotChoice};
 use dance_cost::metrics::CostFunction;
-use dance_cost::model::{CostModel, HardwareCost};
+use dance_cost::model::{CostModel, Detail, HardwareCost};
 
 use crate::table::CostTable;
 
@@ -42,7 +42,7 @@ pub fn exhaustive_search(
 ) -> SearchResult {
     let mut best: Option<SearchResult> = None;
     for (idx, config) in space.iter().enumerate() {
-        let cost = model.evaluate(network, &config);
+        let cost = model.evaluate(network, &config, Detail::Totals).total;
         let value = cost_fn.apply(&cost);
         if best.as_ref().map_or(true, |b| value < b.value) {
             best = Some(SearchResult {
@@ -142,7 +142,7 @@ pub fn branch_and_bound(
             }
         }
         let config = space.config_at(idx);
-        let cost = model.evaluate(network, &config);
+        let cost = model.evaluate(network, &config, Detail::Totals).total;
         let value = cost_fn.apply(&cost);
         evaluated += 1;
         if best.as_ref().map_or(true, |b| value < b.value) {
@@ -183,7 +183,9 @@ mod tests {
         assert_eq!(r.evaluated, 4335);
         // Verify against a coarse scan.
         for i in (0..space.len()).step_by(29) {
-            let c = model.evaluate(&net(), &space.config_at(i));
+            let c = model
+                .evaluate(&net(), &space.config_at(i), Detail::Totals)
+                .total;
             assert!(c.edap() >= r.value - 1e-12);
         }
     }

@@ -9,10 +9,18 @@
 //! configuration turns a whole-space exhaustive search into ~4335 × 10
 //! additions.
 
+use std::sync::Arc;
+
 use dance_accel::space::HardwareSpace;
 use dance_accel::workload::{Network, NetworkTemplate, SlotChoice};
 use dance_cost::metrics::CostFunction;
-use dance_cost::model::{CostModel, HardwareCost, CLOCK_GHZ};
+use dance_cost::model::{CostModel, Detail, HardwareCost, CLOCK_GHZ};
+
+/// Configurations priced per backend-pool chunk while building a table.
+///
+/// Fixed (never derived from the thread count) so the chunk decomposition —
+/// and therefore the assembled table — is identical at any `DANCE_THREADS`.
+const CFG_CHUNK: usize = 64;
 
 /// Latency (cycles) and energy (pJ) of a group of layers on one config.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -46,10 +54,6 @@ impl CostTable {
         let n_slots = template.num_slots();
         let n_choices = SlotChoice::CANDIDATES.len();
 
-        let mut fixed = Vec::with_capacity(n_cfg);
-        let mut slot_costs = Vec::with_capacity(n_cfg);
-        let mut area = Vec::with_capacity(n_cfg);
-
         // Pre-expand layer lists once. Stem + head are recovered from the
         // all-Zero network by stripping the per-slot adapter layers.
         let fixed_layers: Vec<_> = {
@@ -81,30 +85,55 @@ impl CostTable {
             })
             .collect();
 
-        for cfg_idx in 0..n_cfg {
-            let cfg = space.config_at(cfg_idx);
-            let price = |layers: &[dance_accel::layer::ConvLayer]| {
-                let mut p = PartialCost::default();
-                for layer in layers {
-                    let lc = model.evaluate_layer(layer, &cfg);
-                    p.cycles += lc.cycles;
-                    p.energy_pj += lc.energy_pj;
-                }
-                p
-            };
-            fixed.push(price(&fixed_layers));
-            let per_slot: Vec<PartialCost> = slot_layer_lists
-                .iter()
-                .map(|layers| price(layers))
-                .collect();
-            assert_eq!(per_slot.len(), n_slots * n_choices);
-            slot_costs.push(per_slot);
-            area.push(dance_cost::area::area_mm2(&cfg));
+        // Price configuration chunks on the backend pool. Each chunk covers a
+        // fixed index range and every per-config value is a pure function of
+        // its `cfg_idx`, so reassembling the chunks in index order yields the
+        // exact vectors the old sequential loop produced.
+        let fixed_layers = Arc::new(fixed_layers);
+        let slot_layer_lists = Arc::new(slot_layer_lists);
+        let n_chunks = n_cfg.div_ceil(CFG_CHUNK).max(1);
+        let (model, space) = (*model, *space);
+        let parts = dance_backend::run(n_chunks, move |chunk_idx| {
+            let start = chunk_idx * CFG_CHUNK;
+            let end = (start + CFG_CHUNK).min(n_cfg);
+            let mut fixed = Vec::with_capacity(end - start);
+            let mut slot_costs = Vec::with_capacity(end - start);
+            let mut area = Vec::with_capacity(end - start);
+            for cfg_idx in start..end {
+                let cfg = space.config_at(cfg_idx);
+                let price = |layers: &[dance_accel::layer::ConvLayer]| {
+                    let mut p = PartialCost::default();
+                    for layer in layers {
+                        let lc = model.evaluate_layer(layer, &cfg);
+                        p.cycles += lc.cycles;
+                        p.energy_pj += lc.energy_pj;
+                    }
+                    p
+                };
+                fixed.push(price(&fixed_layers));
+                let per_slot: Vec<PartialCost> = slot_layer_lists
+                    .iter()
+                    .map(|layers| price(layers))
+                    .collect();
+                assert_eq!(per_slot.len(), n_slots * n_choices);
+                slot_costs.push(per_slot);
+                area.push(dance_cost::area::area_mm2(&cfg));
+            }
+            (fixed, slot_costs, area)
+        });
+
+        let mut fixed = Vec::with_capacity(n_cfg);
+        let mut slot_costs = Vec::with_capacity(n_cfg);
+        let mut area = Vec::with_capacity(n_cfg);
+        for (f, s, a) in parts {
+            fixed.extend(f);
+            slot_costs.extend(s);
+            area.extend(a);
         }
 
         Self {
             template: template.clone(),
-            space: *space,
+            space,
             fixed,
             slot_costs,
             area,
@@ -258,7 +287,9 @@ pub fn cost_direct(
     cfg_idx: usize,
 ) -> HardwareCost {
     let net: Network = template.instantiate(choices);
-    model.evaluate(&net, &space.config_at(cfg_idx))
+    model
+        .evaluate(&net, &space.config_at(cfg_idx), Detail::Totals)
+        .total
 }
 
 #[cfg(test)]

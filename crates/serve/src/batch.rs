@@ -78,19 +78,17 @@ impl PredictBatcher {
     ) -> Self {
         let queue = Arc::new(Bounded::new(cfg.queue_capacity));
         let worker_queue = queue.clone();
-        let handle = std::thread::Builder::new()
-            .name("serve-predict".into())
-            .spawn(move || {
-                let evaluator = make();
-                assert_eq!(
-                    evaluator.arch_width(),
-                    arch_width,
-                    "collector evaluator width"
-                );
-                evaluator.freeze();
-                collector_loop(&evaluator, &worker_queue, cfg);
-            })
-            .expect("spawn predict collector thread");
+        let handle = dance_backend::spawn_service("serve-predict", move || {
+            let evaluator = make();
+            assert_eq!(
+                evaluator.arch_width(),
+                arch_width,
+                "collector evaluator width"
+            );
+            evaluator.freeze();
+            collector_loop(&evaluator, &worker_queue, cfg);
+        })
+        .expect("spawn predict collector thread");
         Self {
             queue,
             arch_width,

@@ -38,13 +38,11 @@ pub enum JobState {
     Failed(String),
 }
 
-/// One accepted submission.
+/// One accepted submission, carrying its already-validated search config.
 #[derive(Debug, Clone)]
 struct JobSpec {
     id: String,
-    epochs: usize,
-    seed: u64,
-    lambda2: f32,
+    cfg: SearchConfig,
     flops_penalty: bool,
     checkpoint: bool,
 }
@@ -99,10 +97,10 @@ impl JobTable {
         let handles = (0..workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-search-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn search worker thread")
+                dance_backend::spawn_service(&format!("serve-search-{i}"), move || {
+                    worker_loop(&shared)
+                })
+                .expect("spawn search worker thread")
             })
             .collect();
         Self {
@@ -116,7 +114,9 @@ impl JobTable {
     ///
     /// # Errors
     ///
-    /// `503` when the pending-job queue is full or the table is draining.
+    /// `400` when the submitted knobs fail [`SearchConfig::builder`]
+    /// validation; `503` when the pending-job queue is full or the table is
+    /// draining.
     pub fn submit(
         &self,
         epochs: usize,
@@ -125,13 +125,20 @@ impl JobTable {
         flops_penalty: bool,
         checkpoint: bool,
     ) -> Result<String, ProtoError> {
+        // Validate the whole search configuration up front so a bad request
+        // fails at submission time, not inside a worker.
+        let cfg = SearchConfig::builder()
+            .epochs(epochs.clamp(1, 64))
+            .batch_size(32)
+            .lambda2(LambdaWarmup::ramp(lambda2, 1))
+            .seed(seed)
+            .build()
+            .map_err(|e| ProtoError::bad_request(e.to_string()))?;
         let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         self.shared.states().insert(id.clone(), JobState::Queued);
         let spec = JobSpec {
             id: id.clone(),
-            epochs: epochs.clamp(1, 64),
-            seed,
-            lambda2,
+            cfg,
             flops_penalty,
             checkpoint,
         };
@@ -262,21 +269,15 @@ fn arch_digest(probs: &[Vec<f32>]) -> u64 {
 }
 
 fn run_search(shared: &JobsShared, spec: &JobSpec) -> (String, GuardReport) {
-    let bench = Benchmark::tiny(spec.seed);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let cfg = spec.cfg;
+    let bench = Benchmark::tiny(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let net = Supernet::new(bench.supernet, &mut rng);
     let arch = ArchParams::new(bench.template.num_slots(), &mut rng);
     let penalty = if spec.flops_penalty {
         Penalty::Flops(&bench.template)
     } else {
         Penalty::None
-    };
-    let cfg = SearchConfig {
-        epochs: spec.epochs,
-        batch_size: 32,
-        lambda2: LambdaWarmup::ramp(spec.lambda2, 1),
-        seed: spec.seed,
-        ..SearchConfig::default()
     };
     let guard_cfg = GuardConfig {
         checkpoint: spec.checkpoint.then(|| {

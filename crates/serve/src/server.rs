@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use dance_accel::space::HardwareSpace;
 use dance_accel::workload::{NetworkTemplate, SlotChoice};
-use dance_cost::model::CostModel;
+use dance_cost::model::{CostModel, Detail};
 use dance_evaluator::cost_net::CostNet;
 use dance_evaluator::evaluator::Evaluator;
 use dance_evaluator::hwgen_net::{HeadSampling, HwGenNet};
@@ -41,7 +41,8 @@ use crate::queue::Admission;
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Search-job worker threads.
+    /// Search-job worker threads. Defaults to the shared backend pool
+    /// size ([`dance_backend::threads`], i.e. `DANCE_THREADS`).
     pub search_workers: usize,
     /// Max concurrently executing analytic queries.
     pub max_inflight: usize,
@@ -70,7 +71,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
-            search_workers: 2,
+            search_workers: dance_backend::threads(),
             max_inflight: 8,
             max_waiting: 64,
             default_deadline_ms: 100,
@@ -186,6 +187,7 @@ impl Server {
                     dance_telemetry::counter!("serve.connections");
                     if std::thread::Builder::new()
                         .name("serve-conn".into())
+                        // lint: allow(raw-spawn) accept loop: conn threads block on socket I/O, must not occupy pool workers
                         .spawn(move || handle_conn(&shared, stream))
                         .is_err()
                     {
@@ -386,9 +388,10 @@ fn analytic_payload(
     let mut payload = String::with_capacity(if detail { 512 } else { 96 });
     let total = if detail {
         let net = shared.template.instantiate(&choices);
-        let (total, layers) = shared
+        let eval = shared
             .model
-            .evaluate_detailed(&net, &shared.space.config_at(cfg_idx));
+            .evaluate(&net, &shared.space.config_at(cfg_idx), Detail::PerLayer);
+        let layers = eval.layers.unwrap_or_default();
         payload.push_str("\"layers\":[");
         for (i, lc) in layers.iter().enumerate() {
             if i > 0 {
@@ -401,7 +404,7 @@ fn analytic_payload(
             payload.push('}');
         }
         payload.push_str("],");
-        total
+        eval.total
     } else {
         dance_hwgen::table::cost_direct(
             &shared.template,
@@ -477,6 +480,8 @@ fn health_payload(shared: &Shared) -> String {
     });
     p.push_str(",\"checkpoints_written\":");
     push_num(&mut p, f64::from(guard.checkpoints_written));
+    p.push_str("},\"backend\":{\"threads\":");
+    push_num(&mut p, dance_backend::threads() as f64);
     p.push('}');
     p
 }

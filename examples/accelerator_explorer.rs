@@ -20,8 +20,14 @@ fn main() {
     println!("{:<14} {:>12} {:>12}", "dataflow", "pointwise", "depthwise");
     for df in Dataflow::ALL {
         let cfg = AcceleratorConfig::new(16, 16, 16, df).expect("valid config");
-        let lp = model.evaluate(&pointwise, &cfg).latency_ms;
-        let ld = model.evaluate(&depthwise, &cfg).latency_ms;
+        let lp = model
+            .evaluate(&pointwise, &cfg, Detail::Totals)
+            .total
+            .latency_ms;
+        let ld = model
+            .evaluate(&depthwise, &cfg, Detail::Totals)
+            .total
+            .latency_ms;
         println!("{:<14} {:>12.4} {:>12.4}", df.to_string(), lp, ld);
     }
     println!(
@@ -44,7 +50,7 @@ fn main() {
     );
     for rf in RF_CHOICES {
         let cfg = AcceleratorConfig::new(16, 16, rf, Dataflow::RowStationary).expect("valid");
-        let c = model.evaluate(&network, &cfg);
+        let c = model.evaluate(&network, &cfg, Detail::Totals).total;
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>10.2} {:>10.1}",
             rf,
@@ -67,7 +73,7 @@ fn main() {
     );
     for side in [8usize, 12, 16, 20, 24] {
         let cfg = AcceleratorConfig::new(side, side, 16, Dataflow::RowStationary).expect("valid");
-        let c = model.evaluate(&network, &cfg);
+        let c = model.evaluate(&network, &cfg, Detail::Totals).total;
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>10.2} {:>10.1}",
             format!("{side}x{side}"),

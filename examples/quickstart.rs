@@ -26,7 +26,7 @@ fn main() {
     //    model (the Timeloop + Accelergy substitute).
     let model = CostModel::new();
     let config = AcceleratorConfig::default();
-    let cost = model.evaluate(&network, &config);
+    let cost = model.evaluate(&network, &config, Detail::Totals).total;
     println!(
         "on {config}: {:.2} ms, {:.2} mJ, {:.2} mm² (EDAP {:.1})",
         cost.latency_ms,
@@ -64,11 +64,11 @@ fn main() {
         "evaluator ready: hwgen heads {:?} %, cost estimation {:?} %",
         report.hwgen_head_acc, report.cost_acc
     );
-    let search = SearchConfig {
-        epochs: 6,
-        lambda2: LambdaWarmup::ramp(0.15, 3),
-        ..SearchConfig::default()
-    };
+    let search = SearchConfig::builder()
+        .epochs(6)
+        .lambda2(LambdaWarmup::ramp(0.15, 3))
+        .build()
+        .expect("valid quickstart config");
     let retrain = RetrainConfig {
         epochs: 8,
         ..RetrainConfig::default()

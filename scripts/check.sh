@@ -16,8 +16,15 @@ cargo run --release -q -p dance-analyze -- --source crates/telemetry
 echo "== dance-analyze --source crates/serve =="
 cargo run --release -q -p dance-analyze -- --source crates/serve
 
-echo "== cargo test =="
-cargo test -q --workspace --release
+# The parallel backend must be bit-identical at any thread count, so the
+# suite runs twice: pinned to one worker (the scalar reference path) and to
+# eight (chunked kernels + pool dispatch). The build is shared; only test
+# execution repeats.
+echo "== cargo test (DANCE_THREADS=1) =="
+DANCE_THREADS=1 cargo test -q --workspace --release
+
+echo "== cargo test (DANCE_THREADS=8) =="
+DANCE_THREADS=8 cargo test -q --workspace --release
 
 echo "== telemetry integration test =="
 cargo test -q --release --test telemetry_run

@@ -104,12 +104,17 @@ fn main() -> ExitCode {
     let args = parse_args();
     let benchmark = Benchmark::cifar(args.seed);
 
-    let mut cfg = SearchConfig::default();
-    cfg.epochs = args.epochs;
-    cfg.batch_size = args.batch_size;
-    cfg.seed = args.seed;
-    cfg.lambda2 = LambdaWarmup::constant(args.lambda2);
-    cfg.allow_graph_warnings = args.allow_graph_warnings;
+    let cfg = SearchConfig::builder()
+        .epochs(args.epochs)
+        .batch_size(args.batch_size)
+        .seed(args.seed)
+        .lambda2(LambdaWarmup::constant(args.lambda2))
+        .allow_graph_warnings(args.allow_graph_warnings)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage();
+        });
 
     let mut guard = GuardConfig::default();
     if let Some(dir) = args.checkpoint_dir {

@@ -5,13 +5,16 @@
 //!            [--mix analytic|mixed] [--deadline-ms N] [--shutdown]
 //! ```
 //!
-//! Each client thread keeps one connection and fires requests back-to-back
-//! from a fixed pool of distinct payloads (so the server's response cache
-//! sees a realistic mix of cold and warm keys). Runs under `dance-bench`,
-//! which writes `BENCH_serve.json` at the workspace root with QPS,
-//! p50/p95/p99 latency and the server-reported cache hit-rate. With
-//! `--shutdown` it finishes by draining the server via `admin/shutdown`.
+//! Each client keeps one connection and fires requests back-to-back from a
+//! fixed pool of distinct payloads (so the server's response cache sees a
+//! realistic mix of cold and warm keys). Clients run on the shared
+//! `dance-backend` worker pool, so effective concurrency is
+//! `min(--clients, DANCE_THREADS)`. Runs under `dance-bench`, which writes
+//! `BENCH_serve.json` at the workspace root with QPS, p50/p95/p99 latency
+//! and the server-reported cache hit-rate. With `--shutdown` it finishes by
+//! draining the server via `admin/shutdown`.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dance_bench::bench_run;
@@ -193,18 +196,14 @@ fn fetch_hit_rate(cfg: &LoadConfig) -> f64 {
 }
 
 fn run_load(cfg: &LoadConfig) {
-    let pool = request_pool(cfg);
     let per_client = cfg.requests / cfg.clients;
     let t0 = Instant::now();
-    let pool = &pool;
-    let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.clients)
-            .map(|t| scope.spawn(move || client_loop(cfg, pool, t, per_client)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread must not panic"))
-            .collect()
+    // One pool chunk per client; the shared backend pool supplies the
+    // threads, so `DANCE_THREADS` caps how many clients fire concurrently.
+    let pool = Arc::new(request_pool(cfg));
+    let job_cfg = Arc::new(cfg.clone());
+    let stats: Vec<ThreadStats> = dance_backend::run(cfg.clients, move |t| {
+        client_loop(&job_cfg, &pool, t, per_client)
     });
     let wall_s = t0.elapsed().as_secs_f64();
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);

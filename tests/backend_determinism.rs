@@ -1,0 +1,96 @@
+//! The backend pool must be invisible in results: a search run produces the
+//! same architecture digest, epoch statistics, and choices no matter how
+//! many worker threads execute the kernels.
+//!
+//! Both runs happen in one process via [`dance_backend::set_threads`] — the
+//! shapes are sized so the supernet's matmul/conv kernels clear the
+//! parallel-dispatch threshold, so the 8-thread run genuinely exercises the
+//! chunked kernels rather than falling back to the scalar path.
+
+use dance::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FNV-1a over the bit patterns of the final architecture probabilities —
+/// the same fingerprint the `dance_search` CLI prints as `arch-digest`.
+fn arch_digest(probs: &[Vec<f32>]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in probs {
+        for &p in row {
+            digest ^= u64::from(p.to_bits());
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    digest
+}
+
+/// One full (small) search; returns everything the caller compares bit-wise.
+fn search_once() -> (u64, Vec<String>, Vec<(u32, u32, u32)>) {
+    let task = SynthTask::new(SynthSpec {
+        num_classes: 3,
+        channels: 4,
+        length: 32,
+        noise: 0.25,
+        distractor: 0.15,
+        seed: 7,
+    });
+    let data = TaskData {
+        train: task.generate(128, 1),
+        val: task.generate(32, 2),
+        test: task.generate(32, 3),
+        task,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = Supernet::new(
+        SupernetConfig {
+            input_channels: 4,
+            length: 32,
+            num_classes: 3,
+            stem_width: 12,
+            stage_widths: [12, 16, 24],
+            head_width: 32,
+        },
+        &mut rng,
+    );
+    let arch = ArchParams::new(net.num_slots(), &mut rng);
+    let template = NetworkTemplate::cifar10();
+    let cfg = SearchConfig::builder()
+        .epochs(2)
+        .batch_size(64)
+        .lambda2(LambdaWarmup::ramp(0.3, 1))
+        .seed(7)
+        .build()
+        .expect("determinism test config is statically valid");
+    let out = dance_search(&net, &arch, &data, &Penalty::Flops(&template), &cfg);
+    let choices: Vec<String> = out.choices.iter().map(ToString::to_string).collect();
+    let stats: Vec<(u32, u32, u32)> = out
+        .history
+        .iter()
+        .map(|s| {
+            (
+                s.train_ce.to_bits(),
+                s.hw_cost.to_bits(),
+                s.arch_entropy.to_bits(),
+            )
+        })
+        .collect();
+    (arch_digest(&out.probs), choices, stats)
+}
+
+#[test]
+fn search_is_bit_identical_across_thread_counts() {
+    dance_backend::set_threads(1);
+    let single = search_once();
+    dance_backend::set_threads(8);
+    let parallel = search_once();
+    dance_backend::set_threads(1);
+    assert_eq!(
+        single.0, parallel.0,
+        "arch-digest differs between 1 and 8 backend threads"
+    );
+    assert_eq!(single.1, parallel.1, "derived choices differ");
+    assert_eq!(
+        single.2, parallel.2,
+        "per-epoch loss statistics differ bit-wise"
+    );
+}

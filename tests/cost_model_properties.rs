@@ -30,7 +30,7 @@ proptest! {
     fn prop_costs_are_positive_and_finite(layer in arb_layer(), cfg in arb_config()) {
         let model = CostModel::new();
         let net = Network::from_layers(vec![layer]);
-        let cost = model.evaluate(&net, &cfg);
+        let cost = model.evaluate(&net, &cfg, Detail::Totals).total;
         prop_assert!(cost.latency_ms > 0.0 && cost.latency_ms.is_finite());
         prop_assert!(cost.energy_mj > 0.0 && cost.energy_mj.is_finite());
         prop_assert!(cost.area_mm2 > 0.0 && cost.area_mm2.is_finite());
@@ -88,9 +88,9 @@ proptest! {
     #[test]
     fn prop_network_cost_additive_over_layers(a in arb_layer(), b in arb_layer(), cfg in arb_config()) {
         let model = CostModel::new();
-        let both = model.evaluate(&Network::from_layers(vec![a, b]), &cfg);
-        let one = model.evaluate(&Network::from_layers(vec![a]), &cfg);
-        let two = model.evaluate(&Network::from_layers(vec![b]), &cfg);
+        let both = model.evaluate(&Network::from_layers(vec![a, b]), &cfg, Detail::Totals).total;
+        let one = model.evaluate(&Network::from_layers(vec![a]), &cfg, Detail::Totals).total;
+        let two = model.evaluate(&Network::from_layers(vec![b]), &cfg, Detail::Totals).total;
         prop_assert!((both.latency_ms - one.latency_ms - two.latency_ms).abs() < 1e-9);
         prop_assert!((both.energy_mj - one.energy_mj - two.energy_mj).abs() < 1e-9);
         prop_assert!((both.area_mm2 - one.area_mm2).abs() < 1e-12, "area is per-config");

@@ -37,12 +37,12 @@ fn search_run_log_covers_all_instrumented_subsystems() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let supernet = Supernet::new(pipeline.benchmark.supernet, &mut rng);
     let arch = ArchParams::new(supernet.num_slots(), &mut rng);
-    let cfg = SearchConfig {
-        epochs: 2,
-        batch_size: 32,
-        lambda2: LambdaWarmup::ramp(0.3, 1),
-        ..SearchConfig::default()
-    };
+    let cfg = SearchConfig::builder()
+        .epochs(2)
+        .batch_size(32)
+        .lambda2(LambdaWarmup::ramp(0.3, 1))
+        .build()
+        .expect("valid test config");
     let _out = dance_search(
         &supernet,
         &arch,
