@@ -1,0 +1,26 @@
+//! Seeded `determinism` violations for the analyzer fixtures.
+//!
+//! The display path places this file under `crates/autograd/`, so the
+//! ambient-entropy rule treats it as numeric-crate code. Both hazards the
+//! rule guards against are seeded here: float accumulation in `HashMap`
+//! iteration order, and wall-clock time feeding a value. Regression note:
+//! `counts()` in `crates/serve/src/jobs.rs` used to fold over a `HashMap`;
+//! the job-state table is now a `BTreeMap`.
+
+use std::collections::HashMap;
+
+/// Sums weights in hash-iteration order — float addition is not
+/// associative, so the result depends on the hasher seed.
+pub fn iteration_order_leaks(weights: &HashMap<String, f32>) -> f32 {
+    let mut sum = 0.0;
+    for (_name, w) in weights.iter() {
+        sum += w;
+    }
+    sum
+}
+
+/// Derives a "random" value from the wall clock.
+pub fn wall_clock_in_math() -> u64 {
+    let nanos = std::time::Instant::now().elapsed().as_nanos();
+    (nanos % 7919) as u64
+}

@@ -1,0 +1,30 @@
+//! Seeded `lock-across-dispatch` violations for the analyzer fixtures.
+//!
+//! Both functions hold a `Mutex` guard across a blocking boundary — a
+//! channel `recv` and a pool dispatch. Either stalls every other thread
+//! that touches `TABLE` for the duration (and deadlocks outright if the
+//! blocked-on party needs the lock). Regression note: `RunGuard::start` in
+//! `crates/telemetry/src/runlog.rs` used to hold the `SINK` guard across
+//! run-directory creation and the meta write; it now does all I/O unlocked
+//! and re-checks on publish. This fixture pins the pattern.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, PoisonError};
+
+/// Shared table of observed values.
+pub static TABLE: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Blocks on the channel while holding the table guard.
+pub fn held_across_recv(rx: &Receiver<u64>) {
+    let mut table = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+    let v = rx.recv().unwrap_or_default();
+    table.push(v);
+}
+
+/// Dispatches onto the worker pool while holding the table guard.
+pub fn held_across_pool(n: usize) -> Vec<u64> {
+    let table = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+    let doubled = dance_backend::run(n, |i| (i as u64) * 2);
+    drop(table);
+    doubled
+}

@@ -1,0 +1,32 @@
+//! Seeded `lock-cycle` violations for the concurrency analyzer fixtures.
+//!
+//! `ab` takes `alpha` then `beta`; `ba` takes them in the opposite order —
+//! the classic two-lock deadlock. `dance-analyze --concurrency` on this
+//! directory must exit non-zero and report one cycle with both acquisition
+//! chains at `file:line`. Regression note: the workspace itself holds the
+//! single-lock rule (no order edges); this fixture keeps the detector
+//! honest should that discipline ever erode.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Two locks with no canonical order.
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    /// Takes `alpha`, then `beta` under it.
+    pub fn ab(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    /// Takes `beta`, then `alpha` under it — the opposite order.
+    pub fn ba(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        *b - *a
+    }
+}

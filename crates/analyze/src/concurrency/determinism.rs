@@ -1,0 +1,316 @@
+//! The `determinism` lint: guards the bit-identical-results invariant.
+//!
+//! The whole reproduction promises identical numbers at any
+//! `DANCE_THREADS`; guard resume digests and serve cache replay both verify
+//! it. Two source-level hazards can break it silently:
+//!
+//! 1. **Unordered iteration** over `HashMap`/`HashSet` whose order feeds a
+//!    result (float accumulation order, output sequence). Flagged in *all*
+//!    library code; the accepted idiom is either a `BTreeMap`/`BTreeSet` or
+//!    collect-then-`sort` (a `.sort` on the same or the following statement
+//!    exempts the site).
+//! 2. **Ambient entropy** — wall-clock time, thread ids, process ids, OS
+//!    randomness — reaching numeric code. Flagged only in the numeric
+//!    crates (`autograd`, `nas`, `cost`, `hwgen`, `evaluator`, `core`,
+//!    `backend`, `accel`, `data`, `rand`); telemetry sinks, the serve/guard
+//!    control planes, and the analyzer itself legitimately read clocks and
+//!    ids (run files, latency spans) and are allowlisted by path.
+//!
+//! `// analyze:allow(determinism) <reason>` suppresses a single site — the
+//! reason should say why the value cannot affect results.
+
+use crate::lexer::{allowed_rules_in_comment, lex, BlockTracker};
+use crate::source::SourceDiagnostic;
+
+const RULE: &str = "determinism";
+
+/// Crates where ambient-entropy calls are result-affecting. Everything else
+/// (telemetry, serve, guard, analyze, bench binaries) is control plane.
+const NUMERIC_CRATES: &[&str] = &[
+    "crates/autograd",
+    "crates/nas",
+    "crates/cost",
+    "crates/hwgen",
+    "crates/evaluator",
+    "crates/core",
+    "crates/backend",
+    "crates/accel",
+    "crates/data",
+    "crates/rand",
+];
+
+/// Entropy/time/identity sources that make results depend on the
+/// environment.
+const NONDET_CALLS: &[(&str, &str)] = &[
+    ("Instant::now(", "wall-clock time"),
+    ("SystemTime::now(", "wall-clock time"),
+    ("thread::current(", "thread identity"),
+    ("process::id(", "process id"),
+    ("thread_rng(", "OS-seeded RNG"),
+    ("from_entropy(", "OS entropy"),
+    ("getrandom", "OS entropy"),
+    ("RandomState::new(", "randomized hasher"),
+];
+
+/// Iteration adaptors whose order is unspecified on hash containers.
+const ITER_CALLS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Identifier immediately before byte `pos`, skipping one trailing call or
+/// index group (`self.shared.states().values()` at `.values` → `states`).
+fn ident_before(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    if i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
+        let close = bytes[i - 1];
+        let open = if close == b')' { b'(' } else { b'[' };
+        let mut depth = 0i32;
+        while i > 0 {
+            let b = bytes[i - 1];
+            if b == close {
+                depth += 1;
+            } else if b == open {
+                depth -= 1;
+                if depth == 0 {
+                    i -= 1;
+                    break;
+                }
+            }
+            i -= 1;
+        }
+    }
+    let head = &code[..i];
+    let start = head.rfind(|c: char| !is_ident_char(c)).map_or(0, |p| p + 1);
+    head[start..].to_string()
+}
+
+/// Identifiers declared with a hash-container type on a line: fields,
+/// params, statics (`x: HashMap<…>`), and let-bindings whose RHS starts
+/// with a hash constructor.
+fn hash_decls(code: &str, into: &mut Vec<String>) {
+    for marker in ["HashMap<", "HashSet<"] {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(marker) {
+            let pos = from + rel;
+            from = pos + marker.len();
+            // `x: Mutex<Option<std::collections::HashMap<…>>>` — the
+            // declaration colon is the last *standalone* colon before the
+            // marker (`::` path separators have a `:` neighbour).
+            let head = &code[..pos];
+            let bytes = head.as_bytes();
+            let Some(colon) = (0..bytes.len()).rev().find(|&i| {
+                bytes[i] == b':'
+                    && (i == 0 || bytes[i - 1] != b':')
+                    && bytes.get(i + 1) != Some(&b':')
+            }) else {
+                continue;
+            };
+            let name_part = head[..colon].trim_end();
+            let start = name_part
+                .rfind(|c: char| !is_ident_char(c))
+                .map_or(0, |p| p + 1);
+            let name = &name_part[start..];
+            if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                into.push(name.to_string());
+            }
+        }
+    }
+    // `let mut seen = HashSet::new();`
+    let trimmed = code.trim_start();
+    if let Some(rest) = trimmed.strip_prefix("let ") {
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if !name.is_empty() {
+            if let Some(eq) = rest.find('=') {
+                let rhs = rest[eq + 1..].trim_start();
+                let ctor = rhs.split(['(', '<']).next().unwrap_or("");
+                if ctor
+                    .split("::")
+                    .any(|seg| seg == "HashMap" || seg == "HashSet")
+                {
+                    into.push(name);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the determinism lint over one file.
+pub fn lint_determinism(path: &str, content: &str) -> Vec<SourceDiagnostic> {
+    let lines = lex(content);
+    let mut tracker = BlockTracker::new();
+    let normalized = path.replace('\\', "/");
+    let numeric = NUMERIC_CRATES.iter().any(|c| normalized.contains(c));
+    let mut hash_idents: Vec<String> = Vec::new();
+    let mut diags = Vec::new();
+
+    let allowed = |idx: usize| {
+        let mut rules = allowed_rules_in_comment(&lines[idx].comment);
+        if idx > 0 {
+            rules.extend(allowed_rules_in_comment(&lines[idx - 1].comment));
+        }
+        rules.iter().any(|r| r == RULE)
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let scope = tracker.step(&line.code);
+        if scope.in_test {
+            continue;
+        }
+        let code = &line.code;
+        hash_decls(code, &mut hash_idents);
+
+        // Ambient entropy in numeric crates.
+        if numeric {
+            for (pat, why) in NONDET_CALLS {
+                if let Some(pos) = code.find(pat) {
+                    // `available_parallelism` is deterministic per host and
+                    // already normalized by DANCE_THREADS; don't flag the
+                    // thread module itself appearing in paths.
+                    let _ = pos;
+                    if allowed(idx) {
+                        continue;
+                    }
+                    diags.push(SourceDiagnostic {
+                        file: path.to_string(),
+                        line: idx + 1,
+                        rule: RULE,
+                        message: format!(
+                            "{} ({why}) in numeric crate code; results must be bit-identical at any DANCE_THREADS — derive from the seed or move to telemetry",
+                            pat.trim_end_matches('('),
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Unordered hash iteration feeding results.
+        if hash_idents.is_empty() {
+            continue;
+        }
+        let mut flag_sites: Vec<(usize, String, String)> = Vec::new();
+        for pat in ITER_CALLS {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(pat) {
+                let pos = from + rel;
+                from = pos + pat.len();
+                let ident = ident_before(code, pos);
+                if hash_idents.contains(&ident) {
+                    flag_sites.push((pos, ident, (*pat).to_string()));
+                }
+            }
+        }
+        // `for x in map` / `for (k, v) in &map {`
+        if let Some(rest) = code.trim_start().strip_prefix("for ") {
+            if let Some(in_pos) = rest.find(" in ") {
+                let expr = rest[in_pos + 4..].trim_start_matches(['&', '*']).trim_end();
+                let expr = expr.trim_end_matches('{').trim_end();
+                let seg = expr
+                    .split(['.', ':'])
+                    .next_back()
+                    .unwrap_or(expr)
+                    .split('(')
+                    .next()
+                    .unwrap_or("");
+                let seg: String = seg.chars().filter(|&c| is_ident_char(c)).collect();
+                if hash_idents.contains(&seg)
+                    && !flag_sites.iter().any(|(_, ident, _)| *ident == seg)
+                {
+                    flag_sites.push((0, seg, "for-in".to_string()));
+                }
+            }
+        }
+        if flag_sites.is_empty() {
+            continue;
+        }
+        // Collect-then-sort idiom: a `.sort` on the same statement or the
+        // next code line makes the order canonical again.
+        let sorted_next = lines
+            .iter()
+            .skip(idx + 1)
+            .map(|l| l.code.trim())
+            .find(|c| !c.is_empty())
+            .is_some_and(|c| c.contains(".sort"));
+        if code.contains(".sort") || sorted_next {
+            continue;
+        }
+        if allowed(idx) {
+            continue;
+        }
+        for (_, ident, how) in flag_sites {
+            diags.push(SourceDiagnostic {
+                file: path.to_string(),
+                line: idx + 1,
+                rule: RULE,
+                message: format!(
+                    "iteration over hash container `{ident}` ({how}) has unspecified order; use a BTree container or collect-then-sort before results depend on it"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_is_flagged_everywhere() {
+        let src = "struct S { weights: std::collections::HashMap<String, f32> }\nimpl S {\n    fn total(&self) -> f32 {\n        let mut sum = 0.0;\n        for (_k, w) in self.weights.iter() {\n            sum += w;\n        }\n        sum\n    }\n}\n";
+        let diags = lint_determinism("crates/serve/src/jobs.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+        assert!(diags[0].message.contains("weights"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn collect_then_sort_is_accepted() {
+        let src = "fn ids(nodes: &std::collections::HashMap<u32, String>) -> Vec<u32> {\n    let mut ids: Vec<u32> = nodes.keys().copied().collect();\n    ids.sort_unstable();\n    ids\n}\n";
+        let diags = lint_determinism("crates/analyze/src/graph.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn btree_iteration_is_not_flagged() {
+        let src = "fn total(weights: &std::collections::BTreeMap<String, f32>) -> f32 {\n    weights.values().sum()\n}\n";
+        let diags = lint_determinism("crates/cost/src/model.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wall_clock_in_numeric_crate_is_flagged_but_telemetry_is_exempt() {
+        let src = "fn stamp() -> u128 {\n    std::time::Instant::now().elapsed().as_nanos()\n}\n";
+        let numeric = lint_determinism("crates/autograd/src/var.rs", src);
+        assert_eq!(numeric.len(), 1, "{numeric:?}");
+        let telemetry = lint_determinism("crates/telemetry/src/span.rs", src);
+        assert!(telemetry.is_empty(), "{telemetry:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_both_shapes() {
+        let src = "struct S { seen: std::collections::HashSet<u64> }\nimpl S {\n    fn any(&self) -> bool {\n        // analyze:allow(determinism) order does not reach results\n        self.seen.iter().next().is_some()\n    }\n    fn when(&self) -> std::time::Instant {\n        // analyze:allow(determinism) timing only feeds telemetry\n        std::time::Instant::now()\n    }\n}\n";
+        let diags = lint_determinism("crates/autograd/src/var.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn let_binding_of_hash_container_is_tracked() {
+        let src = "fn dedup(xs: &[u64]) -> usize {\n    let mut seen = std::collections::HashSet::new();\n    for x in xs {\n        seen.insert(*x);\n    }\n    let mut n = 0;\n    for _v in seen.drain() {\n        n += 1;\n    }\n    n\n}\n";
+        let diags = lint_determinism("crates/nas/src/supernet.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("seen"));
+    }
+}

@@ -1,0 +1,691 @@
+//! Inter-procedural lock-order graph construction and deadlock/dispatch
+//! analysis over [`super::parse`] output.
+//!
+//! Each function gets a **summary** — which locks its body (transitively)
+//! acquires and whether it (transitively) blocks — computed to a fixpoint
+//! over the call graph. Call resolution is conservative: a call edge is
+//! followed only when the callee is unambiguous (same `impl` type for
+//! `self.…` calls, same file, or a unique workspace-wide name); ambiguous
+//! names contribute nothing rather than guessing, so every reported edge is
+//! backed by a concrete `file:line` chain.
+//!
+//! With summaries in hand, every event that happens while a guard is held
+//! becomes evidence:
+//!
+//! * held guard + another acquisition → a **lock-order edge**
+//!   `held → acquired`, carrying the acquisition chain (`file:line` per
+//!   hop). A cycle among edges is a potential deadlock (`lock-cycle`),
+//!   reported once per cycle with the full chain of *both* directions.
+//! * held guard + blocking operation (directly, or via a callee that
+//!   blocks) → `lock-across-dispatch`.
+//!
+//! Locks are qualified `crate::name` so same-named fields in different
+//! crates stay distinct; parameter locks (`fn lock(m: &Mutex<T>)`) are
+//! resolved at call sites and never become graph nodes themselves.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+use super::parse::{EventKind, LockRef, ParsedFn};
+use crate::source::SourceDiagnostic;
+
+/// One `file:line` hop in an acquisition chain.
+pub type Chain = Vec<(String, usize)>;
+
+/// Transitive behaviour of one function.
+#[derive(Debug, Clone, Default)]
+struct Summary {
+    /// Qualified locks the function acquires, with the chain proving it.
+    acquires: BTreeMap<String, Chain>,
+    /// Locks acquired on the function's own *parameters*, by index.
+    param_acquires: BTreeMap<usize, Chain>,
+    /// If the function (transitively) blocks: what, and the chain to it.
+    blocks: Option<(String, Chain)>,
+}
+
+/// A directed lock-order edge: `from` is held while `to` is acquired.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Qualified lock held.
+    pub from: String,
+    /// Qualified lock acquired under it.
+    pub to: String,
+    /// `file:line` chain: hold site, acquisition site, then any callee hops.
+    pub chain: Chain,
+}
+
+/// The lock-order analysis result for a file set.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Qualified lock → (first acquisition site, total acquisition count).
+    pub locks: BTreeMap<String, ((String, usize), usize)>,
+    /// Deduplicated order edges.
+    pub edges: Vec<LockEdge>,
+    /// Diagnostics: `lock-cycle` and `lock-across-dispatch`.
+    pub diagnostics: Vec<SourceDiagnostic>,
+}
+
+fn qualify(f: &ParsedFn, lock: &LockRef) -> Option<String> {
+    match lock {
+        LockRef::Named(n) => Some(format!("{}::{}", f.crate_name, n)),
+        LockRef::Param(_) => None,
+    }
+}
+
+fn chain_text(chain: &Chain) -> String {
+    chain
+        .iter()
+        .map(|(f, l)| format!("{f}:{l}"))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// A function index keyed for call resolution.
+struct FnIndex<'a> {
+    fns: &'a [ParsedFn],
+    /// name → indices of every function with that name.
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> FnIndex<'a> {
+    fn new(fns: &'a [ParsedFn]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+        }
+        Self { fns, by_name }
+    }
+
+    /// Resolves a call from `caller` to at most one workspace function.
+    /// `None` when the name is unknown or ambiguous — no edge is better
+    /// than a wrong edge.
+    fn resolve(
+        &self,
+        caller: &ParsedFn,
+        callee: &str,
+        self_recv: bool,
+        qual: Option<&str>,
+    ) -> Option<usize> {
+        let candidates = self.by_name.get(callee)?;
+        if self_recv {
+            if let Some(ty) = &caller.impl_type {
+                let hits: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].impl_type.as_deref() == Some(ty))
+                    .collect();
+                let same_file: Vec<usize> = hits
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].file == caller.file)
+                    .collect();
+                if same_file.len() == 1 {
+                    return Some(same_file[0]);
+                }
+                if hits.len() == 1 {
+                    return Some(hits[0]);
+                }
+            }
+            return None;
+        }
+        if let Some(q) = qual {
+            // `span::reset()` matches the file stem; `dance_backend::run(…)`
+            // matches the crate name. Anything else (`thread::spawn`,
+            // `mem::take`) is std and resolves to nothing.
+            let crate_q = q.strip_prefix("dance_").unwrap_or(q);
+            let hits: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let f = &self.fns[i];
+                    let stem = f
+                        .file
+                        .rsplit('/')
+                        .next()
+                        .unwrap_or(&f.file)
+                        .trim_end_matches(".rs");
+                    stem == q || f.crate_name == crate_q
+                })
+                .collect();
+            return (hits.len() == 1).then(|| hits[0]);
+        }
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].file == caller.file)
+            .collect();
+        if same_file.len() == 1 {
+            return Some(same_file[0]);
+        }
+        if candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+        None
+    }
+}
+
+/// Computes per-function summaries to a fixpoint over the call graph.
+fn summarize(fns: &[ParsedFn], index: &FnIndex<'_>) -> Vec<Summary> {
+    let mut summaries: Vec<Summary> = vec![Summary::default(); fns.len()];
+    for _round in 0..20 {
+        let mut changed = false;
+        for (i, f) in fns.iter().enumerate() {
+            let mut next = summaries[i].clone();
+            for e in &f.events {
+                let site = (f.file.clone(), e.line);
+                match &e.kind {
+                    EventKind::Acquire { lock } => match lock {
+                        LockRef::Named(_) => {
+                            let q = qualify(f, lock).unwrap_or_default();
+                            next.acquires.entry(q).or_insert_with(|| vec![site.clone()]);
+                        }
+                        LockRef::Param(p) => {
+                            next.param_acquires
+                                .entry(*p)
+                                .or_insert_with(|| vec![site.clone()]);
+                        }
+                    },
+                    EventKind::Block { what } => {
+                        if next.blocks.is_none() && !e.allowed.iter().any(|r| r == RULE_DISPATCH) {
+                            next.blocks = Some((what.clone(), vec![site.clone()]));
+                        }
+                    }
+                    EventKind::Call {
+                        callee,
+                        self_recv,
+                        qual,
+                        args,
+                    } => {
+                        let Some(j) = index.resolve(f, callee, *self_recv, qual.as_deref()) else {
+                            continue;
+                        };
+                        let callee_summary = summaries[j].clone();
+                        for (q, chain) in &callee_summary.acquires {
+                            next.acquires.entry(q.clone()).or_insert_with(|| {
+                                let mut c = vec![site.clone()];
+                                c.extend(chain.iter().cloned());
+                                c
+                            });
+                        }
+                        // Parameter locks of the callee resolve through the
+                        // call-site arguments.
+                        for (p, chain) in &callee_summary.param_acquires {
+                            let Some(ident) = args.get(*p) else { continue };
+                            if ident.is_empty() {
+                                continue;
+                            }
+                            let mut c = vec![site.clone()];
+                            c.extend(chain.iter().cloned());
+                            match f.params.iter().position(|n| n == ident) {
+                                Some(own) => {
+                                    next.param_acquires.entry(own).or_insert(c);
+                                }
+                                None => {
+                                    let q = format!("{}::{}", f.crate_name, ident);
+                                    next.acquires.entry(q).or_insert(c);
+                                }
+                            }
+                        }
+                        if next.blocks.is_none() {
+                            if let Some((what, chain)) = &callee_summary.blocks {
+                                let mut c = vec![site.clone()];
+                                c.extend(chain.iter().cloned());
+                                next.blocks = Some((what.clone(), c));
+                            }
+                        }
+                    }
+                }
+            }
+            if next.acquires.len() != summaries[i].acquires.len()
+                || next.param_acquires.len() != summaries[i].param_acquires.len()
+                || next.blocks.is_some() != summaries[i].blocks.is_some()
+            {
+                changed = true;
+            }
+            summaries[i] = next;
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+const RULE_CYCLE: &str = "lock-cycle";
+const RULE_DISPATCH: &str = "lock-across-dispatch";
+
+/// Resolves a held guard to a qualified name (parameter guards qualify via
+/// the parameter name — distinct call sites may pass distinct locks, so
+/// they never join the global graph, but they still count for dispatch).
+fn held_name(f: &ParsedFn, lock: &LockRef) -> String {
+    match lock {
+        LockRef::Named(n) => format!("{}::{}", f.crate_name, n),
+        LockRef::Param(i) => f
+            .params
+            .get(*i)
+            .map(|p| format!("<param {p}>"))
+            .unwrap_or_else(|| format!("<param {i}>")),
+    }
+}
+
+/// Builds the lock graph and the `lock-cycle` / `lock-across-dispatch`
+/// diagnostics for a parsed file set.
+pub fn build(fns: &[ParsedFn]) -> LockGraph {
+    let index = FnIndex::new(fns);
+    let summaries = summarize(fns, &index);
+    let mut graph = LockGraph::default();
+    let mut edge_keys: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut dispatch_keys: BTreeSet<(String, usize)> = BTreeSet::new();
+
+    // Lock inventory.
+    for f in fns {
+        for e in &f.events {
+            if let EventKind::Acquire { lock } = &e.kind {
+                if let Some(q) = qualify(f, lock) {
+                    let entry = graph
+                        .locks
+                        .entry(q)
+                        .or_insert_with(|| ((f.file.clone(), e.line), 0));
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+
+    // Order edges and dispatch findings.
+    for f in fns {
+        for e in &f.events {
+            if e.held.is_empty() {
+                continue;
+            }
+            match &e.kind {
+                EventKind::Acquire { lock } => {
+                    if e.allowed.iter().any(|r| r == RULE_CYCLE) {
+                        continue;
+                    }
+                    let Some(to) = qualify(f, lock) else { continue };
+                    for h in &e.held {
+                        let Some(from) = qualify(f, &h.lock) else {
+                            continue;
+                        };
+                        push_edge(
+                            &mut graph,
+                            &mut edge_keys,
+                            f,
+                            from,
+                            to.clone(),
+                            vec![(f.file.clone(), h.line), (f.file.clone(), e.line)],
+                        );
+                    }
+                }
+                EventKind::Call {
+                    callee,
+                    self_recv,
+                    qual,
+                    ..
+                } => {
+                    let Some(j) = index.resolve(f, callee, *self_recv, qual.as_deref()) else {
+                        continue;
+                    };
+                    let s = &summaries[j];
+                    if !e.allowed.iter().any(|r| r == RULE_CYCLE) {
+                        for (to, chain) in &s.acquires {
+                            for h in &e.held {
+                                let Some(from) = qualify(f, &h.lock) else {
+                                    continue;
+                                };
+                                let mut full =
+                                    vec![(f.file.clone(), h.line), (f.file.clone(), e.line)];
+                                full.extend(chain.iter().cloned());
+                                push_edge(&mut graph, &mut edge_keys, f, from, to.clone(), full);
+                            }
+                        }
+                    }
+                    if let Some((what, chain)) = &s.blocks {
+                        if e.allowed.iter().any(|r| r == RULE_DISPATCH) {
+                            continue;
+                        }
+                        if dispatch_keys.insert((f.file.clone(), e.line)) {
+                            let held: Vec<String> =
+                                e.held.iter().map(|h| held_name(f, &h.lock)).collect();
+                            let mut full = vec![(f.file.clone(), e.line)];
+                            full.extend(chain.iter().cloned());
+                            graph.diagnostics.push(SourceDiagnostic {
+                                file: f.file.clone(),
+                                line: e.line,
+                                rule: RULE_DISPATCH,
+                                message: format!(
+                                    "guard on `{}` held across blocking call `{}` ({}); drop the guard before dispatch [chain {}]",
+                                    held.join("`, `"),
+                                    callee,
+                                    what,
+                                    chain_text(&full)
+                                ),
+                            });
+                        }
+                    }
+                }
+                EventKind::Block { what } => {
+                    if e.allowed.iter().any(|r| r == RULE_DISPATCH) {
+                        continue;
+                    }
+                    if dispatch_keys.insert((f.file.clone(), e.line)) {
+                        let held: Vec<String> =
+                            e.held.iter().map(|h| held_name(f, &h.lock)).collect();
+                        graph.diagnostics.push(SourceDiagnostic {
+                            file: f.file.clone(),
+                            line: e.line,
+                            rule: RULE_DISPATCH,
+                            message: format!(
+                                "guard on `{}` held across blocking boundary `{}`; narrow the guard scope or drop before blocking",
+                                held.join("`, `"),
+                                what
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    detect_cycles(&mut graph);
+    graph
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    graph
+}
+
+fn push_edge(
+    graph: &mut LockGraph,
+    keys: &mut BTreeSet<(String, String)>,
+    f: &ParsedFn,
+    from: String,
+    to: String,
+    chain: Chain,
+) {
+    if from == to {
+        // Re-acquiring a lock already held: immediate self-deadlock with a
+        // std Mutex.
+        let line = chain.last().map_or(0, |(_, l)| *l);
+        graph.diagnostics.push(SourceDiagnostic {
+            file: f.file.clone(),
+            line,
+            rule: RULE_CYCLE,
+            message: format!(
+                "`{from}` acquired while already held (self-deadlock) [chain {}]",
+                chain_text(&chain)
+            ),
+        });
+        return;
+    }
+    if keys.insert((from.clone(), to.clone())) {
+        graph.edges.push(LockEdge { from, to, chain });
+    }
+}
+
+/// Reports every elementary cycle in the order graph, once, with both
+/// directions' acquisition chains.
+fn detect_cycles(graph: &mut LockGraph) {
+    // Adjacency over qualified names, deterministic order.
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in &graph.edges {
+        adj.entry(&e.from).or_default().push(e);
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut found: Vec<SourceDiagnostic> = Vec::new();
+
+    for e in &graph.edges {
+        // A cycle through `e` exists iff `e.to` reaches `e.from`. BFS gives
+        // the shortest return path, which keeps reports readable.
+        let Some(path) = shortest_path(&adj, &e.to, &e.from) else {
+            continue;
+        };
+        // Nodes in cycle order starting at e.from; the return path runs
+        // e.to -> … -> e.from.
+        let mut nodes: Vec<String> = vec![e.from.clone(), e.to.clone()];
+        nodes.extend(path.iter().map(|edge| edge.to.clone()));
+        // Canonical rotation for dedup: start at the lexicographically
+        // smallest node.
+        let mut canon = nodes.clone();
+        canon.pop(); // last == first
+        if let Some(min_pos) = canon
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| (*n).clone())
+            .map(|(i, _)| i)
+        {
+            canon.rotate_left(min_pos);
+        }
+        if !seen_cycles.insert(canon) {
+            continue;
+        }
+        let mut msg = format!("lock-order cycle: {}", nodes.join(" -> "));
+        let mut edges_in_cycle: Vec<&LockEdge> = vec![e];
+        edges_in_cycle.extend(path.iter());
+        for edge in &edges_in_cycle {
+            let _ = write!(
+                msg,
+                "; [{} -> {}: {}]",
+                edge.from,
+                edge.to,
+                chain_text(&edge.chain)
+            );
+        }
+        let (file, line) = e
+            .chain
+            .first()
+            .cloned()
+            .unwrap_or_else(|| (String::from("?"), 0));
+        found.push(SourceDiagnostic {
+            file,
+            line,
+            rule: RULE_CYCLE,
+            message: msg,
+        });
+    }
+    graph.diagnostics.extend(found);
+}
+
+/// BFS shortest edge-path from `start` to `goal`.
+fn shortest_path<'g>(
+    adj: &BTreeMap<&str, Vec<&'g LockEdge>>,
+    start: &str,
+    goal: &str,
+) -> Option<Vec<&'g LockEdge>> {
+    if start == goal {
+        return Some(Vec::new());
+    }
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    let mut prev: BTreeMap<&str, &'g LockEdge> = BTreeMap::new();
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        for edge in adj.get(node).into_iter().flatten() {
+            if prev.contains_key(edge.to.as_str()) || edge.to == start {
+                continue;
+            }
+            prev.insert(&edge.to, edge);
+            if edge.to == goal {
+                // Reconstruct.
+                let mut path = Vec::new();
+                let mut cur = goal;
+                while cur != start {
+                    let e = prev[cur];
+                    path.push(e);
+                    cur = &e.from;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(&edge.to);
+        }
+    }
+    None
+}
+
+/// Renders the graph as deterministic human-readable text: the lock
+/// inventory, then every order edge with its chain.
+pub fn render(graph: &LockGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "lock-order graph");
+    let _ = writeln!(out, "  locks ({}):", graph.locks.len());
+    for (name, ((file, line), count)) in &graph.locks {
+        let _ = writeln!(out, "    {name}  first {file}:{line}  acquisitions {count}");
+    }
+    let mut edges: Vec<&LockEdge> = graph.edges.iter().collect();
+    edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    let _ = writeln!(out, "  order edges ({}):", edges.len());
+    if edges.is_empty() {
+        let _ = writeln!(out, "    (none) — single-lock discipline holds");
+    }
+    for e in edges {
+        let _ = writeln!(
+            out,
+            "    {} -> {}  [{}]",
+            e.from,
+            e.to,
+            chain_text(&e.chain)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrency::parse::{collect_helpers, parse_file};
+
+    fn analyze(src: &str) -> LockGraph {
+        let files = vec![("crates/x/src/lib.rs".to_string(), src.to_string())];
+        let helpers = collect_helpers(&files);
+        let fns = parse_file("crates/x/src/lib.rs", src, &helpers);
+        build(&fns)
+    }
+
+    const GUARD_CHAIN: &str = ".lock().unwrap_or_else(std::sync::PoisonError::into_inner)";
+
+    #[test]
+    fn opposite_order_acquisitions_form_a_reported_cycle() {
+        let src = format!(
+            "impl P {{\n    fn ab(&self) {{\n        let a = self.alpha{GUARD_CHAIN};\n        let b = self.beta{GUARD_CHAIN};\n        a.touch(b);\n    }}\n    fn ba(&self) {{\n        let b = self.beta{GUARD_CHAIN};\n        let a = self.alpha{GUARD_CHAIN};\n        b.touch(a);\n    }}\n}}\n"
+        );
+        let g = analyze(&src);
+        assert_eq!(g.edges.len(), 2);
+        let cycles: Vec<_> = g
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "lock-cycle")
+            .collect();
+        assert_eq!(
+            cycles.len(),
+            1,
+            "one deduplicated cycle: {:?}",
+            g.diagnostics
+        );
+        let msg = &cycles[0].message;
+        assert!(msg.contains("x::alpha") && msg.contains("x::beta"), "{msg}");
+        // Both directions' chains present, file:line format.
+        assert!(
+            msg.matches("crates/x/src/lib.rs:").count() >= 4,
+            "both acquisition chains expected in {msg}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_produces_edges_but_no_cycle() {
+        let src = format!(
+            "impl P {{\n    fn ab(&self) {{\n        let a = self.alpha{GUARD_CHAIN};\n        let b = self.beta{GUARD_CHAIN};\n        a.touch(b);\n    }}\n    fn ab2(&self) {{\n        let a = self.alpha{GUARD_CHAIN};\n        let b = self.beta{GUARD_CHAIN};\n        b.touch(a);\n    }}\n}}\n"
+        );
+        let g = analyze(&src);
+        assert_eq!(g.edges.len(), 1, "deduplicated edge");
+        assert!(
+            g.diagnostics.iter().all(|d| d.rule != "lock-cycle"),
+            "no cycle: {:?}",
+            g.diagnostics
+        );
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_a_callee_is_found() {
+        let src = format!(
+            "impl P {{\n    fn outer(&self) {{\n        let a = self.alpha{GUARD_CHAIN};\n        self.take_beta();\n        a.touch();\n    }}\n    fn take_beta(&self) {{\n        let b = self.beta{GUARD_CHAIN};\n        b.touch();\n    }}\n    fn reverse(&self) {{\n        let b = self.beta{GUARD_CHAIN};\n        let a = self.alpha{GUARD_CHAIN};\n        b.touch(a);\n    }}\n}}\n"
+        );
+        let g = analyze(&src);
+        let cycles: Vec<_> = g
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "lock-cycle")
+            .collect();
+        assert_eq!(cycles.len(), 1, "{:?}", g.diagnostics);
+        assert!(
+            cycles[0].message.contains("lib.rs:4"),
+            "chain goes through the call site: {}",
+            cycles[0].message
+        );
+    }
+
+    #[test]
+    fn self_deadlock_is_reported_immediately() {
+        let src = format!(
+            "impl P {{\n    fn twice(&self) {{\n        let a = self.alpha{GUARD_CHAIN};\n        let b = self.alpha{GUARD_CHAIN};\n        a.touch(b);\n    }}\n}}\n"
+        );
+        let g = analyze(&src);
+        assert!(
+            g.diagnostics
+                .iter()
+                .any(|d| d.rule == "lock-cycle" && d.message.contains("self-deadlock")),
+            "{:?}",
+            g.diagnostics
+        );
+    }
+
+    #[test]
+    fn guard_across_channel_recv_is_flagged() {
+        let src = format!(
+            "fn pump(rx: &std::sync::mpsc::Receiver<u64>, table: &std::sync::Mutex<Vec<u64>>) {{\n    let mut t = table{GUARD_CHAIN};\n    let v = rx.recv();\n    t.push(v.unwrap_or_default());\n}}\n"
+        );
+        let g = analyze(&src);
+        assert!(
+            g.diagnostics
+                .iter()
+                .any(|d| d.rule == "lock-across-dispatch" && d.line == 3),
+            "{:?}",
+            g.diagnostics
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses_dispatch_finding() {
+        let src = format!(
+            "fn pump(rx: &std::sync::mpsc::Receiver<u64>, table: &std::sync::Mutex<Vec<u64>>) {{\n    let mut t = table{GUARD_CHAIN};\n    // analyze:allow(lock-across-dispatch) bounded wait, sender owned here\n    let v = rx.recv();\n    t.push(v.unwrap_or_default());\n}}\n"
+        );
+        let g = analyze(&src);
+        assert!(g.diagnostics.is_empty(), "suppressed: {:?}", g.diagnostics);
+    }
+
+    #[test]
+    fn blocking_callee_poisons_its_callers() {
+        let src = format!(
+            "fn slow() {{\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}}\n\nfn hold_and_call(table: &std::sync::Mutex<Vec<u64>>) {{\n    let t = table{GUARD_CHAIN};\n    slow();\n    t.len();\n}}\n"
+        );
+        let g = analyze(&src);
+        assert!(
+            g.diagnostics
+                .iter()
+                .any(|d| d.rule == "lock-across-dispatch" && d.message.contains("slow")),
+            "{:?}",
+            g.diagnostics
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_single_lock_discipline() {
+        let src = format!(
+            "impl P {{\n    fn one(&self) {{\n        let a = self.alpha{GUARD_CHAIN};\n        a.touch();\n    }}\n}}\n"
+        );
+        let g = analyze(&src);
+        let text = render(&g);
+        assert!(text.contains("x::alpha"), "{text}");
+        assert!(text.contains("single-lock discipline holds"), "{text}");
+        assert_eq!(text, render(&g));
+    }
+}

@@ -1,0 +1,375 @@
+//! The shared line lexer behind both source-level passes.
+//!
+//! [`source`](crate::source) (convention lints) and
+//! [`concurrency`](crate::concurrency) (lock-order / determinism analysis)
+//! both need the same ground truth about a `.rs` file: which characters are
+//! executable code (comments and string-literal contents blanked), what the
+//! comment text on each line says (for `allow` suppressions), and which
+//! brace blocks belong to `#[cfg(test)]` items (exempt from every rule).
+//! This module owns that machinery so the two passes can never disagree
+//! about what a line "is".
+//!
+//! The lexer is deliberately line-oriented and dependency-free (no `syn`,
+//! no regex): multi-line block comments are tracked, multi-line string
+//! literals are not (none exist in this workspace).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A source line after lexing: executable code with comments/strings
+/// blanked, plus the comment text (for suppressions).
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// Code with comment text and string-literal *contents* replaced by
+    /// spaces (quotes are kept, so token boundaries survive).
+    pub code: String,
+    /// The original line untouched — string contents included — for rules
+    /// that must see path literals (`checkpoint-io`).
+    pub raw: String,
+    /// The text of any `//` comment on the line.
+    pub comment: String,
+    /// Whether the line is (part of) a doc comment (`///` or `//!`).
+    pub is_doc: bool,
+    /// Doc-comment text (`///` body), used by the `panic-doc` rule.
+    pub doc_text: String,
+}
+
+/// Strips comments and string contents line by line, tracking multi-line
+/// block comments. Purely line-oriented: a string literal spanning lines is
+/// not supported (none exist in this workspace), but block comments are.
+pub fn lex(content: &str) -> Vec<LexedLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    // A string literal left open at the end of a line (multi-line strings,
+    // `\`-continuations) keeps blanking on the next line — otherwise its
+    // contents would lex as code and comments.
+    let mut in_string = false;
+    let mut string_is_raw = false;
+    for raw in content.lines() {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut is_doc = false;
+        let mut doc_text = String::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                code.push(' ');
+                continue;
+            }
+            if in_string {
+                if !string_is_raw && bytes[i] == '\\' {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == '"' {
+                    in_string = false;
+                    code.push('"');
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+                continue;
+            }
+            let c = bytes[i];
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    let rest: String = bytes[i..].iter().collect();
+                    if rest.starts_with("///") || rest.starts_with("//!") {
+                        is_doc = true;
+                        doc_text = rest[3..].to_string();
+                    }
+                    comment = rest;
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    in_block_comment = true;
+                    code.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    // String literal: keep the quotes, blank the contents.
+                    let raw_string = i > 0 && bytes[i - 1] == 'r';
+                    code.push('"');
+                    i += 1;
+                    let mut closed = false;
+                    while i < bytes.len() {
+                        if !raw_string && bytes[i] == '\\' {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        if bytes[i] == '"' {
+                            code.push('"');
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                    if !closed {
+                        in_string = true;
+                        string_is_raw = raw_string;
+                    }
+                }
+                '\'' => {
+                    // Char literal ('x' / '\n') vs. lifetime ('a in &'a T).
+                    let is_char_lit = matches!(
+                        (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)),
+                        (Some('\\'), _, Some('\''))
+                    ) || matches!(
+                        (bytes.get(i + 1), bytes.get(i + 2)),
+                        (Some(x), Some('\'')) if *x != '\\'
+                    );
+                    if is_char_lit {
+                        let end = if bytes.get(i + 1) == Some(&'\\') {
+                            i + 3
+                        } else {
+                            i + 2
+                        };
+                        for _ in i..=end.min(bytes.len() - 1) {
+                            code.push(' ');
+                        }
+                        i = end + 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(LexedLine {
+            code,
+            raw: raw.to_string(),
+            comment,
+            is_doc,
+            doc_text,
+        });
+    }
+    out
+}
+
+/// Whether line `idx` (or the line before it) carries an inline suppression
+/// for `token`. Both historical spellings are honoured:
+/// `// lint: allow(<rule>)` (the source linter's original form) and
+/// `// analyze:allow(<rule>)` (the concurrency analyzer's form).
+pub fn is_allowed(lines: &[LexedLine], idx: usize, token: &str) -> bool {
+    let hit = |comment: &str| comment_allows(comment, token);
+    if hit(&lines[idx].comment) {
+        return true;
+    }
+    idx > 0 && hit(&lines[idx - 1].comment)
+}
+
+/// Whether a single comment string carries an `allow(<token>)` suppression
+/// in any accepted spelling.
+pub fn comment_allows(comment: &str, token: &str) -> bool {
+    for prefix in ["lint: allow(", "analyze:allow(", "analyze: allow("] {
+        let needle = format!("{prefix}{token})");
+        if comment.contains(&needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Every rule name suppressed by `allow(...)` annotations in a comment.
+pub fn allowed_rules_in_comment(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for marker in ["lint: allow(", "analyze:allow(", "analyze: allow("] {
+        let mut from = 0;
+        while let Some(rel) = comment[from..].find(marker) {
+            let start = from + rel + marker.len();
+            from = start;
+            if let Some(end) = comment[start..].find(')') {
+                out.push(comment[start..start + end].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The identifier-ish token immediately left of byte position `pos`.
+pub fn token_before(code: &str, pos: usize) -> &str {
+    let head = code[..pos].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || "._+-".contains(c)))
+        .map_or(0, |p| p + 1);
+    &head[start..]
+}
+
+/// The identifier-ish token immediately right of byte position `pos`.
+pub fn token_after(code: &str, pos: usize) -> &str {
+    let tail = code[pos..].trim_start();
+    // A leading sign belongs to a numeric literal (`== -1.0`).
+    let tail = tail.strip_prefix('-').unwrap_or(tail);
+    let end = tail
+        .find(|c: char| !(c.is_ascii_alphanumeric() || "._+-".contains(c)))
+        .unwrap_or(tail.len());
+    &tail[..end]
+}
+
+/// Streaming tracker for brace depth and `#[cfg(test)]` block membership.
+///
+/// Feed it every lexed line in order; it reports the depth before/after the
+/// line and whether the line sits inside a test-gated block (and is thus
+/// exempt from every rule).
+#[derive(Debug, Default)]
+pub struct BlockTracker {
+    depth: i64,
+    pending_test_attr: bool,
+    test_exit_depth: Option<i64>,
+}
+
+/// What [`BlockTracker::step`] reports about one line.
+#[derive(Debug, Clone, Copy)]
+pub struct LineScope {
+    /// Brace depth before the line's own braces are applied.
+    pub depth_before: i64,
+    /// Brace depth after the line.
+    pub depth_after: i64,
+    /// Whether the line belongs to a `#[cfg(test)]` block (or is the
+    /// attribute line itself).
+    pub in_test: bool,
+}
+
+impl BlockTracker {
+    /// A tracker at depth zero, outside any test block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one lexed-code line, returning its scope information.
+    pub fn step(&mut self, code: &str) -> LineScope {
+        let depth_before = self.depth;
+        for c in code.chars() {
+            match c {
+                '{' => self.depth += 1,
+                '}' => self.depth -= 1,
+                _ => {}
+            }
+        }
+        if code.contains("#[cfg(test)]") {
+            self.pending_test_attr = true;
+        }
+        let in_test = self.test_exit_depth.is_some() || self.pending_test_attr;
+        if self.pending_test_attr && self.depth > depth_before {
+            self.test_exit_depth = Some(depth_before);
+            self.pending_test_attr = false;
+        }
+        if let Some(d) = self.test_exit_depth {
+            if self.depth <= d {
+                self.test_exit_depth = None;
+            }
+        }
+        LineScope {
+            depth_before,
+            depth_after: self.depth,
+            in_test,
+        }
+    }
+}
+
+/// Directories never linted: generated output, fixtures with seeded
+/// violations, and test/bench code (exempt by design).
+pub const SKIP_DIRS: &[&str] = &["target", "fixtures", "tests", "benches", "examples", ".git"];
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Every lintable `.rs` file under `root`, sorted for deterministic output.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking directories.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+/// Reads every lintable file under `root` into `(display_path, content)`
+/// pairs, with display paths relative to `root` and `/`-separated.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files.
+pub fn read_tree(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for path in collect_rs_files(root)? {
+        let content = fs::read_to_string(&path)?;
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((display, content));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_allow_spellings_are_honoured() {
+        let lint = lex("let x = 1; // lint: allow(unwrap) reason\n");
+        let analyze = lex("let x = 1; // analyze:allow(lock-cycle) reason\n");
+        let spaced = lex("let x = 1; // analyze: allow(determinism) reason\n");
+        assert!(is_allowed(&lint, 0, "unwrap"));
+        assert!(is_allowed(&analyze, 0, "lock-cycle"));
+        assert!(is_allowed(&spaced, 0, "determinism"));
+        assert!(!is_allowed(&analyze, 0, "determinism"));
+    }
+
+    #[test]
+    fn allowed_rules_are_extracted_from_comments() {
+        let mut rules =
+            allowed_rules_in_comment("// analyze:allow(determinism) and lint: allow(unwrap)");
+        rules.sort();
+        assert_eq!(rules, vec!["determinism", "unwrap"]);
+    }
+
+    #[test]
+    fn block_tracker_flags_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn g() {}\n";
+        let lines = lex(src);
+        let mut tracker = BlockTracker::new();
+        let scopes: Vec<bool> = lines
+            .iter()
+            .map(|l| tracker.step(&l.code).in_test)
+            .collect();
+        assert_eq!(scopes, vec![false, true, true, true, true, false]);
+    }
+}

@@ -22,14 +22,27 @@
 //!    Diagnostics are machine-readable (`file:line rule message`) and the
 //!    CLI exits non-zero for CI.
 //!
-//! Run both passes over the repository with:
+//! 3. **Concurrency analysis** ([`concurrency`]): a lock-order / guard-
+//!    lifetime pass over the same lexed sources. It extracts every
+//!    `.lock()`/`.read()`/`.write()` acquisition (plus guard-returning
+//!    helpers), tracks guard scopes, resolves intra-workspace calls made
+//!    while a guard is live into an inter-procedural lock-order graph, and
+//!    reports order cycles (`lock-cycle`), guards held across blocking
+//!    boundaries (`lock-across-dispatch`), and nondeterminism hazards
+//!    (`determinism`) that would break the bit-identical-results invariant.
+//!    Inline `// analyze:allow(<rule>)` comments suppress single findings.
+//!
+//! Run all passes over the repository with:
 //!
 //! ```text
 //! cargo run -p dance-analyze -- --all
 //! ```
 
+pub mod concurrency;
 pub mod graph;
+pub mod lexer;
 pub mod source;
 
+pub use concurrency::{analyze_sources, analyze_tree, ConcurrencyReport};
 pub use graph::{lint_graph, GraphDiagnostic, GraphReport, Severity};
 pub use source::{lint_file, lint_tree, SourceDiagnostic};

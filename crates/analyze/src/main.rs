@@ -1,24 +1,33 @@
 //! `dance-analyze` — the workspace's static analysis CLI.
 //!
 //! ```text
-//! cargo run -p dance-analyze -- --all                 # both passes, repo root
+//! cargo run -p dance-analyze -- --all                 # every pass, repo root
 //! cargo run -p dance-analyze -- --source [PATH]       # source linter only
 //! cargo run -p dance-analyze -- --graph               # graph linter only
+//! cargo run -p dance-analyze -- --concurrency [PATH]  # lock-order/determinism
 //! cargo run -p dance-analyze -- --all --allow-graph-warnings
 //! ```
 //!
-//! Exit status is non-zero when any source diagnostic fires or the graph
-//! pass is rejected, so CI can gate on it. Diagnostics print one per line as
-//! `file:line rule message` (source) or `severity: rule node#N [op]: …`
-//! (graph).
+//! Exit status is non-zero when any source or concurrency diagnostic fires
+//! or the graph pass is rejected, so CI can gate on it. Diagnostics print
+//! one per line as `file:line rule message` (source/concurrency) or
+//! `severity: rule node#N [op]: …` (graph); the concurrency pass also
+//! prints the reconstructed lock-order graph (inventory + order edges) so
+//! the serve/backend locking story is reproducible from CI logs. `--all`
+//! ends with a per-rule summary table (violations and `allow` suppressions
+//! per rule) mirrored into `dance-telemetry` counters, so lint health shows
+//! up in run logs.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use dance_analyze::concurrency::analyze_tree;
 use dance_analyze::graph::{lint_graph, GraphReport};
+use dance_analyze::lexer::{allowed_rules_in_comment, lex, read_tree};
 use dance_analyze::source::lint_tree;
 use dance_autograd::loss::cross_entropy;
 use dance_autograd::var::Var;
@@ -31,16 +40,19 @@ use dance_nas::supernet::{ForwardMode, Supernet, SupernetConfig};
 struct Options {
     source: bool,
     graph: bool,
+    concurrency: bool,
     allow_graph_warnings: bool,
     root: PathBuf,
 }
 
 fn usage() -> &'static str {
-    "usage: dance-analyze [--all] [--source] [--graph] [--allow-graph-warnings] [PATH]\n\
+    "usage: dance-analyze [--all] [--source] [--graph] [--concurrency] \
+     [--allow-graph-warnings] [PATH]\n\
      \n\
-     --all                    run both passes (default if no pass is chosen)\n\
+     --all                    run every pass (default if no pass is chosen)\n\
      --source                 lint workspace sources (PATH overrides the root)\n\
      --graph                  lint representative autodiff graphs\n\
+     --concurrency            lock-order graph, dispatch, and determinism lints\n\
      --allow-graph-warnings   graph warnings do not fail the run\n"
 }
 
@@ -53,6 +65,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         source: false,
         graph: false,
+        concurrency: false,
         allow_graph_warnings: false,
         root: workspace_root,
     };
@@ -61,18 +74,21 @@ fn parse_args() -> Result<Options, String> {
             "--all" => {
                 opts.source = true;
                 opts.graph = true;
+                opts.concurrency = true;
             }
             "--source" => opts.source = true,
             "--graph" => opts.graph = true,
+            "--concurrency" => opts.concurrency = true,
             "--allow-graph-warnings" => opts.allow_graph_warnings = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if !other.starts_with('-') => opts.root = PathBuf::from(other),
             other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
         }
     }
-    if !opts.source && !opts.graph {
+    if !opts.source && !opts.graph && !opts.concurrency {
         opts.source = true;
         opts.graph = true;
+        opts.concurrency = true;
     }
     Ok(opts)
 }
@@ -135,14 +151,74 @@ fn lint_evaluator_graph() -> GraphReport {
     lint_graph(&pseudo_loss, &named)
 }
 
+/// Per-rule lint-health tally: violations reported and inline `allow`
+/// suppressions honoured, mirrored into `dance-telemetry` counters.
+#[derive(Default)]
+struct RuleTable {
+    files_scanned: usize,
+    violations: BTreeMap<String, usize>,
+    allows: BTreeMap<String, usize>,
+}
+
+impl RuleTable {
+    fn record_violation(&mut self, rule: &str) {
+        *self.violations.entry(rule.to_string()).or_insert(0) += 1;
+    }
+
+    /// Counts every `allow(<rule>)` annotation in the scanned tree so the
+    /// table shows how much of the workspace leans on suppressions. Doc
+    /// comments are excluded: prose that *describes* the escape syntax is
+    /// not a suppression.
+    fn count_allows(&mut self, files: &[(String, String)]) {
+        for (_, content) in files {
+            for line in lex(content) {
+                if line.is_doc {
+                    continue;
+                }
+                for rule in allowed_rules_in_comment(&line.comment) {
+                    *self.allows.entry(rule).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn emit(&self) {
+        let mut rules: Vec<&String> = self.violations.keys().chain(self.allows.keys()).collect();
+        rules.sort();
+        rules.dedup();
+        eprintln!(
+            "{:<24} {:>5} {:>10} {:>6}",
+            "rule", "files", "violations", "allows"
+        );
+        for rule in rules {
+            let violations = self.violations.get(rule).copied().unwrap_or(0);
+            let allows = self.allows.get(rule).copied().unwrap_or(0);
+            eprintln!(
+                "{:<24} {:>5} {:>10} {:>6}",
+                rule, self.files_scanned, violations, allows
+            );
+            dance_telemetry::metrics::inc_counter(
+                &format!("analyze.rule.{rule}.violations"),
+                violations as u64,
+            );
+            dance_telemetry::metrics::inc_counter(
+                &format!("analyze.rule.{rule}.allows"),
+                allows as u64,
+            );
+        }
+    }
+}
+
 fn run() -> Result<bool, String> {
     let opts = parse_args()?;
     let mut failed = false;
+    let mut table = RuleTable::default();
 
     if opts.source {
         let diags = lint_tree(&opts.root)
             .map_err(|e| format!("source lint failed on {}: {e}", opts.root.display()))?;
         for d in &diags {
+            table.record_violation(d.rule);
             println!("{d}");
         }
         eprintln!(
@@ -151,6 +227,23 @@ fn run() -> Result<bool, String> {
             opts.root.display()
         );
         failed |= !diags.is_empty();
+    }
+
+    if opts.concurrency {
+        let report = analyze_tree(&opts.root)
+            .map_err(|e| format!("concurrency pass failed on {}: {e}", opts.root.display()))?;
+        for d in &report.diagnostics {
+            table.record_violation(d.rule);
+            println!("{d}");
+        }
+        print!("{}", report.graph_text);
+        eprintln!(
+            "concurrency: {} diagnostic(s) over {} file(s) in {}",
+            report.diagnostics.len(),
+            report.files_scanned,
+            opts.root.display()
+        );
+        failed |= !report.is_clean();
     }
 
     if opts.graph {
@@ -173,6 +266,14 @@ fn run() -> Result<bool, String> {
             );
             failed |= verdict.is_err();
         }
+    }
+
+    if opts.source && opts.concurrency {
+        let files = read_tree(&opts.root)
+            .map_err(|e| format!("allow count failed on {}: {e}", opts.root.display()))?;
+        table.files_scanned = files.len();
+        table.count_allows(&files);
+        table.emit();
     }
 
     Ok(failed)

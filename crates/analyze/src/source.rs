@@ -1,12 +1,12 @@
 //! Pass 2: the source linter.
 //!
-//! A hand-rolled, dependency-free line lexer (no `syn`, no regex) that walks
-//! the workspace's `.rs` files and enforces the conventions the DANCE crates
-//! follow. Per line, the lexer blanks out comments and string-literal
-//! contents (so patterns inside strings or docs never match), tracks
-//! `#[cfg(test)]` blocks by brace depth (test code is exempt from every
-//! rule), and keeps the comment text so `// lint: allow(<rule>)` suppressions
-//! on the same or the preceding line work.
+//! Walks the workspace's `.rs` files and enforces the conventions the DANCE
+//! crates follow, on top of the shared [`crate::lexer`]: per line, the lexer
+//! blanks out comments and string-literal contents (so patterns inside
+//! strings or docs never match), tracks `#[cfg(test)]` blocks by brace depth
+//! (test code is exempt from every rule), and keeps the comment text so
+//! `// lint: allow(<rule>)` suppressions on the same or the preceding line
+//! work.
 //!
 //! | rule          | applies to                   | meaning                                       |
 //! |---------------|------------------------------|-----------------------------------------------|
@@ -24,9 +24,10 @@
 //! and the CLI exits non-zero when any are present.
 
 use std::fmt;
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+
+use crate::lexer::{is_allowed, lex, token_after, token_before, BlockTracker, LexedLine};
 
 /// One finding of the source linter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,136 +52,6 @@ impl fmt::Display for SourceDiagnostic {
     }
 }
 
-/// A source line after lexing: executable code with comments/strings blanked,
-/// plus the comment text (for suppressions).
-#[derive(Debug, Clone, Default)]
-struct LexedLine {
-    /// Code with comment text and string-literal *contents* replaced by
-    /// spaces (quotes are kept, so token boundaries survive).
-    code: String,
-    /// The original line untouched — string contents included — for rules
-    /// that must see path literals (`checkpoint-io`).
-    raw: String,
-    /// The text of any `//` comment on the line.
-    comment: String,
-    /// Whether the line is (part of) a doc comment (`///` or `//!`).
-    is_doc: bool,
-    /// Doc-comment text (`///` body), used by the `panic-doc` rule.
-    doc_text: String,
-}
-
-/// Strips comments and string contents line by line, tracking multi-line
-/// block comments. Purely line-oriented: a string literal spanning lines is
-/// not supported (none exist in this workspace), but block comments are.
-fn lex(content: &str) -> Vec<LexedLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = false;
-    for raw in content.lines() {
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut is_doc = false;
-        let mut doc_text = String::new();
-        let mut i = 0;
-        while i < bytes.len() {
-            if in_block_comment {
-                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                    in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                code.push(' ');
-                continue;
-            }
-            let c = bytes[i];
-            match c {
-                '/' if bytes.get(i + 1) == Some(&'/') => {
-                    let rest: String = bytes[i..].iter().collect();
-                    if rest.starts_with("///") || rest.starts_with("//!") {
-                        is_doc = true;
-                        doc_text = rest[3..].to_string();
-                    }
-                    comment = rest;
-                    break;
-                }
-                '/' if bytes.get(i + 1) == Some(&'*') => {
-                    in_block_comment = true;
-                    code.push(' ');
-                    i += 2;
-                }
-                '"' => {
-                    // String literal: keep the quotes, blank the contents.
-                    let raw_string = i > 0 && bytes[i - 1] == 'r';
-                    code.push('"');
-                    i += 1;
-                    while i < bytes.len() {
-                        if !raw_string && bytes[i] == '\\' {
-                            code.push(' ');
-                            code.push(' ');
-                            i += 2;
-                            continue;
-                        }
-                        if bytes[i] == '"' {
-                            code.push('"');
-                            i += 1;
-                            break;
-                        }
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal ('x' / '\n') vs. lifetime ('a in &'a T).
-                    let is_char_lit = matches!(
-                        (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)),
-                        (Some('\\'), _, Some('\''))
-                    ) || matches!(
-                        (bytes.get(i + 1), bytes.get(i + 2)),
-                        (Some(x), Some('\'')) if *x != '\\'
-                    );
-                    if is_char_lit {
-                        let end = if bytes.get(i + 1) == Some(&'\\') {
-                            i + 3
-                        } else {
-                            i + 2
-                        };
-                        for _ in i..=end.min(bytes.len() - 1) {
-                            code.push(' ');
-                        }
-                        i = end + 1;
-                    } else {
-                        code.push('\'');
-                        i += 1;
-                    }
-                }
-                _ => {
-                    code.push(c);
-                    i += 1;
-                }
-            }
-        }
-        out.push(LexedLine {
-            code,
-            raw: raw.to_string(),
-            comment,
-            is_doc,
-            doc_text,
-        });
-    }
-    out
-}
-
-/// Whether line `idx` (or the line before it) carries a
-/// `lint: allow(<rule>)` suppression comment.
-fn is_allowed(lines: &[LexedLine], idx: usize, token: &str) -> bool {
-    let needle = format!("lint: allow({token})");
-    if lines[idx].comment.contains(&needle) {
-        return true;
-    }
-    idx > 0 && lines[idx - 1].comment.contains(&needle)
-}
-
 /// Whether `tok` looks like a floating-point literal (`0.0`, `1e-6`,
 /// `2.5f32`, `1_000.0`).
 fn is_float_literal(tok: &str) -> bool {
@@ -196,26 +67,6 @@ fn is_float_literal(tok: &str) -> bool {
     (mantissa_dot || exponent || tok.ends_with("f32") || tok.ends_with("f64"))
         && t.chars()
             .all(|c| c.is_ascii_digit() || "._eE+-".contains(c))
-}
-
-/// The identifier-ish token immediately left of byte position `pos`.
-fn token_before(code: &str, pos: usize) -> &str {
-    let head = code[..pos].trim_end();
-    let start = head
-        .rfind(|c: char| !(c.is_ascii_alphanumeric() || "._+-".contains(c)))
-        .map_or(0, |p| p + 1);
-    &head[start..]
-}
-
-/// The identifier-ish token immediately right of byte position `pos`.
-fn token_after(code: &str, pos: usize) -> &str {
-    let tail = code[pos..].trim_start();
-    // A leading sign belongs to a numeric literal (`== -1.0`).
-    let tail = tail.strip_prefix('-').unwrap_or(tail);
-    let end = tail
-        .find(|c: char| !(c.is_ascii_alphanumeric() || "._+-".contains(c)))
-        .unwrap_or(tail.len());
-    &tail[..end]
 }
 
 /// Walks upward from `idx` over contiguous attribute/doc lines, returning
@@ -332,9 +183,7 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
     let mut diags = Vec::new();
 
     // Test-block tracking: `#[cfg(test)]` exempts its whole brace block.
-    let mut depth: i64 = 0;
-    let mut pending_test_attr = false;
-    let mut test_exit_depth: Option<i64> = None;
+    let mut tracker = BlockTracker::new();
 
     let mut emit = |line: usize, rule: &'static str, message: String| {
         diags.push(SourceDiagnostic {
@@ -347,29 +196,7 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
 
     for idx in 0..lines.len() {
         let code = lines[idx].code.clone();
-        let depth_before = depth;
-        for c in code.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-
-        if code.contains("#[cfg(test)]") {
-            pending_test_attr = true;
-        }
-        let in_test = test_exit_depth.is_some() || pending_test_attr;
-        if pending_test_attr && depth > depth_before {
-            test_exit_depth = Some(depth_before);
-            pending_test_attr = false;
-        }
-        if let Some(d) = test_exit_depth {
-            if depth <= d {
-                test_exit_depth = None;
-            }
-        }
-        if in_test {
+        if tracker.step(&code).in_test {
             continue;
         }
 
@@ -575,27 +402,6 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
     diags
 }
 
-/// Directories never linted: generated output, fixtures with seeded
-/// violations, and test/bench code (exempt by design).
-const SKIP_DIRS: &[&str] = &["target", "fixtures", "tests", "benches", "examples", ".git"];
-
-fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
-                walk(&path, files)?;
-            }
-        } else if name.ends_with(".rs") {
-            files.push(path);
-        }
-    }
-    Ok(())
-}
-
 /// Lints every non-test `.rs` file under `root`, returning diagnostics with
 /// paths relative to `root`.
 ///
@@ -603,17 +409,8 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
 ///
 /// Returns any I/O error encountered while walking or reading files.
 pub fn lint_tree(root: &Path) -> io::Result<Vec<SourceDiagnostic>> {
-    let mut files = Vec::new();
-    walk(root, &mut files)?;
-    files.sort();
     let mut diags = Vec::new();
-    for path in files {
-        let content = fs::read_to_string(&path)?;
-        let display = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
+    for (display, content) in crate::lexer::read_tree(root)? {
         diags.extend(lint_file(&display, &content));
     }
     Ok(diags)

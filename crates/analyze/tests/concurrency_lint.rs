@@ -1,0 +1,226 @@
+//! End-to-end checks for the concurrency analyzer: the workspace must be
+//! clean, each seeded fixture must trip exactly its rule, and cycle
+//! detection must hold up on randomly generated call/lock DAGs (no false
+//! cycles on order-respecting programs, guaranteed detection once one
+//! reversed acquisition is seeded).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dance_analyze::concurrency::{analyze_sources, analyze_tree};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// The repo must pass its own concurrency analyzer — this is what keeps
+/// `dance-analyze --concurrency` exiting 0 in CI.
+#[test]
+fn workspace_is_concurrency_clean() {
+    let report = analyze_tree(&workspace_root()).expect("workspace walk succeeds");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has concurrency violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{d}\n"))
+            .collect::<String>()
+    );
+    // The serve/backend/telemetry locks are inventoried and the workspace
+    // holds the single-lock rule: the order graph has no edges.
+    for lock in ["serve::inner", "backend::slot", "telemetry::SINK"] {
+        assert!(
+            report.graph_text.contains(lock),
+            "lock inventory is missing `{lock}`:\n{}",
+            report.graph_text
+        );
+    }
+    assert!(
+        report.graph_text.contains("single-lock discipline holds"),
+        "workspace grew a lock-order edge:\n{}",
+        report.graph_text
+    );
+}
+
+fn fixture_report(name: &str) -> dance_analyze::concurrency::ConcurrencyReport {
+    let dir = workspace_root()
+        .join("crates/analyze/fixtures/concurrency")
+        .join(name);
+    analyze_tree(&dir).expect("fixture walk succeeds")
+}
+
+#[test]
+fn lock_cycle_fixture_reports_the_cycle_with_both_chains() {
+    let report = fixture_report("lock_cycle");
+    let rules: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        BTreeSet::from(["lock-cycle"]),
+        "{:?}",
+        report.diagnostics
+    );
+    let cycle = &report.diagnostics[0];
+    assert!(
+        cycle.message.contains("cycle::alpha") && cycle.message.contains("cycle::beta"),
+        "{}",
+        cycle.message
+    );
+    // Both acquisition chains, each hop as file:line.
+    assert!(
+        cycle.message.matches("cycle.rs:").count() >= 4,
+        "expected both chains with file:line hops: {}",
+        cycle.message
+    );
+    assert!(
+        report.graph_text.contains("cycle::alpha -> cycle::beta")
+            && report.graph_text.contains("cycle::beta -> cycle::alpha"),
+        "{}",
+        report.graph_text
+    );
+}
+
+#[test]
+fn lock_across_dispatch_fixture_flags_recv_and_pool() {
+    let report = fixture_report("lock_across_dispatch");
+    let rules: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        BTreeSet::from(["lock-across-dispatch"]),
+        "{:?}",
+        report.diagnostics
+    );
+    let messages: String = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{d}\n"))
+        .collect();
+    assert!(messages.contains("recv()"), "{messages}");
+    assert!(messages.contains("dance_backend::run"), "{messages}");
+}
+
+#[test]
+fn determinism_fixture_flags_iteration_and_wall_clock() {
+    let report = fixture_report("determinism");
+    let rules: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        BTreeSet::from(["determinism"]),
+        "{:?}",
+        report.diagnostics
+    );
+    let messages: String = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{d}\n"))
+        .collect();
+    assert!(messages.contains("weights"), "{messages}");
+    assert!(messages.contains("Instant::now"), "{messages}");
+}
+
+/// Every fixture diagnostic renders in the machine-readable
+/// `file:line rule message` shape the CI gate greps.
+#[test]
+fn fixture_diagnostics_are_machine_readable() {
+    for fixture in ["lock_cycle", "lock_across_dispatch", "determinism"] {
+        for d in &fixture_report(fixture).diagnostics {
+            assert!(d.line > 0);
+            let rendered = d.to_string();
+            assert!(
+                rendered.contains(&format!(":{} {}", d.line, d.rule)),
+                "unexpected diagnostic format: {rendered}"
+            );
+        }
+    }
+}
+
+/// Generated program: `nlocks` mutex fields; each spec `(a, b, indirect)`
+/// becomes a function acquiring lock `a` and then lock `b` under it —
+/// directly, or through a call to the shared `take_<b>` helper.
+fn dag_source(nlocks: usize, specs: &[(usize, usize, bool)]) -> String {
+    let mut s = String::from("use std::sync::{Mutex, PoisonError};\npub struct S {\n");
+    for i in 0..nlocks {
+        let _ = writeln!(s, "    l{i}: Mutex<u32>,");
+    }
+    s.push_str("}\nimpl S {\n");
+    for i in 0..nlocks {
+        let _ = writeln!(
+            s,
+            "    fn take_{i}(&self) -> u32 {{\n        let g = self.l{i}.lock().unwrap_or_else(PoisonError::into_inner);\n        *g\n    }}"
+        );
+    }
+    for (k, &(a, b, indirect)) in specs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    pub fn f{k}(&self) -> u32 {{\n        let ga = self.l{a}.lock().unwrap_or_else(PoisonError::into_inner);"
+        );
+        if indirect {
+            let _ = writeln!(s, "        let x = self.take_{b}();");
+        } else {
+            let _ = writeln!(
+                s,
+                "        let x = *self.l{b}.lock().unwrap_or_else(PoisonError::into_inner);"
+            );
+        }
+        let _ = writeln!(s, "        *ga + x\n    }}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn cycle_count(nlocks: usize, specs: &[(usize, usize, bool)]) -> usize {
+    let src = dag_source(nlocks, specs);
+    let report = analyze_sources(&[("crates/x/src/dag.rs".to_string(), src)]);
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "lock-cycle")
+        .count()
+}
+
+/// Draws a random order-respecting spec list: every pair `(a, b)` has
+/// `a < b`, so the order graph is a DAG by construction.
+fn draw_dag(rng: &mut StdRng) -> (usize, Vec<(usize, usize, bool)>) {
+    let nlocks = rng.gen_range(3..8);
+    let nfns = rng.gen_range(2..10);
+    let specs = (0..nfns)
+        .map(|_| {
+            let a = rng.gen_range(0..nlocks - 1);
+            let b = rng.gen_range(a + 1..nlocks);
+            (a, b, rng.gen_bool(0.4))
+        })
+        .collect();
+    (nlocks, specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Order-respecting programs (all acquisitions go low → high, some
+    /// through a call) must never be reported as cyclic.
+    #[test]
+    fn prop_no_false_cycles_on_order_respecting_dags(seed in 0u64..10_000) {
+        let mut rng = proptest::test_rng(&format!("lock-dag-{seed}"));
+        let (nlocks, specs) = draw_dag(&mut rng);
+        prop_assert_eq!(cycle_count(nlocks, &specs), 0);
+    }
+
+    /// Reversing one existing edge must always be detected as a cycle.
+    #[test]
+    fn prop_seeded_reversal_is_detected(seed in 0u64..10_000) {
+        let mut rng = proptest::test_rng(&format!("lock-rev-{seed}"));
+        let (nlocks, mut specs) = draw_dag(&mut rng);
+        let (a, b, _) = specs[rng.gen_range(0..specs.len())];
+        specs.push((b, a, rng.gen_bool(0.4)));
+        let found = cycle_count(nlocks, &specs);
+        prop_assert!(found >= 1, "reversed ({b}, {a}) in {specs:?} went undetected");
+    }
+}

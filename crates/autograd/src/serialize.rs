@@ -54,6 +54,7 @@ pub fn save_tensors(path: impl AsRef<Path>, items: &[(String, Tensor)]) -> io::R
         }
         out.push('\n');
     }
+    // analyze:allow(determinism) pid names the temp file only; contents are seeded
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     fs::write(&tmp, out)?;
     if let Err(e) = fs::rename(&tmp, path) {

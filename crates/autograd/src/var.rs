@@ -295,6 +295,7 @@ impl Var {
                 let n = v.inner.borrow();
                 if let Some(bw) = &n.backward {
                     if dance_telemetry::enabled() {
+                        // analyze:allow(determinism) span timing only; never feeds values
                         let start = std::time::Instant::now();
                         bw(&grad, &parents);
                         dance_telemetry::span::record_duration_prefixed(

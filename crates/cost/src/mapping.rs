@@ -76,6 +76,7 @@ pub fn map_layer(layer: &ConvLayer, config: &AcceleratorConfig) -> Mapping {
         Dataflow::OutputStationary => "os",
         Dataflow::RowStationary => "rs",
     };
+    // analyze:allow(determinism) span timing only; never feeds values
     let start = std::time::Instant::now();
     let mapping = map_layer_inner(layer, config);
     dance_telemetry::span::record_duration_prefixed(

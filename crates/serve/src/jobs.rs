@@ -8,8 +8,21 @@
 //! verbatim by `search/result`. Worker panics mark the job failed instead
 //! of taking the server down, and each job's guard report is absorbed into
 //! a server-lifetime aggregate surfaced by `health`.
+//!
+//! # Lock discipline
+//!
+//! The serve tier follows the workspace-wide **single-lock rule** that
+//! `dance-analyze --concurrency` enforces: at most one mutex guard is live
+//! at a time, and no guard is held across queue operations, pool dispatch,
+//! or I/O. Concretely, `states` and `guard_total` here, and
+//! `Bounded::inner` / the admission mutex in [`crate::queue`], are always
+//! taken as statement temporaries or dropped before the next blocking step
+//! — so there is no lock *order* to get wrong (the lock-order graph for
+//! this crate has no edges). The state table is a `BTreeMap`, not a
+//! `HashMap`: `counts()` folds over it for `health`, and iteration order
+//! must not depend on hasher seeds (`determinism` lint).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,7 +62,7 @@ struct JobSpec {
 
 #[derive(Debug)]
 struct JobsShared {
-    states: Mutex<HashMap<String, JobState>>,
+    states: Mutex<BTreeMap<String, JobState>>,
     queue: Bounded<JobSpec>,
     guard_total: Mutex<GuardReport>,
     ckpt_root: PathBuf,
@@ -58,7 +71,7 @@ struct JobsShared {
 impl JobsShared {
     // Job-state maps are plain value stores; a panicking worker cannot
     // leave them structurally broken, so poisoning is survivable.
-    fn states(&self) -> std::sync::MutexGuard<'_, HashMap<String, JobState>> {
+    fn states(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, JobState>> {
         self.states.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -89,7 +102,7 @@ impl JobTable {
     /// jobs. Checkpointing jobs write under `ckpt_root/<job-id>/`.
     pub fn start(workers: usize, capacity: usize, ckpt_root: PathBuf) -> Self {
         let shared = Arc::new(JobsShared {
-            states: Mutex::new(HashMap::new()),
+            states: Mutex::new(BTreeMap::new()),
             queue: Bounded::new(capacity),
             guard_total: Mutex::new(GuardReport::default()),
             ckpt_root,

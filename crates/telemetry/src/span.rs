@@ -164,7 +164,14 @@ pub fn span_report() -> Vec<SpanAgg> {
                 .collect()
         })
         .unwrap_or_default();
-    out.sort_by(|a, b| b.stats.total_ns.cmp(&a.stats.total_ns));
+    // Tie-break by name: total_ns ties (e.g. two never-entered spans) must
+    // not leak HashMap iteration order into the report.
+    out.sort_by(|a, b| {
+        b.stats
+            .total_ns
+            .cmp(&a.stats.total_ns)
+            .then_with(|| a.name.cmp(&b.name))
+    });
     out
 }
 

@@ -16,6 +16,22 @@ cargo run --release -q -p dance-analyze -- --source crates/telemetry
 echo "== dance-analyze --source crates/serve =="
 cargo run --release -q -p dance-analyze -- --source crates/serve
 
+# Concurrency pass: the workspace must be free of lock-order cycles, guards
+# held across blocking boundaries, and nondeterminism hazards…
+echo "== dance-analyze --concurrency =="
+cargo run --release -q -p dance-analyze -- --concurrency
+
+# …while each seeded fixture must keep tripping its rule (a fixture that
+# stops failing means the analyzer went blind, not that the code got better).
+for fixture in lock_cycle lock_across_dispatch determinism; do
+  echo "== dance-analyze --concurrency fixture: ${fixture} (must fail) =="
+  if cargo run --release -q -p dance-analyze -- --concurrency \
+    "crates/analyze/fixtures/concurrency/${fixture}"; then
+    echo "fixture ${fixture} no longer trips the analyzer" >&2
+    exit 1
+  fi
+done
+
 # The parallel backend must be bit-identical at any thread count, so the
 # suite runs twice: pinned to one worker (the scalar reference path) and to
 # eight (chunked kernels + pool dispatch). The build is shared; only test
@@ -36,5 +52,24 @@ cargo test -q --release -p dance-serve --test proto_roundtrip
 echo "== guard fault-injection suite =="
 cargo test -q --release -p dance-guard --features fault-injection
 cargo test -q --release --features fault-injection --test guard_faults
+
+# Optional ThreadSanitizer pass over the concurrency-heavy crates. TSan
+# needs a nightly toolchain (-Zsanitizer + build-std), so the block is
+# opt-in via DANCE_TSAN=1 and degrades to a skip message when no nightly
+# toolchain (or rustup itself) is available.
+if [ "${DANCE_TSAN:-0}" = "1" ]; then
+  echo "== ThreadSanitizer (DANCE_TSAN=1) =="
+  if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -q -Zbuild-std --target "${host}" \
+      -p dance-backend -p dance-serve
+  else
+    echo "no nightly toolchain installed; skipping TSan pass."
+  fi
+else
+  echo "== ThreadSanitizer: skipped (set DANCE_TSAN=1 to enable) =="
+fi
 
 echo "All checks passed."
