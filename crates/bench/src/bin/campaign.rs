@@ -1,0 +1,69 @@
+//! Campaign throughput bench — orchestrator overhead on the smoke grid.
+//!
+//! Runs the standard campaign smoke grid (`--quick`: a 2×1×1 slice) and
+//! emits `BENCH_campaign.json` with the numbers a perf PR needs to diff:
+//! the `campaign.cells_per_hour` throughput gauge, the final frontier
+//! size, and the dedup hit-rate, alongside the usual span aggregates
+//! (`cost_table.build`, `search.epoch`, …). The frontier digest is
+//! printed so two bench runs on the same toolchain can be checked for
+//! bit-identical folds, not just similar timings.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dance_bench::{bench_run, results_dir, Scale};
+use dance_campaign::prelude::{run_campaign, CampaignSpec, CancelToken, EventLog};
+
+fn main() {
+    bench_run("campaign", run);
+}
+
+fn run() {
+    let quick = Scale::from_args().is_quick();
+    let root = results_dir().join("campaigns").join("bench");
+    let _fresh = std::fs::remove_dir_all(&root);
+    let mut spec = CampaignSpec::smoke(root, 2);
+    if quick {
+        spec.lambda2.truncate(2);
+        spec.dataset_seeds.truncate(1);
+        spec.envelopes.truncate(1);
+    }
+    println!(
+        "campaign bench: {} cells x {} epochs, {} backend threads",
+        spec.len(),
+        spec.epochs,
+        dance_backend::threads()
+    );
+
+    let log = Arc::new(EventLog::new());
+    let cancel = Arc::new(CancelToken::new());
+    let t0 = Instant::now();
+    let out = run_campaign(&spec, false, &log, &cancel).expect("bench campaign must succeed");
+    let secs = t0.elapsed().as_secs_f64();
+
+    let c = out.frontier.counters();
+    let cells_per_hour = if secs > 0.0 {
+        out.cells_done as f64 * 3600.0 / secs
+    } else {
+        0.0
+    };
+    // Gauges land in the run snapshot, so they must be set before
+    // `bench_run` drops the run guard and writes BENCH_campaign.json.
+    dance_telemetry::gauge!("campaign.cells_per_hour", cells_per_hour);
+    dance_telemetry::gauge!("campaign.frontier.size", out.frontier.front_len() as f64);
+    dance_telemetry::gauge!("campaign.dedup.hit_rate", c.dedup_hit_rate());
+
+    println!(
+        "campaign: {} cells in {secs:.1}s ({cells_per_hour:.0} cells/hour), \
+         {} events streamed",
+        out.cells_done,
+        log.len()
+    );
+    println!(
+        "frontier: {} on front, {} archived, dedup hit-rate {:.3}",
+        out.frontier.front_len(),
+        out.frontier.archive_len(),
+        c.dedup_hit_rate()
+    );
+    println!("frontier-digest: {:016x}", out.digest());
+}

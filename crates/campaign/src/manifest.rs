@@ -1,0 +1,526 @@
+//! The campaign manifest: one atomic, versioned JSON document recording
+//! the grid, per-cell progress, and every folded design point.
+//!
+//! The manifest is the campaign's durability story, playing the role
+//! checkpoints play for a single search. It is rewritten with
+//! `dance-guard`'s `atomic_write_text` (temp + rename) after every state
+//! change, so a kill at any instant leaves either the previous or the next
+//! complete document — never a torn one. All 64-bit values (seeds, dedup
+//! keys, f32/f64 bit patterns) are stored as fixed-width hex strings: JSON
+//! numbers are f64 on the wire and would silently round anything past
+//! 2⁵³, which would break the bit-for-bit resume guarantee.
+//!
+//! On `--resume`, the archive section is refolded into a fresh
+//! [`dance::pareto::Frontier`] (the fold is order-independent, so replaying
+//! the per-key best samples reproduces the exact pre-kill state), finished
+//! cells are skipped, and unfinished cells have any checkpoint *newer* than
+//! their last recorded point deleted before re-attaching — a checkpoint
+//! whose design points never reached the manifest must be re-run, not
+//! resumed past.
+
+use std::io;
+use std::path::Path;
+
+use dance::prelude::{Frontier, FrontierEntry, ParetoPoint};
+use dance_guard::checkpoint::atomic_write_text;
+use dance_telemetry::json::{self, push_escaped, push_num, Json};
+
+use crate::grid::{CampaignSpec, Envelope};
+
+/// Manifest schema version accepted and emitted by this build.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Lifecycle of one cell as recorded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Never started.
+    Pending,
+    /// Started and not known to have finished — the state a kill leaves.
+    Running,
+    /// Ran to completion; every design point is in the archive.
+    Done,
+    /// The search panicked; a resume retries it from its last good point.
+    Failed,
+}
+
+impl CellStatus {
+    fn label(self) -> &'static str {
+        match self {
+            CellStatus::Pending => "pending",
+            CellStatus::Running => "running",
+            CellStatus::Done => "done",
+            CellStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pending" => Some(CellStatus::Pending),
+            "running" => Some(CellStatus::Running),
+            "done" => Some(CellStatus::Done),
+            "failed" => Some(CellStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// Per-cell progress record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Lifecycle state.
+    pub status: CellStatus,
+    /// Highest epoch whose design point was folded, if any.
+    pub last_epoch: Option<u64>,
+}
+
+impl Default for CellRecord {
+    fn default() -> Self {
+        Self {
+            status: CellStatus::Pending,
+            last_epoch: None,
+        }
+    }
+}
+
+/// One archived design point — enough to refold a [`FrontierEntry`]
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveRecord {
+    /// Frontier dedup key.
+    pub key: u64,
+    /// `f64::to_bits` of the error coordinate.
+    pub error_bits: u64,
+    /// `f64::to_bits` of the cost coordinate.
+    pub cost_bits: u64,
+    /// Producing cell label.
+    pub origin: String,
+    /// Producing search epoch.
+    pub epoch: u64,
+}
+
+impl ArchiveRecord {
+    /// Captures a frontier entry.
+    pub fn from_entry(e: &FrontierEntry) -> Self {
+        Self {
+            key: e.key,
+            error_bits: e.point.error.to_bits(),
+            cost_bits: e.point.cost.to_bits(),
+            origin: e.origin.clone(),
+            epoch: e.epoch,
+        }
+    }
+
+    /// Reconstructs the frontier entry.
+    pub fn to_entry(&self) -> FrontierEntry {
+        FrontierEntry {
+            key: self.key,
+            point: ParetoPoint::new(
+                f64::from_bits(self.error_bits),
+                f64::from_bits(self.cost_bits),
+            ),
+            origin: self.origin.clone(),
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// The on-disk campaign state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name.
+    pub name: String,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Search epochs per cell.
+    pub epochs: u64,
+    /// Search batch size per cell.
+    pub batch: u64,
+    /// λ₂ axis as f32 bit patterns (exact round-trip).
+    pub lambda2_bits: Vec<u32>,
+    /// Dataset-seed axis.
+    pub dataset_seeds: Vec<u64>,
+    /// Envelope axis.
+    pub envelopes: Vec<Envelope>,
+    /// One record per grid cell, in [`CampaignSpec::cells`] order.
+    pub cells: Vec<CellRecord>,
+    /// Per-key best design points, in ascending key order.
+    pub archive: Vec<ArchiveRecord>,
+}
+
+impl Manifest {
+    /// A fresh manifest for a validated spec: all cells pending, no points.
+    pub fn from_spec(spec: &CampaignSpec) -> Self {
+        Self {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            epochs: spec.epochs as u64,
+            batch: spec.batch_size as u64,
+            lambda2_bits: spec.lambda2.iter().map(|l| l.to_bits()).collect(),
+            dataset_seeds: spec.dataset_seeds.clone(),
+            envelopes: spec.envelopes.clone(),
+            cells: vec![CellRecord::default(); spec.len()],
+            archive: Vec::new(),
+        }
+    }
+
+    /// Checks that a manifest on disk describes the same campaign as
+    /// `spec` — resuming under a different grid would silently mix
+    /// incompatible design points.
+    ///
+    /// # Errors
+    ///
+    /// Names the first disagreeing field.
+    pub fn matches_spec(&self, spec: &CampaignSpec) -> Result<(), String> {
+        let want = Manifest::from_spec(spec);
+        if self.seed != want.seed {
+            return Err(format!("seed {} != spec seed {}", self.seed, want.seed));
+        }
+        if self.epochs != want.epochs || self.batch != want.batch {
+            return Err(format!(
+                "epochs/batch {}/{} != spec {}/{}",
+                self.epochs, self.batch, want.epochs, want.batch
+            ));
+        }
+        if self.lambda2_bits != want.lambda2_bits {
+            return Err("lambda2 axis differs from spec".into());
+        }
+        if self.dataset_seeds != want.dataset_seeds {
+            return Err("dataset-seed axis differs from spec".into());
+        }
+        if self.envelopes != want.envelopes {
+            return Err("envelope axis differs from spec".into());
+        }
+        if self.cells.len() != spec.len() {
+            return Err(format!(
+                "manifest has {} cells, spec has {}",
+                self.cells.len(),
+                spec.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Replaces the archive with a frontier's current state (per-key best
+    /// samples, key-ascending).
+    pub fn record_archive(&mut self, frontier: &Frontier) {
+        self.archive = frontier.archive().map(ArchiveRecord::from_entry).collect();
+    }
+
+    /// Refolds the archive into a fresh frontier.
+    pub fn refold(&self) -> Frontier {
+        let mut f = Frontier::new();
+        for rec in &self.archive {
+            f.insert(rec.to_entry());
+        }
+        f
+    }
+
+    /// Renders the manifest as one JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512 + 128 * self.archive.len());
+        out.push_str("{\"v\":");
+        push_num(&mut out, MANIFEST_VERSION as f64);
+        out.push_str(",\"name\":");
+        push_escaped(&mut out, &self.name);
+        out.push_str(",\"seed\":");
+        push_hex(&mut out, self.seed);
+        out.push_str(",\"epochs\":");
+        push_num(&mut out, self.epochs as f64);
+        out.push_str(",\"batch\":");
+        push_num(&mut out, self.batch as f64);
+        out.push_str(",\"lambda2\":[");
+        for (i, bits) in self.lambda2_bits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_escaped(&mut out, &format!("{bits:08x}"));
+        }
+        out.push_str("],\"dataset_seeds\":[");
+        for (i, s) in self.dataset_seeds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_hex(&mut out, *s);
+        }
+        out.push_str("],\"envelopes\":[");
+        for (i, e) in self.envelopes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_escaped(&mut out, &e.name);
+            out.push_str(",\"max_pes\":");
+            push_hex(&mut out, e.max_pes as u64);
+            out.push_str(",\"max_rf\":");
+            push_hex(&mut out, e.max_rf as u64);
+            out.push('}');
+        }
+        out.push_str("],\"cells\":[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"status\":");
+            push_escaped(&mut out, c.status.label());
+            out.push_str(",\"last_epoch\":");
+            match c.last_epoch {
+                Some(e) => push_num(&mut out, e as f64),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("],\"archive\":[");
+        for (i, r) in self.archive.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"key\":");
+            push_hex(&mut out, r.key);
+            out.push_str(",\"error\":");
+            push_hex(&mut out, r.error_bits);
+            out.push_str(",\"cost\":");
+            push_hex(&mut out, r.cost_bits);
+            out.push_str(",\"origin\":");
+            push_escaped(&mut out, &r.origin);
+            out.push_str(",\"epoch\":");
+            push_num(&mut out, r.epoch as f64);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field, or a
+    /// version mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| format!("bad manifest json: {e}"))?;
+        let version = v
+            .get("v")
+            .and_then(Json::as_f64)
+            .ok_or("manifest missing version field `v`")? as u64;
+        if version != MANIFEST_VERSION {
+            return Err(format!(
+                "manifest version {version} unsupported (this build speaks v{MANIFEST_VERSION})"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("manifest missing `name`")?
+            .to_string();
+        let seed = get_hex(&v, "seed").ok_or("manifest missing hex `seed`")?;
+        let epochs = v
+            .get("epochs")
+            .and_then(Json::as_f64)
+            .ok_or("manifest missing `epochs`")? as u64;
+        let batch = v
+            .get("batch")
+            .and_then(Json::as_f64)
+            .ok_or("manifest missing `batch`")? as u64;
+        let lambda2_bits = v
+            .get("lambda2")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing `lambda2`")?
+            .iter()
+            .map(|j| {
+                j.as_str()
+                    .and_then(|s| u32::from_str_radix(s, 16).ok())
+                    .ok_or("bad lambda2 bits".to_string())
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        let dataset_seeds = v
+            .get("dataset_seeds")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing `dataset_seeds`")?
+            .iter()
+            .map(|j| parse_hex_json(j).ok_or("bad dataset seed".to_string()))
+            .collect::<Result<Vec<u64>, String>>()?;
+        let envelopes = v
+            .get("envelopes")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing `envelopes`")?
+            .iter()
+            .map(|j| {
+                Some(Envelope {
+                    name: j.get("name")?.as_str()?.to_string(),
+                    max_pes: get_hex(j, "max_pes")? as usize,
+                    max_rf: get_hex(j, "max_rf")? as usize,
+                })
+            })
+            .map(|e| e.ok_or("bad envelope record".to_string()))
+            .collect::<Result<Vec<Envelope>, String>>()?;
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing `cells`")?
+            .iter()
+            .map(|j| {
+                let status = j
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .and_then(CellStatus::parse)?;
+                let last_epoch = match j.get("last_epoch") {
+                    Some(Json::Null) | None => None,
+                    Some(other) => Some(other.as_f64()? as u64),
+                };
+                Some(CellRecord { status, last_epoch })
+            })
+            .map(|c| c.ok_or("bad cell record".to_string()))
+            .collect::<Result<Vec<CellRecord>, String>>()?;
+        let archive = v
+            .get("archive")
+            .and_then(Json::as_arr)
+            .ok_or("manifest missing `archive`")?
+            .iter()
+            .map(|j| {
+                Some(ArchiveRecord {
+                    key: get_hex(j, "key")?,
+                    error_bits: get_hex(j, "error")?,
+                    cost_bits: get_hex(j, "cost")?,
+                    origin: j.get("origin")?.as_str()?.to_string(),
+                    epoch: j.get("epoch")?.as_f64()? as u64,
+                })
+            })
+            .map(|r| r.ok_or("bad archive record".to_string()))
+            .collect::<Result<Vec<ArchiveRecord>, String>>()?;
+        Ok(Self {
+            name,
+            seed,
+            epochs,
+            batch,
+            lambda2_bits,
+            dataset_seeds,
+            envelopes,
+            cells,
+            archive,
+        })
+    }
+
+    /// Atomically writes the manifest to `path` (temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        atomic_write_text(path, &self.render())
+    }
+
+    /// Loads and parses a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors; parse failures surface as `InvalidData`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn push_hex(out: &mut String, v: u64) {
+    push_escaped(out, &format!("{v:016x}"));
+}
+
+fn parse_hex_json(j: &Json) -> Option<u64> {
+    u64::from_str_radix(j.as_str()?, 16).ok()
+}
+
+fn get_hex(j: &Json, key: &str) -> Option<u64> {
+    parse_hex_json(j.get(key)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::smoke(PathBuf::from("/tmp/dance_manifest_test"), 3)
+    }
+
+    #[test]
+    fn manifest_round_trips_bit_for_bit() {
+        let mut m = Manifest::from_spec(&spec());
+        m.cells[0] = CellRecord {
+            status: CellStatus::Done,
+            last_epoch: Some(2),
+        };
+        m.cells[1] = CellRecord {
+            status: CellStatus::Running,
+            last_epoch: Some(0),
+        };
+        m.archive = vec![ArchiveRecord {
+            key: u64::MAX,
+            error_bits: 0.125f64.to_bits(),
+            cost_bits: f64::to_bits(3.7e-3),
+            origin: "cell-0000".into(),
+            epoch: 2,
+        }];
+        let text = m.render();
+        let back = Manifest::parse(&text).expect("rendered manifest parses");
+        assert_eq!(back, m);
+        // Render is deterministic — byte-identical on re-render.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn refold_reproduces_the_recorded_frontier() {
+        let mut frontier = Frontier::new();
+        for (k, e, c) in [(1u64, 5.0, 5.0), (2, 6.0, 4.0), (3, 7.0, 7.0)] {
+            frontier.insert(FrontierEntry {
+                key: k,
+                point: ParetoPoint::new(e, c),
+                origin: format!("cell-{k:04}"),
+                epoch: 0,
+            });
+        }
+        let mut m = Manifest::from_spec(&spec());
+        m.record_archive(&frontier);
+        let back = Manifest::parse(&m.render()).expect("parses");
+        let refolded = back.refold();
+        assert_eq!(refolded.digest(), frontier.digest());
+        assert_eq!(refolded.front_len(), frontier.front_len());
+        assert_eq!(refolded.archive_len(), frontier.archive_len());
+    }
+
+    #[test]
+    fn spec_mismatches_are_named() {
+        let m = Manifest::from_spec(&spec());
+        assert!(m.matches_spec(&spec()).is_ok());
+        let mut other = spec();
+        other.seed = 9;
+        assert!(m.matches_spec(&other).expect_err("seed").contains("seed"));
+        let mut other = spec();
+        other.lambda2.push(0.9);
+        assert!(m.matches_spec(&other).is_err());
+        let mut other = spec();
+        other.envelopes.pop();
+        assert!(m.matches_spec(&other).is_err());
+    }
+
+    #[test]
+    fn version_and_malformed_docs_are_rejected() {
+        assert!(Manifest::parse("not json").is_err());
+        assert!(Manifest::parse("{}").is_err());
+        let m = Manifest::from_spec(&spec());
+        let bumped = m.render().replacen("{\"v\":1", "{\"v\":2", 1);
+        assert!(Manifest::parse(&bumped)
+            .expect_err("version must be checked")
+            .contains("version"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dance_manifest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("manifest.json");
+        let m = Manifest::from_spec(&spec());
+        m.save(&path).expect("save");
+        let back = Manifest::load(&path).expect("load");
+        assert_eq!(back, m);
+        let _cleanup = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the incremental Pareto frontier `dance-campaign`
+//! folds campaign results into.
+//!
+//! Two invariants carry the campaign's correctness story and are checked
+//! here over randomized insertion streams:
+//!
+//! 1. **Front soundness**: no front member ever dominates another.
+//! 2. **Order independence**: the frontier (front, archive, digest,
+//!    hypervolume) is a function of the inserted multiset, not of the
+//!    insertion order — the property that makes a killed-and-resumed
+//!    campaign reproduce the straight run's digest even though its workers
+//!    interleave differently.
+
+use dance::prelude::{Frontier, FrontierEntry, ParetoPoint};
+use proptest::prelude::*;
+
+/// Builds a frontier from `(key, error, cost)` triples.
+fn fold(samples: &[(u64, f64, f64)]) -> Frontier {
+    let mut f = Frontier::new();
+    for (i, (key, error, cost)) in samples.iter().enumerate() {
+        f.insert(FrontierEntry {
+            key: *key,
+            point: ParetoPoint::new(*error, *cost),
+            origin: format!("prop-{i}"),
+            epoch: i as u64,
+        });
+    }
+    f
+}
+
+/// Small coordinate/key grids force heavy key collisions and exact
+/// dominance ties — the adversarial cases for frontier bookkeeping.
+fn arb_samples() -> impl Strategy<Value = Vec<(u64, f64, f64)>> {
+    // The shim's `collection::vec` takes a fixed length; draw an extra
+    // length coordinate per element and truncate, which varies the stream
+    // length across cases without needing ranged-length support.
+    proptest::collection::vec((0u64..10, 0u32..8, 0u32..8, 0u32..48), 48).prop_map(|v| {
+        let keep = 1 + (v[0].3 as usize % 47);
+        v.into_iter()
+            .take(keep)
+            .map(|(k, e, c, _)| (k, f64::from(e) * 0.25, f64::from(c) * 0.25 + 0.125))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prop_no_front_member_dominates_another(samples in arb_samples()) {
+        let f = fold(&samples);
+        let front = f.front();
+        prop_assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                if a.key != b.key {
+                    prop_assert!(
+                        !a.point.dominates(&b.point),
+                        "front member {:?} dominates {:?}",
+                        a.point,
+                        b.point
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_front_members_are_archived_and_flagged(samples in arb_samples()) {
+        let f = fold(&samples);
+        prop_assert!(f.front_len() <= f.archive_len());
+        for e in f.front() {
+            prop_assert!(f.on_front(e.key));
+        }
+        // Every archived point not on the front is dominated or tied by
+        // some front member (the front is a maximal non-dominated set).
+        let front: Vec<ParetoPoint> = f.front().iter().map(|e| e.point).collect();
+        for e in f.archive() {
+            if !f.on_front(e.key) {
+                prop_assert!(
+                    front.iter().any(|p| p.dominates(&e.point)
+                        || (p.error == e.point.error && p.cost == e.point.cost)),
+                    "off-front point {:?} is not covered by the front",
+                    e.point
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_insertion_order_is_irrelevant(samples in arb_samples(), rot in 0usize..48) {
+        let forward = fold(&samples);
+
+        let mut reversed: Vec<_> = samples.clone();
+        reversed.reverse();
+        let backward = fold(&reversed);
+
+        let mut rotated = samples.clone();
+        rotated.rotate_left(rot % samples.len().max(1));
+        let spun = fold(&rotated);
+
+        for other in [&backward, &spun] {
+            prop_assert_eq!(forward.digest(), other.digest());
+            prop_assert_eq!(forward.front_len(), other.front_len());
+            prop_assert_eq!(forward.archive_len(), other.archive_len());
+            let reference = ParetoPoint::new(10.0, 10.0);
+            prop_assert_eq!(
+                forward.hypervolume(reference).to_bits(),
+                other.hypervolume(reference).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_archive_keeps_the_per_key_lexicographic_best(samples in arb_samples()) {
+        let f = fold(&samples);
+        for e in f.archive() {
+            let best = samples
+                .iter()
+                .filter(|(k, _, _)| *k == e.key)
+                .map(|(_, err, cost)| (*err, *cost))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite grid"))
+                .expect("archived key came from the samples");
+            prop_assert_eq!((e.point.error, e.point.cost), best);
+        }
+    }
+
+    #[test]
+    fn prop_counters_account_for_every_offer(samples in arb_samples()) {
+        let f = fold(&samples);
+        let c = f.counters();
+        prop_assert_eq!(c.offered, samples.len() as u64);
+        // Every offer is classified exactly once; improved duplicates are
+        // counted in both `dedup_hits` and one of inserts/dominated.
+        prop_assert_eq!(c.offered + c.improved, c.inserts + c.dominated + c.dedup_hits);
+        let rate = c.dedup_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+}

@@ -60,7 +60,10 @@ pub use dance_nas as nas;
 /// Convenient glob-import of the most used items across the whole stack.
 pub mod prelude {
     pub use crate::hw_loss::{cost_hw_value, cost_hw_var, LambdaWarmup};
-    pub use crate::pareto::{front_dominates, hypervolume, pareto_front, ParetoPoint};
+    pub use crate::pareto::{
+        fnv_fold, front_dominates, hypervolume, pareto_front, Frontier, FrontierCounters,
+        FrontierEntry, InsertOutcome, ParetoPoint,
+    };
     pub use crate::pipeline::{
         BaselinePenalty, Benchmark, EvaluatorReport, EvaluatorSizes, FinalDesign, Pipeline,
         RetrainConfig,
@@ -68,8 +71,8 @@ pub mod prelude {
     pub use crate::report::{fmt_f, ResultTable};
     pub use crate::rl::{rl_co_exploration, RlCandidate, RlConfig, RlOutcome};
     pub use crate::search::{
-        dance_search, dance_search_guarded, evaluate_fixed, train_derived, EpochStats, Penalty,
-        SearchConfig, SearchConfigBuilder, SearchConfigError, SearchOutcome,
+        dance_search, dance_search_guarded, dance_search_traced, evaluate_fixed, train_derived,
+        EpochStats, Penalty, SearchConfig, SearchConfigBuilder, SearchConfigError, SearchOutcome,
     };
     pub use dance_accel::prelude::*;
     pub use dance_autograd::prelude::*;

@@ -525,7 +525,6 @@ fn poison_named(named: &[(String, Var)], target: &str) {
 /// disagree with the live supernet/arch (resuming a different workload). A
 /// missing resume directory or an all-corrupt one falls back to a fresh
 /// start with a warning instead.
-#[allow(clippy::too_many_lines)] // lint: allow(panic-doc)
 pub fn dance_search_guarded(
     supernet: &Supernet,
     arch: &ArchParams,
@@ -533,6 +532,35 @@ pub fn dance_search_guarded(
     penalty: &Penalty<'_>,
     cfg: &SearchConfig,
     guard_cfg: &GuardConfig,
+) -> SearchOutcome {
+    dance_search_traced(supernet, arch, data, penalty, cfg, guard_cfg, &mut |_| {})
+}
+
+/// [`dance_search_guarded`] with a per-epoch observer — the hook behind
+/// `dance-campaign`'s in-flight frontier updates.
+///
+/// `on_epoch` fires once per *healthy* epoch end (never for an epoch that
+/// tripped the watchdog and rolled back), strictly **after** that epoch's
+/// checkpoint has been durably written when checkpointing is on. So any
+/// design point an observer records is backed by an on-disk checkpoint at
+/// least as recent, which is what lets a killed campaign prune checkpoints
+/// past its last recorded point and resume bit-for-bit. Observers run on
+/// the search thread and may borrow `supernet`/`arch` (shared borrows) to
+/// derive the current architecture; the search does not hold any exclusive
+/// borrow across the call.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`dance_search_guarded`].
+#[allow(clippy::too_many_lines)] // lint: allow(panic-doc)
+pub fn dance_search_traced(
+    supernet: &Supernet,
+    arch: &ArchParams,
+    data: &TaskData,
+    penalty: &Penalty<'_>,
+    cfg: &SearchConfig,
+    guard_cfg: &GuardConfig,
+    on_epoch: &mut dyn FnMut(&EpochStats),
 ) -> SearchOutcome {
     assert_eq!(
         supernet.num_slots(),
@@ -891,6 +919,9 @@ pub fn dance_search_guarded(
             }
             last_good = Some(snap);
         }
+        // Observer fires only after the epoch's checkpoint (if any) is on
+        // disk — see `dance_search_traced`.
+        on_epoch(history.last().expect("epoch stats pushed above"));
         let crashed = guard_on && fault_crash_after(guard_cfg, epoch);
         epoch += 1;
         if crashed {

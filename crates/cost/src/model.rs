@@ -135,23 +135,6 @@ impl CostModel {
         };
         Evaluation { total, layers }
     }
-
-    /// Transitional shim for the old two-argument `evaluate`.
-    #[deprecated(note = "use `evaluate(network, config, Detail::Totals).total`")]
-    pub fn evaluate_totals(&self, network: &Network, config: &AcceleratorConfig) -> HardwareCost {
-        self.evaluate(network, config, Detail::Totals).total
-    }
-
-    /// Transitional shim for the old totals-plus-breakdown pair API.
-    #[deprecated(note = "use `evaluate(network, config, Detail::PerLayer)`")]
-    pub fn evaluate_detailed(
-        &self,
-        network: &Network,
-        config: &AcceleratorConfig,
-    ) -> (HardwareCost, Vec<LayerCost>) {
-        let e = self.evaluate(network, config, Detail::PerLayer);
-        (e.total, e.layers.unwrap_or_default())
-    }
 }
 
 #[cfg(test)]
@@ -219,19 +202,6 @@ mod tests {
         let totals_only = model.evaluate(&net, &cfg, Detail::Totals);
         assert!(totals_only.layers.is_none());
         assert_eq!(totals_only.total, e.total);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_new_entry_point() {
-        let model = CostModel::new();
-        let cfg = AcceleratorConfig::default();
-        let net = cifar_net();
-        let e = model.evaluate(&net, &cfg, Detail::PerLayer);
-        assert_eq!(model.evaluate_totals(&net, &cfg), e.total);
-        let (total, layers) = model.evaluate_detailed(&net, &cfg);
-        assert_eq!(total, e.total);
-        assert_eq!(Some(layers), e.layers);
     }
 
     #[test]

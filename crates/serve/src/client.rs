@@ -108,6 +108,19 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
     }
 
+    /// Reads one more response line without sending anything — the client
+    /// side of a streaming op (`campaign/stream`), where the server writes
+    /// an OK header and then one NDJSON event per line until the stream's
+    /// terminal event.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; a read timeout surfaces as `WouldBlock`/`TimedOut`
+    /// with any partial line preserved for the next call.
+    pub fn read_stream_line(&mut self) -> io::Result<Option<String>> {
+        self.reader.read_line()
+    }
+
     /// Sends one request and parses the response as JSON.
     ///
     /// # Errors

@@ -17,7 +17,11 @@
 //!   [`batch::PredictBatcher`] to amortize forward passes;
 //! * **`search/submit|status|result`** — asynchronous guarded search jobs
 //!   ([`jobs::JobTable`]) running `dance_search_guarded` with optional
-//!   `dance-guard` checkpointing.
+//!   `dance-guard` checkpointing;
+//! * **`campaign/submit|status|stream|cancel`** — co-search campaigns
+//!   ([`campaign::CampaignTable`]) orchestrated by `dance-campaign`, with
+//!   `campaign/stream` holding the connection open and writing NDJSON
+//!   `frontier_update` events (replayable from any offset via `from`).
 //!
 //! Cross-cutting: a sharded LRU response cache ([`cache::ResponseCache`])
 //! keyed on quantized payloads whose hits replay **bit-identical** bytes,
@@ -41,6 +45,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod campaign;
 pub mod client;
 pub mod jobs;
 pub mod proto;

@@ -13,6 +13,10 @@
 //! | `search/submit`  | `epochs`, `seed`, `lambda2`, `penalty` (`flops`\|`none`), `checkpoint` |
 //! | `search/status`  | `job`                                                       |
 //! | `search/result`  | `job`                                                       |
+//! | `campaign/submit`| `lambda2[]`, `dataset_seeds[]`, `envelopes[]`, `epochs`, `batch`, `seed`, `max_concurrency` (all optional) |
+//! | `campaign/status`| `campaign`                                                  |
+//! | `campaign/stream`| `campaign`, optional `from` (replay offset)                 |
+//! | `campaign/cancel`| `campaign`                                                  |
 //! | `health`         | —                                                           |
 //! | `admin/shutdown` | —                                                           |
 //!
@@ -73,6 +77,40 @@ pub enum ReqBody {
     SearchResult {
         /// Job id returned by `search/submit`.
         job: String,
+    },
+    /// Submit a co-search campaign over a λ₂ × dataset × envelope grid.
+    CampaignSubmit {
+        /// λ₂ axis (finite, non-negative).
+        lambda2: Vec<f32>,
+        /// Dataset-seed axis.
+        dataset_seeds: Vec<u64>,
+        /// Envelope names (resolved server-side; unknown names are `400`).
+        envelopes: Vec<String>,
+        /// Search epochs per cell.
+        epochs: usize,
+        /// Search batch size per cell.
+        batch: usize,
+        /// Campaign master seed.
+        seed: u64,
+        /// Concurrent cell searches (`0` → backend pool width).
+        max_concurrency: usize,
+    },
+    /// Poll a campaign's state (and summary once finished).
+    CampaignStatus {
+        /// Campaign id returned by `campaign/submit`.
+        campaign: String,
+    },
+    /// Follow a campaign's `frontier_update` stream from an offset.
+    CampaignStream {
+        /// Campaign id returned by `campaign/submit`.
+        campaign: String,
+        /// First event sequence number to replay (0 = from the start).
+        from: usize,
+    },
+    /// Cancel a running campaign (its directory stays resumable offline).
+    CampaignCancel {
+        /// Campaign id returned by `campaign/submit`.
+        campaign: String,
     },
     /// Liveness + guard/cache/queue introspection.
     Health,
@@ -258,6 +296,79 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 ReqBody::SearchResult { job }
             }
         }
+        "campaign/submit" => {
+            let mut lambda2 = Vec::new();
+            if let Some(arr) = v.get("lambda2").and_then(Json::as_arr) {
+                for (i, item) in arr.iter().enumerate() {
+                    let n = item
+                        .as_f64()
+                        .filter(|n| n.is_finite() && *n >= 0.0)
+                        .ok_or_else(|| {
+                            ProtoError::bad_request(format!(
+                                "`lambda2[{i}]` must be a finite number >= 0"
+                            ))
+                        })?;
+                    lambda2.push(n as f32);
+                }
+            }
+            if lambda2.is_empty() {
+                lambda2 = vec![0.1, 0.3];
+            }
+            let mut dataset_seeds = Vec::new();
+            if let Some(arr) = v.get("dataset_seeds").and_then(Json::as_arr) {
+                for (i, item) in arr.iter().enumerate() {
+                    let n = item
+                        .as_f64()
+                        // lint: allow(float-eq) fract()==0.0 is the integrality test
+                        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                        .ok_or_else(|| {
+                            ProtoError::bad_request(format!(
+                                "`dataset_seeds[{i}]` must be a non-negative integer"
+                            ))
+                        })?;
+                    dataset_seeds.push(n as u64);
+                }
+            }
+            if dataset_seeds.is_empty() {
+                dataset_seeds = vec![0];
+            }
+            let mut envelopes = Vec::new();
+            if let Some(arr) = v.get("envelopes").and_then(Json::as_arr) {
+                for (i, item) in arr.iter().enumerate() {
+                    let s = item.as_str().ok_or_else(|| {
+                        ProtoError::bad_request(format!("`envelopes[{i}]` must be a string"))
+                    })?;
+                    envelopes.push(s.to_string());
+                }
+            }
+            if envelopes.is_empty() {
+                envelopes = vec!["full".into()];
+            }
+            ReqBody::CampaignSubmit {
+                lambda2,
+                dataset_seeds,
+                envelopes,
+                epochs: get_u64(&v, "epochs").unwrap_or(2) as usize,
+                batch: get_u64(&v, "batch").unwrap_or(16) as usize,
+                seed: get_u64(&v, "seed").unwrap_or(0),
+                max_concurrency: get_u64(&v, "max_concurrency").unwrap_or(0) as usize,
+            }
+        }
+        "campaign/status" | "campaign/stream" | "campaign/cancel" => {
+            let campaign = v
+                .get("campaign")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::bad_request(format!("{op} needs string `campaign`")))?
+                .to_string();
+            match op {
+                "campaign/status" => ReqBody::CampaignStatus { campaign },
+                "campaign/stream" => ReqBody::CampaignStream {
+                    campaign,
+                    from: get_u64(&v, "from").unwrap_or(0) as usize,
+                },
+                _ => ReqBody::CampaignCancel { campaign },
+            }
+        }
         "health" => ReqBody::Health,
         "admin/shutdown" => ReqBody::Shutdown,
         other => return Err(ProtoError::bad_request(format!("unknown op {other:?}"))),
@@ -334,6 +445,59 @@ pub fn render_request(req: &Request) -> String {
         ReqBody::SearchResult { job } => {
             out.push_str("\"search/result\",\"job\":");
             push_escaped(&mut out, job);
+        }
+        ReqBody::CampaignSubmit {
+            lambda2,
+            dataset_seeds,
+            envelopes,
+            epochs,
+            batch,
+            seed,
+            max_concurrency,
+        } => {
+            out.push_str("\"campaign/submit\",\"lambda2\":[");
+            for (i, l) in lambda2.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_num(&mut out, f64::from(*l));
+            }
+            out.push_str("],\"dataset_seeds\":[");
+            for (i, s) in dataset_seeds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_num(&mut out, *s as f64);
+            }
+            out.push_str("],\"envelopes\":[");
+            for (i, e) in envelopes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(&mut out, e);
+            }
+            out.push_str("],\"epochs\":");
+            push_num(&mut out, *epochs as f64);
+            out.push_str(",\"batch\":");
+            push_num(&mut out, *batch as f64);
+            out.push_str(",\"seed\":");
+            push_num(&mut out, *seed as f64);
+            out.push_str(",\"max_concurrency\":");
+            push_num(&mut out, *max_concurrency as f64);
+        }
+        ReqBody::CampaignStatus { campaign } => {
+            out.push_str("\"campaign/status\",\"campaign\":");
+            push_escaped(&mut out, campaign);
+        }
+        ReqBody::CampaignStream { campaign, from } => {
+            out.push_str("\"campaign/stream\",\"campaign\":");
+            push_escaped(&mut out, campaign);
+            out.push_str(",\"from\":");
+            push_num(&mut out, *from as f64);
+        }
+        ReqBody::CampaignCancel { campaign } => {
+            out.push_str("\"campaign/cancel\",\"campaign\":");
+            push_escaped(&mut out, campaign);
         }
         ReqBody::Health => out.push_str("\"health\""),
         ReqBody::Shutdown => out.push_str("\"admin/shutdown\""),
@@ -474,6 +638,67 @@ mod tests {
     }
 
     #[test]
+    fn campaign_ops_roundtrip() {
+        for body in [
+            ReqBody::CampaignSubmit {
+                lambda2: vec![0.1, 0.25, 0.5],
+                dataset_seeds: vec![0, 7],
+                envelopes: vec!["full".into(), "edge".into()],
+                epochs: 3,
+                batch: 16,
+                seed: 9,
+                max_concurrency: 2,
+            },
+            ReqBody::CampaignStatus {
+                campaign: "camp-0".into(),
+            },
+            ReqBody::CampaignStream {
+                campaign: "camp-1".into(),
+                from: 12,
+            },
+            ReqBody::CampaignCancel {
+                campaign: "camp-2".into(),
+            },
+        ] {
+            roundtrip(&Request {
+                id: "camp".into(),
+                deadline_ms: None,
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn campaign_submit_defaults_every_axis() {
+        let req = parse_request(r#"{"v":1,"id":"a","op":"campaign/submit"}"#).expect("parses");
+        assert_eq!(
+            req.body,
+            ReqBody::CampaignSubmit {
+                lambda2: vec![0.1, 0.3],
+                dataset_seeds: vec![0],
+                envelopes: vec!["full".into()],
+                epochs: 2,
+                batch: 16,
+                seed: 0,
+                max_concurrency: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn campaign_requests_are_never_cached() {
+        assert!(cache_key(&ReqBody::CampaignStatus {
+            campaign: "camp-0".into()
+        })
+        .is_none());
+        assert!(cache_key(&ReqBody::CampaignStream {
+            campaign: "camp-0".into(),
+            from: 0
+        })
+        .is_none());
+    }
+
+    #[test]
     fn malformed_requests_are_rejected_with_400() {
         for line in [
             "not json",
@@ -486,6 +711,12 @@ mod tests {
             r#"{"v":1,"id":"a","op":"cost/predict","arch":[1,null]}"#,
             r#"{"v":1,"id":"a","op":"search/status"}"#,
             r#"{"v":1,"id":"a","op":"search/submit","penalty":"both"}"#,
+            r#"{"v":1,"id":"a","op":"campaign/status"}"#,
+            r#"{"v":1,"id":"a","op":"campaign/stream"}"#,
+            r#"{"v":1,"id":"a","op":"campaign/cancel"}"#,
+            r#"{"v":1,"id":"a","op":"campaign/submit","lambda2":[-1]}"#,
+            r#"{"v":1,"id":"a","op":"campaign/submit","dataset_seeds":[1.5]}"#,
+            r#"{"v":1,"id":"a","op":"campaign/submit","envelopes":[3]}"#,
         ] {
             let err = parse_request(line).expect_err("must reject");
             assert_eq!(err.code, 400, "line: {line}");

@@ -27,8 +27,11 @@ use dance_telemetry::json::push_num;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use dance_campaign::prelude::{CampaignSpec, Envelope, EventLog, Waited};
+
 use crate::batch::{BatchConfig, PredictBatcher};
 use crate::cache::ResponseCache;
+use crate::campaign::CampaignTable;
 use crate::client::LineReader;
 use crate::jobs::JobTable;
 use crate::proto::{
@@ -65,6 +68,9 @@ pub struct ServeConfig {
     pub eval_width: usize,
     /// Root directory for per-job checkpoints.
     pub ckpt_root: std::path::PathBuf,
+    /// Root directory for campaign manifests and per-cell checkpoints
+    /// (`<campaign_root>/<campaign-id>/`).
+    pub campaign_root: std::path::PathBuf,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +88,7 @@ impl Default for ServeConfig {
             eval_seed: 0,
             eval_width: 16,
             ckpt_root: std::env::temp_dir().join("dance_serve_jobs"),
+            campaign_root: std::env::temp_dir().join("dance_serve_campaigns"),
         }
     }
 }
@@ -93,6 +100,7 @@ struct Shared {
     admission: Admission,
     batcher: PredictBatcher,
     jobs: JobTable,
+    campaigns: CampaignTable,
     model: CostModel,
     template: NetworkTemplate,
     space: HardwareSpace,
@@ -143,6 +151,7 @@ impl Server {
             admission: Admission::new(cfg.max_inflight, cfg.max_waiting),
             batcher: PredictBatcher::start(arch_width, make_evaluator, cfg.batch),
             jobs: JobTable::start(cfg.search_workers, cfg.job_queue, cfg.ckpt_root.clone()),
+            campaigns: CampaignTable::new(cfg.campaign_root.clone()),
             model: CostModel::new(),
             template: NetworkTemplate::cifar10(),
             space: HardwareSpace::new(),
@@ -213,6 +222,7 @@ impl Server {
         }
         self.shared.batcher.shutdown();
         self.shared.jobs.shutdown();
+        self.shared.campaigns.shutdown();
         dance_telemetry::counter!("serve.drained");
         dance_telemetry::gauge!(
             "serve.requests_total",
@@ -251,10 +261,18 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let mut resp = handle_line(shared, &line);
-                resp.push('\n');
-                if writer.write_all(resp.as_bytes()).is_err() || writer.flush().is_err() {
-                    return;
+                match handle_line(shared, &line) {
+                    Reply::Line(mut resp) => {
+                        resp.push('\n');
+                        if writer.write_all(resp.as_bytes()).is_err() || writer.flush().is_err() {
+                            return;
+                        }
+                    }
+                    Reply::Stream { header, log, from } => {
+                        if !stream_events(shared, &mut writer, &header, &log, from) {
+                            return;
+                        }
+                    }
                 }
             }
             Ok(None) => return,
@@ -271,26 +289,97 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// Writes the streaming OK header, replays the log from `from`, then
+/// follows it live until it finishes or the server drains. The stream is
+/// framed by the `campaign_end` event (the log's final line); afterwards
+/// the connection returns to ordinary request/response framing.
+///
+/// Returns `false` when the connection is no longer usable.
+fn stream_events(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    header: &str,
+    log: &EventLog,
+    from: usize,
+) -> bool {
+    let mut line = String::with_capacity(header.len() + 1);
+    line.push_str(header);
+    line.push('\n');
+    if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
+        return false;
+    }
+    let mut seq = from;
+    loop {
+        // 100 ms follow poll — the same cadence as the read loop, so drain
+        // is observed promptly even when the campaign is quiet.
+        match log.wait_next(seq, Duration::from_millis(100)) {
+            Waited::Line(event) => {
+                dance_telemetry::counter!("serve.campaign.events_streamed");
+                let mut out = event;
+                out.push('\n');
+                if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                    return false;
+                }
+                seq += 1;
+            }
+            Waited::Done => return true,
+            Waited::TimedOut => {
+                if shared.drain.load(Ordering::SeqCst) {
+                    // Cut the stream; the client sees EOF-before-end and
+                    // can re-attach with `from: seq` after the restart.
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// What one request line produces: a single response line, or a response
+/// header followed by an event stream the connection loop writes out.
+enum Reply {
+    /// Ordinary one-line response.
+    Line(String),
+    /// Streaming response: the OK header line, then the campaign's event
+    /// lines from sequence number `from` until the log finishes.
+    Stream {
+        header: String,
+        log: Arc<EventLog>,
+        from: usize,
+    },
+}
+
 /// Parses, caches, dispatches and renders one request line.
-fn handle_line(shared: &Shared, line: &str) -> String {
+fn handle_line(shared: &Shared, line: &str) -> Reply {
     let t0 = Instant::now();
     shared.requests_served.fetch_add(1, Ordering::Relaxed);
     let req = match parse_request(line) {
         Ok(req) => req,
         Err(e) => {
             dance_telemetry::counter!("serve.req.bad");
-            return render_err("", &e);
+            return Reply::Line(render_err("", &e));
         }
     };
+    // Streaming ops bypass the cache entirely: a stream is a live
+    // subscription, never a replayable payload.
+    if let ReqBody::CampaignStream { campaign, from } = &req.body {
+        return match shared.campaigns.log(campaign) {
+            Ok(log) => Reply::Stream {
+                header: render_ok(&req.id, "\"streaming\":true"),
+                log,
+                from: *from,
+            },
+            Err(e) => Reply::Line(render_err(&req.id, &e)),
+        };
+    }
     let key = cache_key(&req.body);
     if let Some(k) = &key {
         if let Some(hit) = shared.cache.get(k) {
-            return render_ok(&req.id, &hit);
+            return Reply::Line(render_ok(&req.id, &hit));
         }
     }
     let out = dispatch(shared, &req);
     dance_telemetry::histogram!("serve.request_us", t0.elapsed().as_secs_f64() * 1e6);
-    match out {
+    Reply::Line(match out {
         Ok(payload) => {
             if let Some(k) = key {
                 shared.cache.insert(k, payload.clone());
@@ -298,7 +387,7 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             render_ok(&req.id, &payload)
         }
         Err(e) => render_err(&req.id, &e),
-    }
+    })
 }
 
 fn dispatch(shared: &Shared, req: &Request) -> Result<String, ProtoError> {
@@ -360,6 +449,55 @@ fn dispatch(shared: &Shared, req: &Request) -> Result<String, ProtoError> {
             Ok(format!("\"state\":\"{label}\""))
         }
         ReqBody::SearchResult { job } => shared.jobs.result(job),
+        ReqBody::CampaignSubmit {
+            lambda2,
+            dataset_seeds,
+            envelopes,
+            epochs,
+            batch,
+            seed,
+            max_concurrency,
+        } => {
+            if draining {
+                return Err(ProtoError::overloaded("server is draining"));
+            }
+            let envelopes = envelopes
+                .iter()
+                .map(|name| {
+                    Envelope::by_name(name).ok_or_else(|| {
+                        ProtoError::bad_request(format!(
+                            "unknown envelope {name:?} (expected `full` or `edge`)"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<Envelope>, ProtoError>>()?;
+            let spec = CampaignSpec {
+                name: String::new(), // assigned by the table
+                lambda2: lambda2.clone(),
+                dataset_seeds: dataset_seeds.clone(),
+                envelopes,
+                epochs: *epochs,
+                batch_size: *batch,
+                seed: *seed,
+                root: std::path::PathBuf::new(), // assigned by the table
+                max_concurrency: *max_concurrency,
+            };
+            let id = shared.campaigns.submit(spec)?;
+            let mut payload = String::with_capacity(32);
+            payload.push_str("\"campaign\":");
+            dance_telemetry::json::push_escaped(&mut payload, &id);
+            Ok(payload)
+        }
+        ReqBody::CampaignStatus { campaign } => shared.campaigns.status(campaign),
+        ReqBody::CampaignStream { .. } => {
+            // Routed to a streaming reply in `handle_line`; reaching this
+            // arm means a bug in the routing above.
+            Err(ProtoError::internal("stream op dispatched as a line op"))
+        }
+        ReqBody::CampaignCancel { campaign } => {
+            shared.campaigns.cancel(campaign)?;
+            Ok("\"cancelling\":true".into())
+        }
         ReqBody::Health => Ok(health_payload(shared)),
         ReqBody::Shutdown => {
             shared.drain.store(true, Ordering::SeqCst);
@@ -462,6 +600,13 @@ fn health_payload(shared: &Shared) -> String {
     push_num(&mut p, jobs.done as f64);
     p.push_str(",\"failed\":");
     push_num(&mut p, jobs.failed as f64);
+    let camps = shared.campaigns.counts();
+    p.push_str("},\"campaigns\":{\"running\":");
+    push_num(&mut p, camps.running as f64);
+    p.push_str(",\"done\":");
+    push_num(&mut p, camps.done as f64);
+    p.push_str(",\"failed\":");
+    push_num(&mut p, camps.failed as f64);
     p.push_str("},\"guard\":{\"enabled\":");
     p.push_str(if dance_guard::enabled() {
         "true"

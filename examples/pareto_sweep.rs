@@ -1,70 +1,80 @@
-//! Accuracy-vs-cost Pareto sweep: run DANCE at several λ₂ values and print
-//! the frontier together with the no-penalty baseline — a miniature version
-//! of the paper's Figure 5 experiment.
+//! Accuracy-vs-cost Pareto sweep via the campaign orchestrator: fan a λ₂
+//! axis out as one campaign and print the streamed frontier — a miniature
+//! version of the paper's Figure 5 experiment.
+//!
+//! Where the pre-campaign version of this example ran each λ₂ search by
+//! hand and called `pareto_front` on the finished rows, the orchestrator
+//! now does the sweep: every per-epoch sample from every cell folds into
+//! one incremental [`Frontier`], `frontier_update` events stream while
+//! the searches run, and the final front falls out of the fold.
 //!
 //! ```sh
 //! cargo run --release --example pareto_sweep
 //! ```
 
-use dance::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dance_campaign::prelude::{
+    run_campaign, CampaignSpec, CancelToken, Envelope, EventLog, Waited,
+};
 
 fn main() {
-    let pipeline = Pipeline::new(Benchmark::cifar(42), CostFunction::Edap);
-    println!("training evaluator (small sizes for the example)...");
-    let sizes = EvaluatorSizes {
-        hwgen_samples: 4_000,
-        hwgen_epochs: 15,
-        hwgen_width: 96,
-        cost_samples: 8_000,
-        cost_epochs: 12,
-        cost_width: 96,
-        seed: 0,
+    let spec = CampaignSpec {
+        name: "pareto-sweep".into(),
+        lambda2: vec![0.0, 0.1, 0.4, 1.5],
+        dataset_seeds: vec![42],
+        envelopes: vec![Envelope::full()],
+        epochs: 4,
+        batch_size: 32,
+        seed: 1,
+        root: std::env::temp_dir().join("dance_pareto_sweep"),
+        max_concurrency: 0,
     };
-    let (evaluator, _) = pipeline.train_evaluator(&sizes, true);
-    let retrain = RetrainConfig {
-        epochs: 10,
-        ..RetrainConfig::default()
-    };
-
-    let mut rows: Vec<(String, f32, f64)> = Vec::new();
-
-    println!("running no-penalty baseline...");
-    let base = pipeline.run_baseline(
-        BaselinePenalty::None,
-        &SearchConfig {
-            epochs: 8,
-            seed: 1,
-            ..SearchConfig::default()
-        },
-        &retrain,
-        "baseline",
+    let _fresh = std::fs::remove_dir_all(&spec.root);
+    println!(
+        "sweeping λ₂ over {:?} ({} cells, {} epochs each)...",
+        spec.lambda2,
+        spec.len(),
+        spec.epochs
     );
-    rows.push(("baseline (λ₂=0)".into(), base.accuracy, base.cost.edap()));
 
-    for (i, l2) in [0.1f32, 0.4, 1.5].into_iter().enumerate() {
-        println!("running DANCE at λ₂ = {l2}...");
-        let cfg = SearchConfig {
-            epochs: 8,
-            lambda2: LambdaWarmup::ramp(l2, 4),
-            seed: 2 + i as u64,
-            ..SearchConfig::default()
-        };
-        let d = pipeline.run_dance(&evaluator, &cfg, &retrain, "DANCE");
-        rows.push((format!("DANCE (λ₂={l2})"), d.accuracy, d.cost.edap()));
-    }
+    // Follow the event log live, exactly like a `campaign/stream` client.
+    let log = Arc::new(EventLog::new());
+    let follow = Arc::clone(&log);
+    let follower = dance_backend::spawn_service("pareto-sweep-stream", move || {
+        let mut seq = 0usize;
+        loop {
+            match follow.wait_next(seq, Duration::from_millis(100)) {
+                Waited::Line(line) => {
+                    println!("event: {line}");
+                    seq += 1;
+                }
+                Waited::Done => break,
+                Waited::TimedOut => {}
+            }
+        }
+    })
+    .expect("spawn stream follower");
 
-    println!("\n{:<20} {:>10} {:>10}", "method", "acc (%)", "EDAP");
-    for (name, acc, edap) in &rows {
-        println!("{:<20} {:>10.1} {:>10.1}", name, 100.0 * acc, edap);
-    }
+    let cancel = Arc::new(CancelToken::new());
+    let out = run_campaign(&spec, false, &log, &cancel).expect("sweep campaign");
+    let _joined = follower.join();
 
-    // Which points are Pareto-optimal (minimize error and EDAP)?
-    let points: Vec<ParetoPoint> = rows
-        .iter()
-        .map(|(_, acc, edap)| ParetoPoint::new(100.0 * (1.0 - *acc as f64), *edap))
-        .collect();
-    println!("\nPareto-optimal points:");
-    for i in pareto_front(&points) {
-        println!("  {}", rows[i].0);
+    println!(
+        "\n{} cells done, {} samples folded, dedup hit-rate {:.3}",
+        out.cells_done,
+        out.frontier.counters().offered,
+        out.frontier.counters().dedup_hit_rate()
+    );
+    println!("\n{:<20} {:>10} {:>12}", "origin", "acc (%)", "EDAP");
+    for entry in out.frontier.front() {
+        println!(
+            "{:<20} {:>10.1} {:>12.1}",
+            entry.origin,
+            100.0 * (1.0 - entry.point.error),
+            entry.point.cost
+        );
     }
+    println!("\nfrontier-digest: {:016x}", out.digest());
 }

@@ -35,6 +35,22 @@ wait "$SERVE_PID" || { echo "SERVE_EXIT_NONZERO"; exit 1; }
 grep -q '"t":"run_end"' results/runs/serve-smoke/serve-*.jsonl \
     || { echo "SERVE_RUN_LOG_TORN"; exit 1; }
 echo SERVE_SMOKE_OK
+# Campaign smoke: hard-kill a campaign mid-run, resume it, and require the
+# bit-exact same frontier digest as an uninterrupted run. (SIGKILL, not
+# SIGTERM: the manifest must survive a crash with no cleanup handler.)
+cargo build --release --bin dance_campaign
+rm -rf results/campaigns/smoke results/campaigns/smoke-straight
+target/release/dance_campaign --lambda2 0.1,0.4 --seeds 0 --envelopes edge \
+    --epochs 3 --batch 16 --dir results/campaigns/smoke-straight \
+    2>&1 | tee results/campaign_smoke.log
+timeout -s KILL 4 target/release/dance_campaign --lambda2 0.1,0.4 --seeds 0 \
+    --envelopes edge --epochs 3 --batch 16 --dir results/campaigns/smoke || true
+target/release/dance_campaign --lambda2 0.1,0.4 --seeds 0 --envelopes edge \
+    --epochs 3 --batch 16 --dir results/campaigns/smoke --resume \
+    2>&1 | tee -a results/campaign_smoke.log
+cdigests=$(grep -c "$(grep -m1 frontier-digest results/campaign_smoke.log)" results/campaign_smoke.log)
+[ "$cdigests" -eq 2 ] || { echo "CAMPAIGN_RESUME_MISMATCH"; exit 1; }
+echo CAMPAIGN_RESUME_OK
 cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
 cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
 cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log

@@ -49,6 +49,11 @@ echo "== serve integration tests =="
 cargo test -q --release --test serve_service
 cargo test -q --release -p dance-serve --test proto_roundtrip
 
+echo "== campaign suite =="
+cargo test -q --release -p dance-campaign
+cargo test -q --release --test campaign_run
+cargo test -q --release --test campaign_resume
+
 echo "== guard fault-injection suite =="
 cargo test -q --release -p dance-guard --features fault-injection
 cargo test -q --release --features fault-injection --test guard_faults

@@ -1,0 +1,186 @@
+//! `dance_campaign` — run (or resume) a co-search campaign from the
+//! command line.
+//!
+//! A campaign fans seeded guarded searches out over a λ₂ × dataset ×
+//! hardware-envelope grid and folds every per-epoch sample into one
+//! incremental Pareto frontier. The manifest under `--dir` is saved
+//! atomically after every folded sample, so a killed run restarted with
+//! `--resume` (and otherwise identical flags) finishes the unfinished
+//! cells and reproduces the uninterrupted run's `frontier-digest` line
+//! bit-for-bit.
+//!
+//! ```text
+//! dance_campaign [--lambda2 F,F,..] [--seeds N,N,..] [--envelopes full,edge]
+//!                [--epochs N] [--batch N] [--seed N] [--dir DIR]
+//!                [--max-concurrency N] [--resume] [--stream]
+//! ```
+//!
+//! With `--stream`, every `frontier_update` / `campaign_end` event is
+//! printed to stdout as NDJSON while the campaign runs — the same lines
+//! the `campaign/stream` serve endpoint delivers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dance_campaign::prelude::{
+    run_campaign, CampaignSpec, CancelToken, Envelope, EventLog, Waited,
+};
+
+struct Args {
+    spec: CampaignSpec,
+    resume: bool,
+    stream: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dance_campaign [--lambda2 F,F,..] [--seeds N,N,..] [--envelopes full,edge]\n\
+         \x20                     [--epochs N] [--batch N] [--seed N] [--dir DIR]\n\
+         \x20                     [--max-concurrency N] [--resume] [--stream]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut spec = CampaignSpec {
+        name: "cli".into(),
+        lambda2: vec![0.1, 0.3],
+        dataset_seeds: vec![0],
+        envelopes: vec![Envelope::full(), Envelope::edge()],
+        epochs: 2,
+        batch_size: 32,
+        seed: 0,
+        root: PathBuf::from("results/campaigns/cli"),
+        max_concurrency: 0,
+    };
+    let mut resume = false;
+    let mut stream = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--lambda2" => spec.lambda2 = parse_list(&value("--lambda2"), "--lambda2"),
+            "--seeds" => spec.dataset_seeds = parse_list(&value("--seeds"), "--seeds"),
+            "--envelopes" => {
+                spec.envelopes = value("--envelopes")
+                    .split(',')
+                    .map(|name| {
+                        Envelope::by_name(name).unwrap_or_else(|| {
+                            eprintln!("unknown envelope {name:?} (expected full|edge)");
+                            usage();
+                        })
+                    })
+                    .collect();
+            }
+            "--epochs" => spec.epochs = parse_num(&value("--epochs"), "--epochs"),
+            "--batch" => spec.batch_size = parse_num(&value("--batch"), "--batch"),
+            "--seed" => spec.seed = parse_num(&value("--seed"), "--seed"),
+            "--dir" => spec.root = PathBuf::from(value("--dir")),
+            "--max-concurrency" => {
+                spec.max_concurrency = parse_num(&value("--max-concurrency"), "--max-concurrency");
+            }
+            "--resume" => resume = true,
+            "--stream" => stream = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    Args {
+        spec,
+        resume,
+        stream,
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {s:?} for {flag}");
+        usage();
+    })
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, flag: &str) -> Vec<T> {
+    s.split(',')
+        .map(|part| parse_num(part.trim(), flag))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Err(e) = args.spec.validate() {
+        eprintln!("{e}");
+        usage();
+    }
+
+    let log = Arc::new(EventLog::new());
+    let cancel = Arc::new(CancelToken::new());
+    let follower = if args.stream {
+        let f_log = Arc::clone(&log);
+        let handle = dance_backend::spawn_service("campaign-cli-stream", move || {
+            let mut seq = 0usize;
+            loop {
+                match f_log.wait_next(seq, Duration::from_millis(100)) {
+                    Waited::Line(line) => {
+                        println!("{line}");
+                        seq += 1;
+                    }
+                    Waited::Done => break,
+                    Waited::TimedOut => {}
+                }
+            }
+        });
+        match handle {
+            Ok(h) => Some(h),
+            Err(e) => {
+                eprintln!("cannot start stream follower: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let outcome = run_campaign(&args.spec, args.resume, &log, &cancel);
+    if let Some(h) = follower {
+        let _joined = h.join();
+    }
+    let out = match outcome {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let c = out.frontier.counters();
+    println!(
+        "cells: {} done, {} failed ({})",
+        out.cells_done,
+        out.cells_failed,
+        if out.cancelled {
+            "cancelled; rerun with --resume to finish"
+        } else {
+            "complete"
+        }
+    );
+    println!(
+        "frontier: {} on front, {} archived, dedup hit-rate {:.3}",
+        out.frontier.front_len(),
+        out.frontier.archive_len(),
+        c.dedup_hit_rate()
+    );
+    // Bit-exact fingerprint of the frontier archive, for comparing a
+    // resumed campaign against an uninterrupted one.
+    println!("frontier-digest: {:016x}", out.digest());
+    ExitCode::SUCCESS
+}

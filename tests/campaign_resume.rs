@@ -1,0 +1,95 @@
+//! Campaign resume contract: a campaign cancelled mid-flight and resumed
+//! with `--resume` must reproduce the uninterrupted run's frontier digest
+//! bit for bit.
+//!
+//! The straight run and the killed+resumed run interleave their workers
+//! completely differently; equality of the digests exercises the whole
+//! stack — coordinate-derived cell seeds, checkpoint pruning on resume,
+//! bit-for-bit guarded search resume, and the order-independent frontier
+//! fold.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dance_campaign::prelude::*;
+
+fn spec(root: std::path::PathBuf) -> CampaignSpec {
+    CampaignSpec {
+        name: "resume".into(),
+        lambda2: vec![0.1, 0.5],
+        dataset_seeds: vec![0],
+        envelopes: vec![Envelope::edge()],
+        epochs: 3,
+        batch_size: 16,
+        seed: 7,
+        root,
+        max_concurrency: 2,
+    }
+}
+
+#[test]
+fn cancelled_campaign_resumes_to_the_straight_run_digest() {
+    let root_a = std::env::temp_dir().join(format!("dance_camp_straight_{}", std::process::id()));
+    let root_b = std::env::temp_dir().join(format!("dance_camp_killed_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+
+    // Uninterrupted reference run.
+    let log = Arc::new(EventLog::new());
+    let cancel = Arc::new(CancelToken::new());
+    let straight = run_campaign(&spec(root_a.clone()), false, &log, &cancel).expect("straight run");
+    assert_eq!(straight.cells_failed, 0);
+    let want = straight.digest();
+
+    // Same campaign, cancelled as soon as the frontier first changes: one
+    // cell aborts mid-search (staying resumable from its checkpoints) and
+    // the rest never start.
+    let log = Arc::new(EventLog::new());
+    let cancel = Arc::new(CancelToken::new());
+    let watcher_cancel = Arc::clone(&cancel);
+    let watcher_log = Arc::clone(&log);
+    let watcher = dance_backend::spawn_service("campaign-test-canceller", move || {
+        loop {
+            match watcher_log.wait_next(1, Duration::from_millis(100)) {
+                Waited::Line(_) | Waited::Done => break,
+                Waited::TimedOut => {}
+            }
+        }
+        watcher_cancel.cancel();
+    })
+    .expect("spawn canceller");
+    let partial = run_campaign(&spec(root_b.clone()), false, &log, &cancel).expect("partial run");
+    watcher.join().expect("canceller exits");
+    assert!(partial.cancelled);
+    assert!(
+        partial.cells_done < 2,
+        "cancellation should leave unfinished cells, finished {}",
+        partial.cells_done
+    );
+
+    // Resume reproduces the reference frontier bit for bit.
+    let log = Arc::new(EventLog::new());
+    let cancel = Arc::new(CancelToken::new());
+    let resumed = run_campaign(&spec(root_b.clone()), true, &log, &cancel).expect("resumed run");
+    assert_eq!(resumed.cells_done, 2);
+    assert_eq!(
+        resumed.digest(),
+        want,
+        "resumed frontier digest must equal the straight run's"
+    );
+    assert_eq!(resumed.frontier.front_len(), straight.frontier.front_len());
+    assert_eq!(
+        resumed.frontier.archive_len(),
+        straight.frontier.archive_len()
+    );
+
+    // Resuming an already-complete campaign is a no-op with the same digest.
+    let log = Arc::new(EventLog::new());
+    let cancel = Arc::new(CancelToken::new());
+    let again = run_campaign(&spec(root_b.clone()), true, &log, &cancel).expect("idempotent");
+    assert_eq!(again.digest(), want);
+    assert!(log.is_done());
+
+    let _cleanup = std::fs::remove_dir_all(&root_a);
+    let _cleanup = std::fs::remove_dir_all(&root_b);
+}
