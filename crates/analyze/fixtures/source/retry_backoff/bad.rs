@@ -1,0 +1,19 @@
+//! Seeded `retry-backoff` violation: a reconnect loop that sleeps a fixed
+//! literal delay with no growth or jitter. `scripts/check.sh` runs the
+//! source linter over this directory and requires it to FAIL — if this
+//! fixture stops tripping the rule, the analyzer went blind.
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+pub fn wait_for_server(addr: &str) -> TcpStream {
+    loop {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            return stream;
+        }
+        // Fixed 100 ms between attempts: a fleet of these hammers a
+        // recovering server in lockstep. The rule must flag this sleep.
+        thread::sleep(Duration::from_millis(100));
+    }
+}

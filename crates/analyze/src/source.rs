@@ -19,6 +19,7 @@
 //! | `checkpoint-io` | all library code (minus the atomic helpers) | direct `File::create`/`fs::write` of a `.json`/`.bin`/`.ckpt` artifact |
 //! | `lock-unwrap` | all library code             | `.lock().unwrap()` panics on poison; recover or document |
 //! | `raw-spawn`   | all but `crates/backend` (the pool itself) | ad-hoc `thread::spawn`/`.spawn(` bypasses the shared worker pool |
+//! | `retry-backoff` | all library code           | reconnect/retry loop sleeping a fixed literal delay, no backoff/jitter |
 //!
 //! Diagnostics print as `file:line rule message` — one per line, greppable,
 //! and the CLI exits non-zero when any are present.
@@ -128,6 +129,87 @@ fn enclosing_fn_documents_panics(lines: &[LexedLine], idx: usize) -> bool {
     }
     false
 }
+
+/// The nearest enclosing loop header above `idx`, if any: walking upward,
+/// each line whose braces leave it net-open encloses `idx`; the first such
+/// opener that is a `loop`/`while`/`for` is the loop we are inside.
+fn loop_header_above(lines: &[LexedLine], idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..idx).rev() {
+        let code = &lines[i].code;
+        depth += code.matches('{').count() as i32 - code.matches('}').count() as i32;
+        if depth > 0 {
+            let t = code.trim_start();
+            if t.starts_with("loop") || t.starts_with("while ") || t.starts_with("for ") {
+                return Some(i);
+            }
+            // Some other enclosing opener (if/match/fn); consume it and
+            // keep walking — the loop may sit further out.
+            depth -= 1;
+        }
+    }
+    None
+}
+
+/// Joins the code of the loop body starting at `header` until its braces
+/// close (bounded, so a pathological file cannot make this quadratic).
+fn loop_body_code(lines: &[LexedLine], header: usize) -> String {
+    let mut body = String::new();
+    let mut depth = 0i32;
+    let mut opened = false;
+    for line in lines.iter().skip(header).take(200) {
+        depth += line.code.matches('{').count() as i32 - line.code.matches('}').count() as i32;
+        opened |= line.code.contains('{');
+        body.push_str(&line.code);
+        body.push('\n');
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    body
+}
+
+/// Whether a `thread::sleep(…)` call on this line sleeps a fixed literal
+/// `Duration` (as opposed to a computed delay variable).
+fn sleeps_fixed_literal(code: &str) -> bool {
+    let Some(pos) = code.find("thread::sleep(") else {
+        return false;
+    };
+    let arg = &code[pos + "thread::sleep(".len()..];
+    if let Some(from) = arg.find("Duration::from_") {
+        let rest = &arg[from..];
+        if let Some(open) = rest.find('(') {
+            return rest[open + 1..]
+                .trim_start()
+                .starts_with(|c: char| c.is_ascii_digit());
+        }
+    }
+    false
+}
+
+/// Markers that a loop talks to a peer it may need to re-reach.
+const CONNECT_MARKERS: &[&str] = &[
+    ".connect(",
+    "::connect(",
+    "connect_with(",
+    ".reconnect(",
+    "retry",
+];
+
+/// Markers that the delay is actually adaptive: growth, jitter, or an
+/// explicit backoff computation.
+const BACKOFF_MARKERS: &[&str] = &[
+    "backoff",
+    "jitter",
+    "* 2",
+    "*= 2",
+    "<< 1",
+    "saturating_mul",
+    "checked_mul",
+    "saturating_pow",
+    "powi",
+    "powf",
+];
 
 /// Options controlling which rules apply to a file.
 #[derive(Debug, Clone, Copy, Default)]
@@ -326,6 +408,29 @@ pub fn lint_file(path: &str, content: &str) -> Vec<SourceDiagnostic> {
                  with a rationale"
                     .to_string(),
             );
+        }
+
+        // --- retry-backoff ------------------------------------------------
+        // A reconnect/retry loop that sleeps a fixed literal delay hammers
+        // a recovering peer at a constant rate, and a fleet of such clients
+        // does so in lockstep. Retry loops must grow their delay (and
+        // ideally jitter it); see `dance_serve::client::RetryPolicy`.
+        if sleeps_fixed_literal(&code) && !is_allowed(&lines, idx, "retry-backoff") {
+            if let Some(header) = loop_header_above(&lines, idx) {
+                let body = loop_body_code(&lines, header);
+                let connects = CONNECT_MARKERS.iter().any(|m| body.contains(m));
+                let backs_off = BACKOFF_MARKERS.iter().any(|m| body.contains(m));
+                if connects && !backs_off {
+                    emit(
+                        idx,
+                        "retry-backoff",
+                        "retry/reconnect loop sleeps a fixed delay; use jittered \
+                         exponential backoff (e.g. `dance_serve::client::RetryPolicy`) \
+                         or add `// lint: allow(retry-backoff)` with a rationale"
+                            .to_string(),
+                    );
+                }
+            }
         }
 
         // --- checkpoint-io ------------------------------------------------
@@ -634,6 +739,43 @@ mod tests {
         let svc = "fn f() { dance_backend::spawn_service(\"collector\", move || {}).ok(); }\n";
         assert!(rules_hit("crates/serve/src/batch.rs", run).is_empty());
         assert!(rules_hit("crates/serve/src/batch.rs", svc).is_empty());
+    }
+
+    #[test]
+    fn fixed_sleep_retry_loop_is_flagged() {
+        let bad = "fn f(addr: &str) {\n    loop {\n        if std::net::TcpStream::connect(addr).is_ok() { break; }\n        std::thread::sleep(std::time::Duration::from_millis(100));\n    }\n}\n";
+        let d = lint_file("crates/x/src/lib.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "retry-backoff");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn backoff_or_jitter_in_the_loop_passes() {
+        // Growing delay: the sleep is a computed variable, not a literal.
+        let grown = "fn f(addr: &str) {\n    let mut delay = std::time::Duration::from_millis(50);\n    loop {\n        if std::net::TcpStream::connect(addr).is_ok() { break; }\n        std::thread::sleep(delay);\n        delay *= 2;\n    }\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", grown).is_empty());
+        // Fixed literal sleep but an explicit backoff computation in body.
+        let backoff = "fn f(addr: &str, n: u32) {\n    for retry in 0..n {\n        if std::net::TcpStream::connect(addr).is_ok() { break; }\n        let backoff = 50u64.saturating_mul(1 << retry);\n        std::thread::sleep(std::time::Duration::from_millis(backoff));\n    }\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", backoff).is_empty());
+    }
+
+    #[test]
+    fn fixed_sleep_without_reconnect_is_not_a_retry_loop() {
+        // Poll loops (no peer to re-reach) legitimately sleep a fixed tick.
+        let poll = "fn f(flag: &std::sync::atomic::AtomicBool) {\n    while !flag.load(std::sync::atomic::Ordering::SeqCst) {\n        std::thread::sleep(std::time::Duration::from_millis(25));\n    }\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", poll).is_empty());
+        // A sleep outside any loop is fine too.
+        let once = "fn f() { std::thread::sleep(std::time::Duration::from_millis(5)); }\n";
+        assert!(rules_hit("crates/x/src/lib.rs", once).is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_allow_comment_and_test_code_are_exempt() {
+        let allowed = "fn f(addr: &str) {\n    loop {\n        if std::net::TcpStream::connect(addr).is_ok() { break; }\n        // lint: allow(retry-backoff) probe loop in a bounded harness\n        std::thread::sleep(std::time::Duration::from_millis(100));\n    }\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", allowed).is_empty());
+        let in_test = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t(addr: &str) {\n        loop {\n            if std::net::TcpStream::connect(addr).is_ok() { break; }\n            std::thread::sleep(std::time::Duration::from_millis(10));\n        }\n    }\n}\n";
+        assert!(rules_hit("crates/x/src/lib.rs", in_test).is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn fixture_trips_every_rule() {
         "checkpoint-io",
         "lock-unwrap",
         "raw-spawn",
+        "retry-backoff",
     ]
     .into_iter()
     .collect();

@@ -71,8 +71,9 @@ pub mod prelude {
     pub use crate::report::{fmt_f, ResultTable};
     pub use crate::rl::{rl_co_exploration, RlCandidate, RlConfig, RlOutcome};
     pub use crate::search::{
-        dance_search, dance_search_guarded, dance_search_traced, evaluate_fixed, train_derived,
-        EpochStats, Penalty, SearchConfig, SearchConfigBuilder, SearchConfigError, SearchOutcome,
+        arch_digest, dance_search, dance_search_guarded, dance_search_traced, evaluate_fixed,
+        train_derived, EpochStats, Penalty, SearchConfig, SearchConfigBuilder, SearchConfigError,
+        SearchOutcome,
     };
     pub use dance_accel::prelude::*;
     pub use dance_autograd::prelude::*;

@@ -246,6 +246,33 @@ pub struct SearchOutcome {
     pub guard: GuardReport,
 }
 
+impl SearchOutcome {
+    /// The FNV-1a fingerprint of this outcome's final architecture
+    /// probabilities ([`arch_digest`]).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        arch_digest(&self.probs)
+    }
+}
+
+/// FNV-1a digest over final architecture probabilities — the cheap,
+/// deterministic fingerprint every resume/handoff gate in the workspace
+/// compares (`dance_search --resume`, serve job results, fleet handoff).
+///
+/// Folds each probability's `f32` bit pattern as one word (not byte-wise),
+/// matching the historical `arch-digest` lines the CI smokes grep for.
+#[must_use]
+pub fn arch_digest(probs: &[Vec<f32>]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in probs {
+        for p in row {
+            digest ^= u64::from(p.to_bits());
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    digest
+}
+
 fn batch_input(net: &Supernet, batch: &Batch) -> Var {
     net.input_from(&batch.x, batch.batch)
 }

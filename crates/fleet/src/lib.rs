@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # dance-fleet
+//!
+//! A supervised multi-worker search fleet with lease-based job ownership
+//! and bit-exact checkpoint handoff — the robustness half of the
+//! distributed-serve story.
+//!
+//! A long co-exploration run is hours of accumulated optimizer state; a
+//! worker dying mid-search must cost seconds, not the run. The fleet gets
+//! there with three cooperating pieces:
+//!
+//! * [`ledger`] — the durable source of truth. Every job (spec, lifecycle
+//!   state, attempt count) lives in an atomically-rewritten generation
+//!   file; recovery walks back over torn generations exactly like
+//!   checkpoint recovery does.
+//! * [`lease`] — in-memory, time-bounded ownership with attempt-number
+//!   fencing. Workers heartbeat to renew; the supervisor reclaims expired
+//!   leases; stale attempts that wake up later are fenced off so they can
+//!   never clobber a re-dispatched run.
+//! * [`worker`] — the single job-execution path. Checkpoints land every
+//!   epoch *before* the heartbeat fires, so a re-dispatched attempt
+//!   resumes from the last heartbeat's state and reproduces the
+//!   uninterrupted run's `arch-digest` bit-for-bit.
+//!
+//! Two supervisors drive those pieces: [`supervisor`] runs worker threads
+//! in-process (what `dance-serve` mounts behind its `fleet/*` endpoints),
+//! and [`process`] spawns real child processes (what the `dance_fleet`
+//! binary and the SIGKILL chaos drills use).
+//!
+//! Chaos drills are first-class: `dance-guard`'s `FaultPlan` gains
+//! process-level faults (`KillWorker`, `StallHeartbeat`, `TornLedgerWrite`,
+//! `SlowPeer`), carried here as [`worker::AttemptChaos`] knobs, and the
+//! process fleet can deliver a real `SIGKILL` mid-search.
+
+pub mod lease;
+pub mod ledger;
+pub mod process;
+pub mod supervisor;
+pub mod worker;
+
+/// Convenient glob-import of the fleet's most used items.
+pub mod prelude {
+    pub use crate::lease::{Lease, LeaseTable};
+    pub use crate::ledger::{JobRecord, JobSpec, JobStatus, Ledger, LedgerStore};
+    pub use crate::process::{run_process_fleet, ProcessFleetConfig, ProcessReport};
+    pub use crate::supervisor::{Fleet, FleetCounts, FleetOpts, JobView, WorkerHealth};
+    pub use crate::worker::{run_job, worker_main, AttemptChaos, JobOutcome, WorkerArgs};
+}

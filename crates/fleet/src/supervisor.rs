@@ -1,0 +1,736 @@
+//! The in-process fleet: worker threads, a lease supervisor and the
+//! durable ledger behind one handle.
+//!
+//! This is the embeddable flavor `dance-serve` mounts behind its
+//! `fleet/*` endpoints and the one the recovery tests drill — same ledger,
+//! same lease state machine, same [`crate::worker::run_job`] execution path
+//! as the process fleet in [`crate::process`], with thread workers standing
+//! in for child processes. A "killed" worker here is a thread that abandons
+//! its attempt without releasing the lease; the supervisor reclaims the
+//! lease on expiry and the next dispatch resumes from the last durable
+//! checkpoint.
+//!
+//! Locking follows the workspace single-lock rule: all mutable state lives
+//! in one `Mutex<Core>` taken as a statement temporary, never across I/O or
+//! a join. Ledger writes happen outside that lock under a dedicated leaf
+//! mutex, ordered by a save sequence so a stale render can never clobber a
+//! newer generation.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use dance::prelude::{LambdaWarmup, SearchConfig};
+
+use crate::lease::LeaseTable;
+use crate::ledger::{JobRecord, JobSpec, JobStatus, Ledger, LedgerStore};
+use crate::worker::{panic_message, run_job, AttemptChaos};
+
+/// Sentinel panic a chaos-killed in-process attempt dies with.
+const FLEET_KILL: &str = "FLEET_KILL";
+/// Sentinel panic an attempt raises when its lease renewal is fenced off.
+const FLEET_FENCED: &str = "FLEET_FENCED";
+
+/// Configuration for [`Fleet::start`].
+#[derive(Debug, Clone)]
+pub struct FleetOpts {
+    /// Root directory: the ledger lives in `<dir>/ledger`, per-job
+    /// checkpoints under `<dir>/ckpt/<job-id>`.
+    pub dir: PathBuf,
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Lease TTL in milliseconds. Heartbeats are per-epoch, so this must
+    /// comfortably exceed one epoch's wall time.
+    pub lease_ttl_ms: u64,
+    /// Scripted misbehavior, applied to each job's *first* attempt only —
+    /// re-dispatched attempts run clean, which is what lets a drill assert
+    /// recovery instead of looping forever.
+    pub chaos: AttemptChaos,
+    /// Torn-ledger-write script for the store (fault-injection builds).
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<dance_guard::fault::FaultPlan>,
+}
+
+impl FleetOpts {
+    /// Defaults: 2 workers, 3 s leases, no chaos.
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            workers: 2,
+            lease_ttl_ms: 3_000,
+            chaos: AttemptChaos::default(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the lease TTL.
+    #[must_use]
+    pub fn with_lease_ttl_ms(mut self, ttl: u64) -> Self {
+        self.lease_ttl_ms = ttl.max(1);
+        self
+    }
+
+    /// Scripts first-attempt chaos.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: AttemptChaos) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Scripts ledger faults (torn generation writes).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: dance_guard::fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// One worker's health as the supervisor sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// `idle` / `busy` / `suspect` (lease expired while it held a job).
+    pub state: String,
+    /// The job currently held, if busy.
+    pub job: Option<String>,
+    /// Jobs completed by this worker.
+    pub done: u64,
+    /// Last heartbeat, fleet-clock milliseconds.
+    pub last_beat_ms: u64,
+}
+
+impl WorkerHealth {
+    fn idle() -> Self {
+        Self {
+            state: "idle".to_string(),
+            job: None,
+            done: 0,
+            last_beat_ms: 0,
+        }
+    }
+}
+
+/// Read-only view of one job's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobView {
+    /// Job id (`fjob-<hex16>`).
+    pub id: String,
+    /// Lifecycle label (`pending` / `leased` / `done` / `failed`).
+    pub state: String,
+    /// Dispatch attempts so far.
+    pub attempt: u64,
+    /// Current lease holder, while leased.
+    pub worker: Option<String>,
+    /// Final `arch-digest`, once done.
+    pub digest: Option<u64>,
+    /// Epochs the search ran, once done.
+    pub epochs: Option<u64>,
+    /// Failure cause, if failed.
+    pub error: Option<String>,
+}
+
+/// Snapshot of the whole fleet for health endpoints and drills.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCounts {
+    /// Jobs waiting for a worker.
+    pub pending: usize,
+    /// Jobs under a live lease.
+    pub leased: usize,
+    /// Jobs finished.
+    pub done: usize,
+    /// Jobs failed.
+    pub failed: usize,
+    /// Leases reclaimed after expiry.
+    pub reclaims: u64,
+    /// Results discarded by fencing (stale attempt finished late).
+    pub fenced: u64,
+    /// Reclaim-to-redispatch latencies, fleet-clock milliseconds.
+    pub recoveries_ms: Vec<u64>,
+    /// Whether the fleet stopped accepting new jobs.
+    pub draining: bool,
+    /// Per-worker health, keyed by worker name.
+    pub workers: BTreeMap<String, WorkerHealth>,
+}
+
+struct Core {
+    ledger: Ledger,
+    leases: LeaseTable,
+    health: BTreeMap<String, WorkerHealth>,
+    /// Reclaim stamps awaiting re-dispatch, for the recovery histogram.
+    reclaimed_at: BTreeMap<String, u64>,
+    recoveries_ms: Vec<u64>,
+    reclaims: u64,
+    fenced: u64,
+    draining: bool,
+    dirty: bool,
+    save_seq: u64,
+}
+
+struct Saver {
+    store: LedgerStore,
+    last_seq: u64,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    saver: Mutex<Saver>,
+    start: Instant,
+    shutdown: AtomicBool,
+    ckpt_root: PathBuf,
+    chaos: AttemptChaos,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn core(&self) -> std::sync::MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Persists the ledger if dirty. Renders under the core lock, writes
+    /// under the saver lock; the save sequence keeps generations ordered
+    /// even when saves race.
+    fn persist(&self) {
+        let job = {
+            let mut core = self.core();
+            if !core.dirty {
+                None
+            } else {
+                core.dirty = false;
+                core.save_seq += 1;
+                Some((core.ledger.clone(), core.save_seq))
+            }
+        };
+        if let Some((ledger, seq)) = job {
+            let mut saver = self.saver.lock().unwrap_or_else(PoisonError::into_inner);
+            if seq > saver.last_seq {
+                saver.last_seq = seq;
+                if let Err(e) = saver.store.save(&ledger) {
+                    eprintln!("fleet: ledger save failed: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Handle to a running in-process fleet.
+pub struct Fleet {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Opens (or creates) the ledger under `opts.dir` and starts the
+    /// worker and supervisor threads. Jobs recovered from a previous
+    /// incarnation come back `pending` and are re-dispatched immediately,
+    /// resuming from their checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger/checkpoint directory creation failures.
+    pub fn start(opts: FleetOpts) -> io::Result<Self> {
+        #[allow(unused_mut)] // mut needed only with fault-injection
+        let (mut store, ledger, skipped) = LedgerStore::open(&opts.dir.join("ledger"))?;
+        if skipped > 0 {
+            eprintln!("fleet: skipped {skipped} torn ledger generation(s) on recovery");
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = opts.fault_plan.clone() {
+            store.set_fault_plan(plan);
+        }
+        let ckpt_root = opts.dir.join("ckpt");
+        std::fs::create_dir_all(&ckpt_root)?;
+        let workers = opts.workers.max(1);
+        let mut health = BTreeMap::new();
+        for w in 0..workers {
+            health.insert(format!("fleet-w{w}"), WorkerHealth::idle());
+        }
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                ledger,
+                leases: LeaseTable::new(opts.lease_ttl_ms),
+                health,
+                reclaimed_at: BTreeMap::new(),
+                recoveries_ms: Vec::new(),
+                reclaims: 0,
+                fenced: 0,
+                draining: false,
+                dirty: false,
+                save_seq: 0,
+            }),
+            saver: Mutex::new(Saver { store, last_seq: 0 }),
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            ckpt_root,
+            chaos: opts.chaos,
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for w in 0..workers {
+            let s = Arc::clone(&shared);
+            let name = format!("fleet-w{w}");
+            threads.push(dance_backend::spawn_service(&name.clone(), move || {
+                worker_loop(&s, &name);
+            })?);
+        }
+        let s = Arc::clone(&shared);
+        threads.push(dance_backend::spawn_service(
+            "fleet-supervisor",
+            move || {
+                supervisor_loop(&s);
+            },
+        )?);
+        Ok(Self { shared, threads })
+    }
+
+    /// Validates and submits a job. Submission is idempotent: the id is
+    /// the spec digest, so re-submitting the same spec returns the
+    /// existing job with `deduped = true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the spec fails search-config validation
+    /// or the fleet is draining.
+    pub fn submit(&self, spec: JobSpec) -> Result<(String, bool), String> {
+        // Validate the whole search configuration up front so a bad spec
+        // fails at submission, not inside a worker thread.
+        SearchConfig::builder()
+            .epochs(usize::try_from(spec.epochs).unwrap_or(64).clamp(1, 64))
+            .batch_size(usize::try_from(spec.batch).unwrap_or(32).clamp(2, 256))
+            .lambda2(LambdaWarmup::ramp(spec.lambda2(), 1))
+            .seed(spec.seed)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let out = {
+            let mut core = self.shared.core();
+            if core.draining {
+                return Err("fleet is draining".to_string());
+            }
+            let (id, deduped) = core.ledger.submit(spec);
+            if !deduped {
+                core.dirty = true;
+                dance_telemetry::counter!("fleet.jobs.submitted");
+            }
+            (id, deduped)
+        };
+        self.shared.persist();
+        Ok(out)
+    }
+
+    /// One job's current state.
+    #[must_use]
+    pub fn status(&self, job: &str) -> Option<JobView> {
+        let core = self.shared.core();
+        core.ledger.jobs.get(job).map(|r| job_view(job, r))
+    }
+
+    /// Stops accepting new jobs; queued and leased work still completes.
+    pub fn drain(&self) {
+        let mut core = self.shared.core();
+        core.draining = true;
+    }
+
+    /// Whether every submitted job reached a terminal state.
+    #[must_use]
+    pub fn is_settled(&self) -> bool {
+        self.shared.core().ledger.all_settled()
+    }
+
+    /// Polls until every job settles or `timeout` passes. Returns whether
+    /// the fleet settled.
+    #[must_use]
+    pub fn wait_settled(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.is_settled() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.is_settled()
+    }
+
+    /// Snapshot of counts, per-worker health and recovery latencies.
+    #[must_use]
+    pub fn counts(&self) -> FleetCounts {
+        let core = self.shared.core();
+        let (pending, leased, done, failed) = core.ledger.counts();
+        FleetCounts {
+            pending,
+            leased,
+            done,
+            failed,
+            reclaims: core.reclaims,
+            fenced: core.fenced,
+            recoveries_ms: core.recoveries_ms.clone(),
+            draining: core.draining,
+            workers: core.health.clone(),
+        }
+    }
+
+    /// All jobs, sorted by id.
+    #[must_use]
+    pub fn jobs(&self) -> Vec<JobView> {
+        let core = self.shared.core();
+        core.ledger
+            .jobs
+            .iter()
+            .map(|(id, r)| job_view(id, r))
+            .collect()
+    }
+
+    /// Stops the fleet: signals shutdown, joins every thread and persists
+    /// the final ledger state.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Joins happen with no lock held; worker threads only ever take
+        // the core lock as a statement temporary.
+        for t in self.threads.drain(..) {
+            let _unused = t.join();
+        }
+        {
+            let mut core = self.shared.core();
+            core.dirty = true;
+        }
+        self.shared.persist();
+    }
+}
+
+fn job_view(id: &str, r: &JobRecord) -> JobView {
+    let mut v = JobView {
+        id: id.to_string(),
+        state: r.status.label().to_string(),
+        attempt: r.attempt,
+        worker: None,
+        digest: None,
+        epochs: None,
+        error: None,
+    };
+    match &r.status {
+        JobStatus::Leased { worker } => v.worker = Some(worker.clone()),
+        JobStatus::Done { digest, epochs } => {
+            v.digest = Some(*digest);
+            v.epochs = Some(*epochs);
+        }
+        JobStatus::Failed { error } => v.error = Some(error.clone()),
+        JobStatus::Pending => {}
+    }
+    v
+}
+
+/// Claims the first pending job for `worker`, bumping its attempt (the
+/// fencing token) and granting the lease.
+fn claim_next(shared: &Shared, worker: &str) -> Option<(String, JobSpec, u64)> {
+    let now = shared.now_ms();
+    let mut core = shared.core();
+    let id = core
+        .ledger
+        .jobs
+        .iter()
+        .find(|(_, r)| r.status == JobStatus::Pending)
+        .map(|(id, _)| id.clone())?;
+    let (spec, attempt) = {
+        let rec = core.ledger.jobs.get_mut(&id).expect("job just found");
+        rec.attempt += 1;
+        rec.status = JobStatus::Leased {
+            worker: worker.to_string(),
+        };
+        (rec.spec, rec.attempt)
+    };
+    core.leases.grant(&id, worker, attempt, now);
+    if let Some(t0) = core.reclaimed_at.remove(&id) {
+        let latency = now.saturating_sub(t0);
+        core.recoveries_ms.push(latency);
+        dance_telemetry::histogram!("fleet.recovery_ms", latency as f64);
+    }
+    if let Some(h) = core.health.get_mut(worker) {
+        h.state = "busy".to_string();
+        h.job = Some(id.clone());
+        h.last_beat_ms = now;
+    }
+    core.dirty = true;
+    Some((id, spec, attempt))
+}
+
+fn worker_loop(shared: &Shared, worker: &str) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match claim_next(shared, worker) {
+            Some((id, spec, attempt)) => {
+                shared.persist();
+                execute_attempt(shared, worker, &id, spec, attempt);
+                shared.persist();
+            }
+            None => {
+                let settled = {
+                    let core = shared.core();
+                    core.draining && core.ledger.all_settled()
+                };
+                if settled {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Runs one attempt end to end: heartbeat-renewing observer, chaos
+/// script on first attempts, fencing-checked completion.
+fn execute_attempt(shared: &Shared, worker: &str, id: &str, spec: JobSpec, attempt: u64) {
+    let ckpt_dir = shared.ckpt_root.join(id);
+    let resume = attempt > 1;
+    let chaos = if attempt == 1 {
+        shared.chaos
+    } else {
+        AttemptChaos::default()
+    };
+    let mut stalled = false;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_job(&spec, &ckpt_dir, resume, &mut |epoch| {
+            if let Some(ms) = chaos.slow_ms {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            if chaos.stall_from.is_some_and(|s| epoch >= s) {
+                stalled = true;
+            }
+            if !stalled {
+                let now = shared.now_ms();
+                let renewed = {
+                    let mut core = shared.core();
+                    let renewed = core.leases.renew(id, worker, attempt, now);
+                    if renewed {
+                        if let Some(h) = core.health.get_mut(worker) {
+                            h.last_beat_ms = now;
+                        }
+                    }
+                    renewed
+                };
+                if !renewed {
+                    // Fenced off: the lease expired and the job belongs to
+                    // someone else now. Abandon the attempt.
+                    panic!("{FLEET_FENCED}");
+                }
+            }
+            if chaos.kill_after == Some(epoch) {
+                // The in-process stand-in for SIGKILL: vanish without
+                // releasing the lease; the supervisor reclaims it.
+                panic!("{FLEET_KILL}");
+            }
+        })
+    }));
+    let mut core = shared.core();
+    if let Some(h) = core.health.get_mut(worker) {
+        h.state = "idle".to_string();
+        h.job = None;
+    }
+    match result {
+        Ok(out) => {
+            // A stalled worker cannot reach the supervisor at all — its
+            // finished result dies with it, exactly like a late release
+            // from a fenced attempt.
+            if !stalled && core.leases.release(id, worker, attempt) {
+                if let Some(rec) = core.ledger.jobs.get_mut(id) {
+                    rec.status = JobStatus::Done {
+                        digest: out.digest,
+                        epochs: out.epochs,
+                    };
+                }
+                if let Some(h) = core.health.get_mut(worker) {
+                    h.done += 1;
+                }
+                core.dirty = true;
+                dance_telemetry::counter!("fleet.jobs.done");
+            } else {
+                core.fenced += 1;
+                dance_telemetry::counter!("fleet.result.fenced");
+            }
+        }
+        Err(panic) => {
+            let msg = panic_message(panic.as_ref());
+            if msg == FLEET_KILL || msg == FLEET_FENCED {
+                // Killed: leave the lease to expire (that *is* the drill).
+                // Fenced: the supervisor already reverted the job.
+            } else if core.leases.release(id, worker, attempt) {
+                if let Some(rec) = core.ledger.jobs.get_mut(id) {
+                    rec.status = JobStatus::Failed { error: msg };
+                }
+                core.dirty = true;
+                dance_telemetry::counter!("fleet.jobs.failed");
+            }
+        }
+    }
+}
+
+fn supervisor_loop(shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let now = shared.now_ms();
+        {
+            let mut core = shared.core();
+            let expired = core.leases.expire(now);
+            for (job, lease) in expired {
+                core.reclaims += 1;
+                dance_telemetry::counter!("fleet.lease.reclaimed");
+                if let Some(rec) = core.ledger.jobs.get_mut(&job) {
+                    if matches!(rec.status, JobStatus::Leased { .. }) {
+                        rec.status = JobStatus::Pending;
+                    }
+                }
+                core.reclaimed_at.insert(job, now);
+                if let Some(h) = core.health.get_mut(&lease.worker) {
+                    h.state = "suspect".to_string();
+                    h.job = None;
+                }
+                core.dirty = true;
+            }
+        }
+        shared.persist();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dance_fleet_{name}_{}", std::process::id()));
+        let _unused = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const DEADLINE: Duration = Duration::from_secs(120);
+
+    #[test]
+    fn clean_fleet_settles_and_matches_direct_digests() {
+        let dir = tmp_dir("sup_clean");
+        let fleet = Fleet::start(FleetOpts::new(dir.clone()).with_workers(2)).expect("start");
+        let specs = [JobSpec::new(3, 16, 41, 0.1), JobSpec::new(3, 16, 42, 0.1)];
+        let mut ids = Vec::new();
+        for spec in specs {
+            let (id, deduped) = fleet.submit(spec).expect("submit");
+            assert!(!deduped);
+            ids.push((id, spec));
+        }
+        // Idempotent: the same spec resolves to the same job.
+        let (again, deduped) = fleet.submit(specs[0]).expect("resubmit");
+        assert!(deduped);
+        assert_eq!(again, ids[0].0);
+
+        assert!(fleet.wait_settled(DEADLINE), "fleet must settle");
+        for (id, spec) in &ids {
+            let view = fleet.status(id).expect("status");
+            assert_eq!(view.state, "done", "job {id}: {:?}", view.error);
+            let reference = run_job(&spec.clone(), &tmp_dir("sup_clean_ref"), false, &mut |_| {});
+            assert_eq!(view.digest, Some(reference.digest));
+        }
+        let counts = fleet.counts();
+        assert_eq!(counts.done, 2);
+        assert_eq!(counts.reclaims, 0);
+        fleet.shutdown();
+        let _cleanup = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn draining_fleet_rejects_new_jobs() {
+        let dir = tmp_dir("sup_drain");
+        let fleet = Fleet::start(FleetOpts::new(dir.clone()).with_workers(1)).expect("start");
+        fleet.drain();
+        let err = fleet
+            .submit(JobSpec::new(2, 16, 1, 0.1))
+            .expect_err("draining fleet must reject");
+        assert!(err.contains("draining"));
+        assert!(fleet.counts().draining);
+        fleet.shutdown();
+        let _cleanup = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_attempt_is_reclaimed_and_resumes_bit_exact() {
+        let dir = tmp_dir("sup_kill");
+        let ref_dir = tmp_dir("sup_kill_ref");
+        let spec = JobSpec::new(4, 16, 51, 0.1);
+        let straight = run_job(&spec, &ref_dir, false, &mut |_| {});
+
+        let chaos = AttemptChaos {
+            kill_after: Some(1),
+            stall_from: None,
+            slow_ms: None,
+        };
+        // Short TTL so the reclaim happens fast.
+        let fleet = Fleet::start(
+            FleetOpts::new(dir.clone())
+                .with_workers(2)
+                .with_lease_ttl_ms(300)
+                .with_chaos(chaos),
+        )
+        .expect("start");
+        let (id, _) = fleet.submit(spec).expect("submit");
+        assert!(fleet.wait_settled(DEADLINE), "fleet must settle");
+        let view = fleet.status(&id).expect("status");
+        assert_eq!(view.state, "done", "job: {:?}", view.error);
+        assert_eq!(view.digest, Some(straight.digest), "handoff is bit-exact");
+        assert!(view.attempt >= 2, "job was re-dispatched");
+        let counts = fleet.counts();
+        assert!(counts.reclaims >= 1, "lease was reclaimed");
+        assert!(
+            !counts.recoveries_ms.is_empty(),
+            "recovery latency recorded"
+        );
+        fleet.shutdown();
+        let _cleanup = std::fs::remove_dir_all(&dir);
+        let _cleanup2 = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn fleet_restart_recovers_done_jobs_from_the_ledger() {
+        let dir = tmp_dir("sup_restart");
+        let spec = JobSpec::new(3, 16, 61, 0.1);
+        let (id, digest) = {
+            let fleet = Fleet::start(FleetOpts::new(dir.clone()).with_workers(1)).expect("start");
+            let (id, _) = fleet.submit(spec).expect("submit");
+            assert!(fleet.wait_settled(DEADLINE));
+            let digest = fleet.status(&id).expect("status").digest.expect("digest");
+            fleet.shutdown();
+            (id, digest)
+        };
+        // A new incarnation over the same dir sees the finished job.
+        let fleet = Fleet::start(FleetOpts::new(dir.clone()).with_workers(1)).expect("restart");
+        let view = fleet.status(&id).expect("recovered job");
+        assert_eq!(view.state, "done");
+        assert_eq!(view.digest, Some(digest));
+        fleet.shutdown();
+        let _cleanup = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_up_front() {
+        let dir = tmp_dir("sup_invalid");
+        let fleet = Fleet::start(FleetOpts::new(dir.clone()).with_workers(1)).expect("start");
+        let err = fleet
+            .submit(JobSpec::new(2, 16, 1, f32::NAN))
+            .expect_err("NaN lambda2 must be rejected");
+        assert!(!err.is_empty());
+        fleet.shutdown();
+        let _cleanup = std::fs::remove_dir_all(&dir);
+    }
+}

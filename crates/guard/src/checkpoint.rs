@@ -13,6 +13,14 @@
 //! old files past `keep_last`, and on resume walks backwards from the
 //! newest file, skipping anything corrupt — a truncated checkpoint costs
 //! one epoch of progress, never the run.
+//!
+//! The tensor text format is line-oriented, so a file truncated exactly at
+//! a record boundary still parses — just with its tail records silently
+//! missing. To close that hole every save appends a `guard.end` footer
+//! item carrying an FNV fold over all preceding records; `latest_good`
+//! recomputes the fold and rejects any file whose footer is absent or
+//! disagrees, so a torn snapshot is never served no matter where the cut
+//! landed.
 
 use std::fs;
 use std::io;
@@ -25,6 +33,37 @@ use rand::rngs::StdRng;
 
 /// Schema version stamped into every snapshot under the `guard.version` key.
 pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Key of the integrity footer [`CheckpointStore::save`] appends as the
+/// final record of every checkpoint file.
+const INTEGRITY_KEY: &str = "guard.end";
+
+/// FNV-1a word fold over every record that precedes the integrity footer:
+/// item count, then each name (bytes), shape (dims) and value bit pattern.
+/// A file truncated at a record boundary parses but loses its tail, which
+/// shows up here as a changed count/fold.
+fn integrity_fold(items: &[(String, Tensor)]) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = BASIS;
+    let mix = |h: &mut u64, w: u64| {
+        *h ^= w;
+        *h = h.wrapping_mul(PRIME);
+    };
+    mix(&mut h, items.len() as u64);
+    for (name, tensor) in items {
+        for &b in name.as_bytes() {
+            mix(&mut h, u64::from(b));
+        }
+        for &d in tensor.shape() {
+            mix(&mut h, d as u64);
+        }
+        for &v in tensor.data() {
+            mix(&mut h, u64::from(v.to_bits()));
+        }
+    }
+    h
+}
 
 fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -271,8 +310,9 @@ impl CheckpointStore {
         self.cfg.dir.join(format!("epoch-{epoch:04}.ckpt"))
     }
 
-    /// Atomically writes `snapshot` as the checkpoint for `epoch`, then
-    /// prunes files beyond `keep_last`.
+    /// Atomically writes `snapshot` as the checkpoint for `epoch` — with a
+    /// fresh `guard.end` integrity footer as the final record — then prunes
+    /// files beyond `keep_last`.
     ///
     /// # Errors
     ///
@@ -280,7 +320,21 @@ impl CheckpointStore {
     /// are ignored — stale files only cost disk).
     pub fn save(&self, epoch: usize, snapshot: &Snapshot) -> io::Result<PathBuf> {
         let path = self.path_for(epoch);
-        save_tensors(&path, snapshot.items())
+        // Strip any footer a re-saved loaded snapshot carried: put_tensor
+        // would overwrite it in place, leaving the footer mid-file where it
+        // no longer guards the tail.
+        let mut items: Vec<(String, Tensor)> = snapshot
+            .items()
+            .iter()
+            .filter(|(name, _)| name != INTEGRITY_KEY)
+            .cloned()
+            .collect();
+        let fold = integrity_fold(&items);
+        items.push((
+            INTEGRITY_KEY.to_string(),
+            Tensor::from_vec(u64_to_f32s(fold).to_vec(), &[2]),
+        ));
+        save_tensors(&path, &items)
             .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
         let files = self.list();
         if files.len() > self.cfg.keep_last {
@@ -315,25 +369,15 @@ impl CheckpointStore {
 
     /// The newest checkpoint that actually loads, with its epoch.
     ///
-    /// Corrupt or truncated files are skipped with a warning (and the
-    /// `guard.checkpoint.skipped` telemetry counter); `None` means the
-    /// directory has no readable checkpoint at all.
+    /// Corrupt, torn or truncated files are skipped with a warning (and
+    /// the `guard.checkpoint.skipped` telemetry counter); `None` means the
+    /// directory has no readable checkpoint at all. The returned snapshot
+    /// passed the `guard.end` integrity check, so every record the save
+    /// wrote is present and bit-identical.
     pub fn latest_good(&self) -> Option<(usize, Snapshot)> {
         for (epoch, path) in self.list().into_iter().rev() {
-            match load_tensors(&path) {
-                Ok(items) => {
-                    let snap = Snapshot::from_items(items);
-                    match snap.u64_at("guard.version") {
-                        Ok(SNAPSHOT_VERSION) => return Some((epoch, snap)),
-                        Ok(v) => eprintln!(
-                            "dance-guard: {} has snapshot version {v}, expected {SNAPSHOT_VERSION}; skipping",
-                            path.display()
-                        ),
-                        Err(e) => {
-                            eprintln!("dance-guard: {} unreadable: {e}; skipping", path.display());
-                        }
-                    }
-                }
+            match load_tensors(&path).and_then(verify_snapshot) {
+                Ok(snap) => return Some((epoch, snap)),
                 Err(e) => {
                     eprintln!("dance-guard: {} unreadable: {e}; skipping", path.display());
                 }
@@ -342,6 +386,40 @@ impl CheckpointStore {
         }
         None
     }
+}
+
+/// Checks version stamp and integrity footer of freshly loaded items.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the snapshot version is missing or wrong,
+/// when the `guard.end` footer is absent (a parseable record-boundary
+/// truncation), or when the recomputed fold disagrees with the stored one.
+fn verify_snapshot(items: Vec<(String, Tensor)>) -> io::Result<Snapshot> {
+    let snap = Snapshot::from_items(items);
+    match snap.u64_at("guard.version")? {
+        SNAPSHOT_VERSION => {}
+        v => {
+            return Err(bad_data(format!(
+                "snapshot version {v}, expected {SNAPSHOT_VERSION}"
+            )))
+        }
+    }
+    let stored = snap.u64_at(INTEGRITY_KEY).map_err(|_| {
+        bad_data("integrity footer missing — file truncated at a record boundary".to_string())
+    })?;
+    let body: Vec<(String, Tensor)> = snap
+        .items()
+        .iter()
+        .filter(|(name, _)| name != INTEGRITY_KEY)
+        .cloned()
+        .collect();
+    if integrity_fold(&body) != stored {
+        return Err(bad_data(
+            "integrity footer mismatch — torn or corrupt records".to_string(),
+        ));
+    }
+    Ok(snap)
 }
 
 /// Atomically writes a text artifact: content lands in a sibling temporary
@@ -464,6 +542,51 @@ mod tests {
         let (epoch, snap) = store.latest_good().expect("older checkpoint survives");
         assert_eq!(epoch, 0);
         assert_eq!(snap.u64_at("meta.epoch").expect("epoch present"), 0);
+        let _cleanup = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_good_rejects_record_boundary_truncation() {
+        let dir = temp_dir("boundary");
+        let _fresh = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(CheckpointConfig::every_epoch(&dir));
+        for epoch in [0usize, 1] {
+            let mut snap = Snapshot::new();
+            snap.put_u64("meta.epoch", epoch as u64);
+            snap.put_f64s("meta.payload", &[1.0, 2.0, 3.0]);
+            store.save(epoch, &snap).expect("save");
+        }
+        // Cut the newest file at a line boundary: the remaining prefix is a
+        // perfectly parseable tensor file, just missing its tail records.
+        let full = fs::read_to_string(store.path_for(1)).expect("read back");
+        let lines: Vec<&str> = full.lines().collect();
+        assert!(lines.len() > 2, "need records to drop");
+        for keep in 1..lines.len() {
+            let prefix = lines[..keep].join("\n") + "\n";
+            fs::write(store.path_for(1), prefix).expect("truncate at boundary");
+            let (epoch, snap) = store.latest_good().expect("epoch 0 survives");
+            assert_eq!(epoch, 0, "prefix of {keep} lines was served");
+            assert_eq!(snap.u64_at("meta.epoch").expect("epoch present"), 0);
+        }
+        let _cleanup = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resaving_a_loaded_snapshot_keeps_the_footer_last() {
+        let dir = temp_dir("resave");
+        let _fresh = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(CheckpointConfig::every_epoch(&dir));
+        let mut snap = Snapshot::new();
+        snap.put_u64("meta.epoch", 7);
+        store.save(0, &snap).expect("save");
+        // Round-trip: the loaded snapshot carries the footer mid-items once
+        // more keys are appended; a re-save must still verify.
+        let (_, mut loaded) = store.latest_good().expect("good checkpoint");
+        loaded.put_u64("meta.extra", 9);
+        store.save(1, &loaded).expect("re-save");
+        let (epoch, back) = store.latest_good().expect("re-saved verifies");
+        assert_eq!(epoch, 1);
+        assert_eq!(back.u64_at("meta.extra").expect("extra present"), 9);
         let _cleanup = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,137 @@
+//! Fleet endpoints' backing state: a [`dance_fleet`] in-process supervisor
+//! mounted behind `fleet/submit`, `fleet/status` and `fleet/drain`.
+//!
+//! Submission is idempotent by construction — the job id is the digest of
+//! the spec, so a client retrying a `fleet/submit` after a transport
+//! failure lands on the same job instead of spawning a duplicate search.
+//! That is what makes `fleet/submit` safe under the client's retry policy
+//! while `campaign/submit` is not.
+
+use std::path::Path;
+
+use dance_fleet::prelude::{Fleet, FleetOpts, JobSpec};
+use dance_telemetry::json::push_escaped;
+
+/// The server's handle on its fleet supervisor.
+pub struct FleetTable {
+    fleet: Fleet,
+}
+
+impl std::fmt::Debug for FleetTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetTable").finish_non_exhaustive()
+    }
+}
+
+impl FleetTable {
+    /// Starts an in-process fleet rooted at `dir` (ledger + checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns the supervisor's error string when the ledger directory
+    /// cannot be created or opened.
+    pub fn start(dir: &Path, workers: usize, lease_ttl_ms: u64) -> Result<Self, String> {
+        let opts = FleetOpts::new(dir.to_path_buf())
+            .with_workers(workers.max(1))
+            .with_lease_ttl_ms(lease_ttl_ms);
+        let fleet = Fleet::start(opts).map_err(|e| format!("fleet start: {e}"))?;
+        Ok(Self { fleet })
+    }
+
+    /// Submits a job spec; returns `(job_id, deduped)` rendered as a JSON
+    /// fragment, or an error string for invalid specs / draining fleets.
+    pub fn submit(
+        &self,
+        epochs: usize,
+        batch: usize,
+        seed: u64,
+        lambda2: f32,
+    ) -> Result<String, String> {
+        let spec = JobSpec::new(epochs as u64, batch as u64, seed, lambda2);
+        let (job, deduped) = self.fleet.submit(spec)?;
+        let mut out = String::new();
+        out.push_str("\"job\":");
+        push_escaped(&mut out, &job);
+        out.push_str(",\"deduped\":");
+        out.push_str(if deduped { "true" } else { "false" });
+        Ok(out)
+    }
+
+    /// One job's view as a JSON fragment, or `None` for unknown ids.
+    pub fn status(&self, job: &str) -> Option<String> {
+        let view = self.fleet.status(job)?;
+        let mut out = String::new();
+        out.push_str("\"job\":");
+        push_escaped(&mut out, &view.id);
+        out.push_str(",\"state\":");
+        push_escaped(&mut out, &view.state);
+        out.push_str(&format!(",\"attempt\":{}", view.attempt));
+        if let Some(worker) = &view.worker {
+            out.push_str(",\"worker\":");
+            push_escaped(&mut out, worker);
+        }
+        if let Some(digest) = view.digest {
+            out.push_str(",\"digest\":");
+            push_escaped(&mut out, &format!("{digest:016x}"));
+        }
+        if let Some(epochs) = view.epochs {
+            out.push_str(&format!(",\"ran\":{epochs}"));
+        }
+        if let Some(error) = &view.error {
+            out.push_str(",\"error\":");
+            push_escaped(&mut out, error);
+        }
+        Some(out)
+    }
+
+    /// Stops accepting new jobs; in-flight jobs run to completion.
+    pub fn drain(&self) -> String {
+        self.fleet.drain();
+        let mut out = String::from("\"draining\":true,");
+        out.push_str(&self.health_fragment());
+        out
+    }
+
+    /// The `"fleet":{...}` health fragment: job counts, lease-recovery
+    /// counters, and per-worker state.
+    #[must_use]
+    pub fn health_fragment(&self) -> String {
+        let c = self.fleet.counts();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\"jobs\":{{\"pending\":{},\"leased\":{},\"done\":{},\"failed\":{}}}",
+            c.pending, c.leased, c.done, c.failed
+        ));
+        out.push_str(&format!(
+            ",\"reclaims\":{},\"fenced\":{},\"recoveries\":{}",
+            c.reclaims,
+            c.fenced,
+            c.recoveries_ms.len()
+        ));
+        out.push_str(",\"workers\":[");
+        let mut first = true;
+        for (name, health) in &c.workers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            push_escaped(&mut out, name);
+            out.push_str(",\"state\":");
+            push_escaped(&mut out, &health.state);
+            if let Some(job) = &health.job {
+                out.push_str(",\"job\":");
+                push_escaped(&mut out, job);
+            }
+            out.push_str(&format!(",\"done\":{}", health.done));
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    /// Shuts the supervisor down, joining its worker threads.
+    pub fn shutdown(self) {
+        self.fleet.shutdown();
+    }
+}

@@ -268,19 +268,6 @@ fn worker_loop(shared: &JobsShared) {
     }
 }
 
-/// FNV-1a digest over the final architecture probabilities — a cheap,
-/// deterministic fingerprint clients can compare across runs.
-fn arch_digest(probs: &[Vec<f32>]) -> u64 {
-    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-    for row in probs {
-        for p in row {
-            digest ^= u64::from(p.to_bits());
-            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    digest
-}
-
 fn run_search(shared: &JobsShared, spec: &JobSpec) -> (String, GuardReport) {
     let cfg = spec.cfg;
     let bench = Benchmark::tiny(cfg.seed);
@@ -314,7 +301,7 @@ fn render_outcome(spec: &JobSpec, out: &SearchOutcome) -> String {
         push_num(&mut payload, c.index() as f64);
     }
     payload.push_str("],\"digest\":");
-    push_escaped(&mut payload, &format!("{:016x}", arch_digest(&out.probs)));
+    push_escaped(&mut payload, &format!("{:016x}", out.digest()));
     payload.push_str(",\"epochs\":");
     push_num(&mut payload, out.history.len() as f64);
     if let Some(last) = out.history.last() {

@@ -21,7 +21,12 @@
 //! * **`campaign/submit|status|stream|cancel`** — co-search campaigns
 //!   ([`campaign::CampaignTable`]) orchestrated by `dance-campaign`, with
 //!   `campaign/stream` holding the connection open and writing NDJSON
-//!   `frontier_update` events (replayable from any offset via `from`).
+//!   `frontier_update` events (replayable from any offset via `from`);
+//! * **`fleet/submit|status|drain`** — lease-supervised search jobs
+//!   ([`fleet::FleetTable`]) backed by `dance-fleet`'s durable job ledger.
+//!   Submission is idempotent (the job id is the spec digest), so client
+//!   retries after transport failures cannot duplicate work; per-worker
+//!   health and lease-recovery counters surface under `health`.
 //!
 //! Cross-cutting: a sharded LRU response cache ([`cache::ResponseCache`])
 //! keyed on quantized payloads whose hits replay **bit-identical** bytes,
@@ -47,6 +52,7 @@ pub mod batch;
 pub mod cache;
 pub mod campaign;
 pub mod client;
+pub mod fleet;
 pub mod jobs;
 pub mod proto;
 pub mod queue;

@@ -17,6 +17,9 @@
 //! | `campaign/status`| `campaign`                                                  |
 //! | `campaign/stream`| `campaign`, optional `from` (replay offset)                 |
 //! | `campaign/cancel`| `campaign`                                                  |
+//! | `fleet/submit`   | `epochs`, `batch`, `seed`, `lambda2` (all optional; job id is the spec digest, so resubmission dedupes) |
+//! | `fleet/status`   | `job`                                                       |
+//! | `fleet/drain`    | —                                                           |
 //! | `health`         | —                                                           |
 //! | `admin/shutdown` | —                                                           |
 //!
@@ -112,6 +115,26 @@ pub enum ReqBody {
         /// Campaign id returned by `campaign/submit`.
         campaign: String,
     },
+    /// Submit a job to the search fleet. Idempotent: the job id is the
+    /// digest of the spec, so resubmitting the same spec (e.g. a client
+    /// retry after a transport failure) returns the existing job.
+    FleetSubmit {
+        /// Search epochs.
+        epochs: usize,
+        /// Search batch size.
+        batch: usize,
+        /// Search RNG seed.
+        seed: u64,
+        /// λ₂ hardware-cost weight.
+        lambda2: f32,
+    },
+    /// Poll a fleet job's state (attempt count, worker, digest when done).
+    FleetStatus {
+        /// Job id returned by `fleet/submit`.
+        job: String,
+    },
+    /// Stop the fleet accepting new jobs; in-flight jobs run to completion.
+    FleetDrain,
     /// Liveness + guard/cache/queue introspection.
     Health,
     /// Begin a graceful drain; the server exits once in-flight work is done.
@@ -369,6 +392,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 _ => ReqBody::CampaignCancel { campaign },
             }
         }
+        "fleet/submit" => ReqBody::FleetSubmit {
+            epochs: get_u64(&v, "epochs").unwrap_or(4) as usize,
+            batch: get_u64(&v, "batch").unwrap_or(32) as usize,
+            seed: get_u64(&v, "seed").unwrap_or(0),
+            lambda2: v
+                .get("lambda2")
+                .and_then(Json::as_f64)
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .unwrap_or(0.1) as f32,
+        },
+        "fleet/status" => ReqBody::FleetStatus {
+            job: v
+                .get("job")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::bad_request("fleet/status needs string `job`"))?
+                .to_string(),
+        },
+        "fleet/drain" => ReqBody::FleetDrain,
         "health" => ReqBody::Health,
         "admin/shutdown" => ReqBody::Shutdown,
         other => return Err(ProtoError::bad_request(format!("unknown op {other:?}"))),
@@ -499,6 +540,26 @@ pub fn render_request(req: &Request) -> String {
             out.push_str("\"campaign/cancel\",\"campaign\":");
             push_escaped(&mut out, campaign);
         }
+        ReqBody::FleetSubmit {
+            epochs,
+            batch,
+            seed,
+            lambda2,
+        } => {
+            out.push_str("\"fleet/submit\",\"epochs\":");
+            push_num(&mut out, *epochs as f64);
+            out.push_str(",\"batch\":");
+            push_num(&mut out, *batch as f64);
+            out.push_str(",\"seed\":");
+            push_num(&mut out, *seed as f64);
+            out.push_str(",\"lambda2\":");
+            push_num(&mut out, f64::from(*lambda2));
+        }
+        ReqBody::FleetStatus { job } => {
+            out.push_str("\"fleet/status\",\"job\":");
+            push_escaped(&mut out, job);
+        }
+        ReqBody::FleetDrain => out.push_str("\"fleet/drain\""),
         ReqBody::Health => out.push_str("\"health\""),
         ReqBody::Shutdown => out.push_str("\"admin/shutdown\""),
     }
@@ -666,6 +727,60 @@ mod tests {
                 body,
             });
         }
+    }
+
+    #[test]
+    fn fleet_ops_roundtrip() {
+        for body in [
+            ReqBody::FleetSubmit {
+                epochs: 6,
+                batch: 32,
+                seed: 11,
+                lambda2: 0.25,
+            },
+            ReqBody::FleetStatus {
+                job: "fjob-00ff".into(),
+            },
+            ReqBody::FleetDrain,
+        ] {
+            roundtrip(&Request {
+                id: "fleet".into(),
+                deadline_ms: None,
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn fleet_submit_defaults_and_rejections() {
+        let req = parse_request(r#"{"v":1,"id":"a","op":"fleet/submit"}"#).expect("parses");
+        assert_eq!(
+            req.body,
+            ReqBody::FleetSubmit {
+                epochs: 4,
+                batch: 32,
+                seed: 0,
+                lambda2: 0.1,
+            }
+        );
+        let err = parse_request(r#"{"v":1,"id":"a","op":"fleet/status"}"#).expect_err("no job");
+        assert_eq!(err.code, 400);
+    }
+
+    #[test]
+    fn fleet_requests_are_never_cached() {
+        assert!(cache_key(&ReqBody::FleetSubmit {
+            epochs: 4,
+            batch: 32,
+            seed: 0,
+            lambda2: 0.1,
+        })
+        .is_none());
+        assert!(cache_key(&ReqBody::FleetStatus {
+            job: "fjob-0".into()
+        })
+        .is_none());
+        assert!(cache_key(&ReqBody::FleetDrain).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::batch::{BatchConfig, PredictBatcher};
 use crate::cache::ResponseCache;
 use crate::campaign::CampaignTable;
 use crate::client::LineReader;
+use crate::fleet::FleetTable;
 use crate::jobs::JobTable;
 use crate::proto::{
     self, cache_key, parse_request, render_err, render_ok, ProtoError, ReqBody, Request,
@@ -71,6 +72,13 @@ pub struct ServeConfig {
     /// Root directory for campaign manifests and per-cell checkpoints
     /// (`<campaign_root>/<campaign-id>/`).
     pub campaign_root: std::path::PathBuf,
+    /// In-process fleet worker threads behind the `fleet/*` endpoints.
+    pub fleet_workers: usize,
+    /// Root directory for the fleet's job ledger and checkpoints.
+    pub fleet_root: std::path::PathBuf,
+    /// Fleet lease TTL. Heartbeats fire per epoch, so this must exceed
+    /// one epoch's wall time or healthy workers get reclaimed.
+    pub fleet_lease_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +97,9 @@ impl Default for ServeConfig {
             eval_width: 16,
             ckpt_root: std::env::temp_dir().join("dance_serve_jobs"),
             campaign_root: std::env::temp_dir().join("dance_serve_campaigns"),
+            fleet_workers: 1,
+            fleet_root: std::env::temp_dir().join("dance_serve_fleet"),
+            fleet_lease_ms: 4000,
         }
     }
 }
@@ -101,6 +112,10 @@ struct Shared {
     batcher: PredictBatcher,
     jobs: JobTable,
     campaigns: CampaignTable,
+    // `Option` so a graceful drain can take ownership and join the fleet's
+    // worker threads; `None` also covers a fleet that failed to start
+    // (fleet ops then answer 500, everything else still serves).
+    fleet: std::sync::Mutex<Option<FleetTable>>,
     model: CostModel,
     template: NetworkTemplate,
     space: HardwareSpace,
@@ -146,12 +161,21 @@ impl Server {
                 HeadSampling::Softmax { tau: 1.0 },
             )
         };
+        let fleet = match FleetTable::start(&cfg.fleet_root, cfg.fleet_workers, cfg.fleet_lease_ms)
+        {
+            Ok(table) => Some(table),
+            Err(e) => {
+                eprintln!("warning: fleet disabled: {e}");
+                None
+            }
+        };
         let shared = Arc::new(Shared {
             cache: ResponseCache::new(cfg.cache_capacity, cfg.cache_shards),
             admission: Admission::new(cfg.max_inflight, cfg.max_waiting),
             batcher: PredictBatcher::start(arch_width, make_evaluator, cfg.batch),
             jobs: JobTable::start(cfg.search_workers, cfg.job_queue, cfg.ckpt_root.clone()),
             campaigns: CampaignTable::new(cfg.campaign_root.clone()),
+            fleet: std::sync::Mutex::new(fleet),
             model: CostModel::new(),
             template: NetworkTemplate::cifar10(),
             space: HardwareSpace::new(),
@@ -223,6 +247,15 @@ impl Server {
         self.shared.batcher.shutdown();
         self.shared.jobs.shutdown();
         self.shared.campaigns.shutdown();
+        let fleet = self
+            .shared
+            .fleet
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(fleet) = fleet {
+            fleet.shutdown();
+        }
         dance_telemetry::counter!("serve.drained");
         dance_telemetry::gauge!(
             "serve.requests_total",
@@ -498,12 +531,60 @@ fn dispatch(shared: &Shared, req: &Request) -> Result<String, ProtoError> {
             shared.campaigns.cancel(campaign)?;
             Ok("\"cancelling\":true".into())
         }
+        ReqBody::FleetSubmit {
+            epochs,
+            batch,
+            seed,
+            lambda2,
+        } => {
+            if draining {
+                return Err(ProtoError::overloaded("server is draining"));
+            }
+            with_fleet(shared, |fleet| {
+                fleet
+                    .submit(*epochs, *batch, *seed, *lambda2)
+                    .map_err(fleet_submit_err)
+            })
+        }
+        ReqBody::FleetStatus { job } => with_fleet(shared, |fleet| {
+            fleet
+                .status(job)
+                .ok_or_else(|| ProtoError::not_found(format!("unknown fleet job {job:?}")))
+        }),
+        ReqBody::FleetDrain => with_fleet(shared, |fleet| Ok(fleet.drain())),
         ReqBody::Health => Ok(health_payload(shared)),
         ReqBody::Shutdown => {
             shared.drain.store(true, Ordering::SeqCst);
             dance_telemetry::counter!("serve.shutdown_requested");
             Ok("\"draining\":true".into())
         }
+    }
+}
+
+/// Runs `f` against the fleet table; `500` when the fleet failed to start.
+/// The lock is per-request — fleet ops serialize, which is fine at their
+/// rate (submissions and polls, not the cost-query hot path).
+fn with_fleet<F>(shared: &Shared, f: F) -> Result<String, ProtoError>
+where
+    F: FnOnce(&FleetTable) -> Result<String, ProtoError>,
+{
+    let guard = shared
+        .fleet
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match guard.as_ref() {
+        Some(fleet) => f(fleet),
+        None => Err(ProtoError::internal("fleet is not running")),
+    }
+}
+
+/// Maps a fleet submission error string onto a protocol code: rejected
+/// specs are the client's fault, a draining fleet is back-pressure.
+fn fleet_submit_err(msg: String) -> ProtoError {
+    if msg.contains("draining") {
+        ProtoError::overloaded(msg)
+    } else {
+        ProtoError::bad_request(msg)
     }
 }
 
@@ -607,7 +688,22 @@ fn health_payload(shared: &Shared) -> String {
     push_num(&mut p, camps.done as f64);
     p.push_str(",\"failed\":");
     push_num(&mut p, camps.failed as f64);
-    p.push_str("},\"guard\":{\"enabled\":");
+    p.push_str("},\"fleet\":");
+    {
+        let guard = shared
+            .fleet
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(fleet) => {
+                p.push('{');
+                p.push_str(&fleet.health_fragment());
+                p.push('}');
+            }
+            None => p.push_str("null"),
+        }
+    }
+    p.push_str(",\"guard\":{\"enabled\":");
     p.push_str(if dance_guard::enabled() {
         "true"
     } else {

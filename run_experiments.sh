@@ -51,6 +51,21 @@ target/release/dance_campaign --lambda2 0.1,0.4 --seeds 0 --envelopes edge \
 cdigests=$(grep -c "$(grep -m1 frontier-digest results/campaign_smoke.log)" results/campaign_smoke.log)
 [ "$cdigests" -eq 2 ] || { echo "CAMPAIGN_RESUME_MISMATCH"; exit 1; }
 echo CAMPAIGN_RESUME_OK
+# Fleet smoke: run the same job set straight and with one worker process
+# SIGKILLed mid-run; the lease must be reclaimed, the job handed off from
+# its last durable checkpoint, and every per-job arch-digest identical.
+# (fleet_bench also writes BENCH_fleet.json: clean vs drill throughput and
+# the recovery-latency p95.)
+cargo build --release --bin dance_fleet --bin fleet_bench
+rm -rf results/fleet/smoke-straight results/fleet/smoke-drill
+target/release/dance_fleet --jobs 3 --epochs 4 --workers 2 \
+    --dir results/fleet/smoke-straight 2>&1 | tee results/fleet_smoke.log
+target/release/dance_fleet --jobs 3 --epochs 4 --workers 2 --lease-ttl-ms 2500 \
+    --chaos-kill-ms 300 --dir results/fleet/smoke-drill 2>&1 | tee -a results/fleet_smoke.log
+fdigests=$(grep "arch-digest" results/fleet_smoke.log | sort | uniq -c | awk '$1 != 2' | wc -l)
+[ "$fdigests" -eq 0 ] || { echo "FLEET_DRILL_MISMATCH"; exit 1; }
+echo FLEET_DRILL_OK
+cargo run --release --bin fleet_bench 2>&1 | tee results/fleet_bench.log
 cargo run --release -p dance-bench --bin table1 2>&1 | tee results/table1.log
 cargo run --release -p dance-bench --bin table2 2>&1 | tee results/table2.log
 cargo run --release -p dance-bench --bin table3 2>&1 | tee results/table3.log

@@ -16,6 +16,18 @@ cargo run --release -q -p dance-analyze -- --source crates/telemetry
 echo "== dance-analyze --source crates/serve =="
 cargo run --release -q -p dance-analyze -- --source crates/serve
 
+echo "== dance-analyze --source crates/fleet =="
+cargo run --release -q -p dance-analyze -- --source crates/fleet
+
+# Source-lint fixtures are must-fail for the same reason the concurrency
+# ones are: a seeded violation that stops tripping means the rule is blind.
+echo "== dance-analyze --source fixture: retry_backoff (must fail) =="
+if cargo run --release -q -p dance-analyze -- --source \
+  "crates/analyze/fixtures/source/retry_backoff"; then
+  echo "fixture retry_backoff no longer trips the analyzer" >&2
+  exit 1
+fi
+
 # Concurrency pass: the workspace must be free of lock-order cycles, guards
 # held across blocking boundaries, and nondeterminism hazards…
 echo "== dance-analyze --concurrency =="
@@ -57,6 +69,27 @@ cargo test -q --release --test campaign_resume
 echo "== guard fault-injection suite =="
 cargo test -q --release -p dance-guard --features fault-injection
 cargo test -q --release --features fault-injection --test guard_faults
+
+echo "== fleet suite =="
+cargo test -q --release -p dance-fleet
+cargo test -q --release --test fleet_recovery
+cargo test -q --release --test torn_checkpoint
+cargo test -q --release --features fault-injection --test fleet_faults
+
+# Process-level chaos drill: run the same job set straight and with one
+# worker SIGKILLed mid-run; the per-job arch-digest lines must be identical.
+echo "== fleet chaos drill (kill-one-worker, digests must match) =="
+cargo build --release -q --bin dance_fleet
+drill_dir="$(mktemp -d)"
+trap 'rm -rf "${drill_dir}"' EXIT
+./target/release/dance_fleet --jobs 3 --epochs 4 --workers 2 \
+  --dir "${drill_dir}/straight" | grep "arch-digest" | sort > "${drill_dir}/straight.txt"
+./target/release/dance_fleet --jobs 3 --epochs 4 --workers 2 --lease-ttl-ms 2500 \
+  --chaos-kill-ms 300 --dir "${drill_dir}/drill" | grep "arch-digest" | sort > "${drill_dir}/drill.txt"
+if ! diff -u "${drill_dir}/straight.txt" "${drill_dir}/drill.txt"; then
+  echo "fleet chaos drill diverged from the straight run" >&2
+  exit 1
+fi
 
 # Optional ThreadSanitizer pass over the concurrency-heavy crates. TSan
 # needs a nightly toolchain (-Zsanitizer + build-std), so the block is

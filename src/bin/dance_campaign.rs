@@ -13,11 +13,19 @@
 //! dance_campaign [--lambda2 F,F,..] [--seeds N,N,..] [--envelopes full,edge]
 //!                [--epochs N] [--batch N] [--seed N] [--dir DIR]
 //!                [--max-concurrency N] [--resume] [--stream]
+//!                [--attach HOST:PORT] [--connect-timeout-ms N] [--io-timeout-ms N]
 //! ```
 //!
 //! With `--stream`, every `frontier_update` / `campaign_end` event is
 //! printed to stdout as NDJSON while the campaign runs — the same lines
 //! the `campaign/stream` serve endpoint delivers.
+//!
+//! With `--attach HOST:PORT`, the campaign is submitted to a running
+//! `dance_serve` instead of executing locally, and its event stream is
+//! followed over the wire with automatic re-attach: if the connection
+//! drops or times out mid-stream, the client reconnects (bounded by the
+//! connect/io timeout knobs) and replays from the last seen event offset,
+//! so a server restart or network blip loses no events.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,18 +35,27 @@ use std::time::Duration;
 use dance_campaign::prelude::{
     run_campaign, CampaignSpec, CancelToken, Envelope, EventLog, Waited,
 };
+use dance_serve::client::{ClientConfig, RetryPolicy, StreamFollower};
+use dance_serve::proto::{ReqBody, Request};
+use dance_serve::Client;
+use dance_telemetry::json::Json;
 
 struct Args {
     spec: CampaignSpec,
+    envelope_names: Vec<String>,
     resume: bool,
     stream: bool,
+    attach: Option<String>,
+    connect_timeout_ms: u64,
+    io_timeout_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dance_campaign [--lambda2 F,F,..] [--seeds N,N,..] [--envelopes full,edge]\n\
          \x20                     [--epochs N] [--batch N] [--seed N] [--dir DIR]\n\
-         \x20                     [--max-concurrency N] [--resume] [--stream]"
+         \x20                     [--max-concurrency N] [--resume] [--stream]\n\
+         \x20                     [--attach HOST:PORT] [--connect-timeout-ms N] [--io-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -55,8 +72,12 @@ fn parse_args() -> Args {
         root: PathBuf::from("results/campaigns/cli"),
         max_concurrency: 0,
     };
+    let mut envelope_names = vec!["full".to_string(), "edge".to_string()];
     let mut resume = false;
     let mut stream = false;
+    let mut attach = None;
+    let mut connect_timeout_ms = 5000u64;
+    let mut io_timeout_ms = 10_000u64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| {
@@ -69,8 +90,12 @@ fn parse_args() -> Args {
             "--lambda2" => spec.lambda2 = parse_list(&value("--lambda2"), "--lambda2"),
             "--seeds" => spec.dataset_seeds = parse_list(&value("--seeds"), "--seeds"),
             "--envelopes" => {
-                spec.envelopes = value("--envelopes")
+                envelope_names = value("--envelopes")
                     .split(',')
+                    .map(str::to_string)
+                    .collect();
+                spec.envelopes = envelope_names
+                    .iter()
                     .map(|name| {
                         Envelope::by_name(name).unwrap_or_else(|| {
                             eprintln!("unknown envelope {name:?} (expected full|edge)");
@@ -88,6 +113,14 @@ fn parse_args() -> Args {
             }
             "--resume" => resume = true,
             "--stream" => stream = true,
+            "--attach" => attach = Some(value("--attach")),
+            "--connect-timeout-ms" => {
+                connect_timeout_ms =
+                    parse_num(&value("--connect-timeout-ms"), "--connect-timeout-ms");
+            }
+            "--io-timeout-ms" => {
+                io_timeout_ms = parse_num(&value("--io-timeout-ms"), "--io-timeout-ms");
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -97,8 +130,12 @@ fn parse_args() -> Args {
     }
     Args {
         spec,
+        envelope_names,
         resume,
         stream,
+        attach,
+        connect_timeout_ms,
+        io_timeout_ms,
     }
 }
 
@@ -115,11 +152,77 @@ fn parse_list<T: std::str::FromStr>(s: &str, flag: &str) -> Vec<T> {
         .collect()
 }
 
+/// Submits the campaign to a running `dance_serve` and follows its event
+/// stream with automatic re-attach from the last seen offset.
+fn run_attached(args: &Args, addr: &str) -> ExitCode {
+    let cfg = ClientConfig::from_ms(args.connect_timeout_ms, args.io_timeout_ms);
+    let mut client = match Client::connect_with(addr, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Submission is NOT retried: campaign/submit is not idempotent, and a
+    // blind retry after an ambiguous transport failure could start the
+    // campaign twice.
+    let submit = Request {
+        id: "cli-submit".into(),
+        deadline_ms: None,
+        body: ReqBody::CampaignSubmit {
+            lambda2: args.spec.lambda2.clone(),
+            dataset_seeds: args.spec.dataset_seeds.clone(),
+            envelopes: args.envelope_names.clone(),
+            epochs: args.spec.epochs,
+            batch: args.spec.batch_size,
+            seed: args.spec.seed,
+            max_concurrency: args.spec.max_concurrency,
+        },
+    };
+    let campaign = match client.call(&submit) {
+        Ok(resp) => match resp.get("campaign").and_then(Json::as_str) {
+            Some(id) => id.to_string(),
+            None => {
+                let err = resp.get("err").and_then(Json::as_str).unwrap_or("rejected");
+                eprintln!("campaign/submit failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("campaign/submit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("campaign {campaign} submitted to {addr}; streaming events");
+    let policy = RetryPolicy::default();
+    let mut follower = match StreamFollower::attach(client, &campaign, policy) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("campaign/stream failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    loop {
+        match follower.next_event() {
+            Ok(Some(line)) => println!("{line}"),
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("stream lost beyond the re-attach budget: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Err(e) = args.spec.validate() {
         eprintln!("{e}");
         usage();
+    }
+    if let Some(addr) = &args.attach {
+        return run_attached(&args, addr);
     }
 
     let log = Arc::new(EventLog::new());

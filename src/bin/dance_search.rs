@@ -145,14 +145,7 @@ fn main() -> ExitCode {
     println!("choices: {}", choices.join(" "));
     // Bit-exact fingerprint of the final architecture parameters, for
     // comparing a resumed run against an uninterrupted one.
-    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-    for row in &outcome.probs {
-        for &p in row {
-            digest ^= u64::from(p.to_bits());
-            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    println!("arch-digest: {digest:016x}");
+    println!("arch-digest: {:016x}", outcome.digest());
     let g = &outcome.guard;
     println!(
         "guard: trips {} rollbacks {} degraded {} resumed {:?} checkpoints {}",

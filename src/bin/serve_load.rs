@@ -3,6 +3,7 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--requests N] [--clients C]
 //!            [--mix analytic|mixed] [--deadline-ms N] [--shutdown]
+//!            [--connect-timeout-ms N] [--io-timeout-ms N] [--retries N]
 //! ```
 //!
 //! Each client keeps one connection and fires requests back-to-back from a
@@ -15,9 +16,10 @@
 //! draining the server via `admin/shutdown`.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use dance_bench::bench_run;
+use dance_serve::client::{ClientConfig, RetryPolicy};
 use dance_serve::proto::{ReqBody, Request, NUM_CHOICES, NUM_SLOTS};
 use dance_serve::Client;
 use dance_telemetry::json::Json;
@@ -32,12 +34,34 @@ struct LoadConfig {
     mixed: bool,
     deadline_ms: u64,
     shutdown: bool,
+    connect_timeout_ms: u64,
+    io_timeout_ms: u64,
+    retries: u32,
+}
+
+impl LoadConfig {
+    fn client_config(&self) -> ClientConfig {
+        ClientConfig::from_ms(self.connect_timeout_ms, self.io_timeout_ms)
+    }
+
+    /// Transport-only retries: `retry_on_503` stays off so shed requests
+    /// are counted as sheds, not silently replayed into the queue they
+    /// were just shed from.
+    fn retry_policy(&self, thread: usize) -> RetryPolicy {
+        RetryPolicy {
+            attempts: self.retries.max(1),
+            seed: thread as u64,
+            retry_on_503: false,
+            ..RetryPolicy::default()
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_load [--addr HOST:PORT] [--requests N] [--clients C] \
-         [--mix analytic|mixed] [--deadline-ms N] [--shutdown]"
+         [--mix analytic|mixed] [--deadline-ms N] [--shutdown] \
+         [--connect-timeout-ms N] [--io-timeout-ms N] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +74,9 @@ fn parse_args() -> LoadConfig {
         mixed: true,
         deadline_ms: 250,
         shutdown: false,
+        connect_timeout_ms: 5000,
+        io_timeout_ms: 10_000,
+        retries: 1,
     };
     let mut args = std::env::args();
     let _ = args.next();
@@ -75,6 +102,15 @@ fn parse_args() -> LoadConfig {
                 cfg.deadline_ms = next("--deadline-ms").parse().unwrap_or_else(|_| usage());
             }
             "--shutdown" => cfg.shutdown = true,
+            "--connect-timeout-ms" => {
+                cfg.connect_timeout_ms = next("--connect-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--io-timeout-ms" => {
+                cfg.io_timeout_ms = next("--io-timeout-ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--retries" => cfg.retries = next("--retries").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -133,7 +169,7 @@ struct ThreadStats {
 
 fn client_loop(cfg: &LoadConfig, pool: &[ReqBody], thread: usize, count: usize) -> ThreadStats {
     let mut stats = ThreadStats::default();
-    let mut client = match Client::connect(&cfg.addr, Some(Duration::from_secs(10))) {
+    let mut client = match Client::connect_with(&cfg.addr, cfg.client_config()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("client {thread}: connect failed: {e}");
@@ -141,6 +177,7 @@ fn client_loop(cfg: &LoadConfig, pool: &[ReqBody], thread: usize, count: usize) 
             return stats;
         }
     };
+    let policy = cfg.retry_policy(thread);
     let mut rng = StdRng::seed_from_u64(1000 + thread as u64);
     for i in 0..count {
         let body = pool[rng.gen_range(0..pool.len() as u32) as usize].clone();
@@ -150,7 +187,7 @@ fn client_loop(cfg: &LoadConfig, pool: &[ReqBody], thread: usize, count: usize) 
             body,
         };
         let t0 = Instant::now();
-        match client.call(&req) {
+        match client.call_retry(&req, &policy) {
             Ok(resp) => {
                 let us = t0.elapsed().as_micros() as u64;
                 match resp.get("ok") {
@@ -175,7 +212,7 @@ fn client_loop(cfg: &LoadConfig, pool: &[ReqBody], thread: usize, count: usize) 
 
 /// Server-side cache hit-rate, read off the `health` endpoint.
 fn fetch_hit_rate(cfg: &LoadConfig) -> f64 {
-    let probe = Client::connect(&cfg.addr, Some(Duration::from_secs(5))).and_then(|mut c| {
+    let probe = Client::connect_with(&cfg.addr, cfg.client_config()).and_then(|mut c| {
         c.call(&Request {
             id: "health".into(),
             deadline_ms: None,
@@ -235,7 +272,7 @@ fn run_load(cfg: &LoadConfig) {
          → {qps:.0} qps, p50 {p50}us p95 {p95}us p99 {p99}us, cache hit-rate {hit_rate:.2}"
     );
     if cfg.shutdown {
-        match Client::connect(&cfg.addr, Some(Duration::from_secs(5))).and_then(|mut c| {
+        match Client::connect_with(&cfg.addr, cfg.client_config()).and_then(|mut c| {
             c.call(&Request {
                 id: "drain".into(),
                 deadline_ms: None,

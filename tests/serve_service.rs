@@ -11,7 +11,15 @@ use dance_telemetry::json::Json;
 
 /// Binds a server on an ephemeral port, runs it on a background thread and
 /// returns its address plus the join handle (joined after `admin/shutdown`).
-fn start_server(cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+fn start_server(mut cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    // Parallel tests must not share the default fleet root: two supervisors
+    // over one directory race on the ledger's generation files.
+    static FLEET_DIRS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    if cfg.fleet_root == ServeConfig::default().fleet_root {
+        let n = FLEET_DIRS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        cfg.fleet_root =
+            std::env::temp_dir().join(format!("dance_serve_fleet_t{n}_{}", std::process::id()));
+    }
     let server = Server::bind(&cfg).expect("ephemeral bind succeeds");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || {
@@ -432,4 +440,130 @@ fn campaign_endpoints_stream_and_replay_frontier_updates() {
     shutdown(&addr);
     handle.join().expect("server thread joins after drain");
     let _cleanup = std::fs::remove_dir_all(&campaign_root);
+}
+
+#[test]
+fn fleet_endpoints_dedupe_submissions_and_drain_cleanly() {
+    let fleet_root =
+        std::env::temp_dir().join(format!("dance_serve_fleet_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fleet_root);
+    let (addr, handle) = start_server(ServeConfig {
+        fleet_root: fleet_root.clone(),
+        fleet_workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = connect(&addr);
+
+    let submit = |client: &mut Client, id: &str, seed: u64| {
+        client
+            .call(&Request {
+                id: id.into(),
+                deadline_ms: None,
+                body: ReqBody::FleetSubmit {
+                    epochs: 2,
+                    batch: 16,
+                    seed,
+                    lambda2: 0.1,
+                },
+            })
+            .expect("submit call returns")
+    };
+
+    let first = submit(&mut client, "f-sub", 5);
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first:?}");
+    assert_eq!(first.get("deduped"), Some(&Json::Bool(false)));
+    let job = first
+        .get("job")
+        .and_then(Json::as_str)
+        .expect("submit returns a job id")
+        .to_string();
+    assert!(job.starts_with("fjob-"), "job id {job:?}");
+
+    // The same spec is the same job: a retried submit cannot fork work.
+    let again = submit(&mut client, "f-resub", 5);
+    assert_eq!(again.get("deduped"), Some(&Json::Bool(true)));
+    assert_eq!(again.get("job").and_then(Json::as_str), Some(job.as_str()));
+
+    // Unknown jobs are 404s.
+    let missing = client
+        .call(&Request {
+            id: "f-404".into(),
+            deadline_ms: None,
+            body: ReqBody::FleetStatus {
+                job: "fjob-ffffffffffffffff".into(),
+            },
+        })
+        .expect("status call returns");
+    assert_eq!(missing.get("code").and_then(Json::as_f64), Some(404.0));
+
+    // Poll status until the search lands with its digest.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let done = loop {
+        let status = client
+            .call(&Request {
+                id: "f-status".into(),
+                deadline_ms: None,
+                body: ReqBody::FleetStatus { job: job.clone() },
+            })
+            .expect("status succeeds");
+        if status.get("state").and_then(Json::as_str) == Some("done") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet job never finished: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let digest = done
+        .get("digest")
+        .and_then(Json::as_str)
+        .expect("done job reports its digest");
+    assert_eq!(digest.len(), 16, "digest is 16 hex digits: {digest:?}");
+
+    // Health surfaces the fleet: job counts and per-worker state.
+    let health = client
+        .call(&Request {
+            id: "f-health".into(),
+            deadline_ms: None,
+            body: ReqBody::Health,
+        })
+        .expect("health succeeds");
+    let fleet = health.get("fleet").expect("health has a fleet section");
+    assert_eq!(
+        fleet
+            .get("jobs")
+            .and_then(|j| j.get("done"))
+            .and_then(Json::as_f64),
+        Some(1.0),
+        "health: {health:?}"
+    );
+
+    // Drain: no new work, existing answers still served.
+    let drained = client
+        .call(&Request {
+            id: "f-drain".into(),
+            deadline_ms: None,
+            body: ReqBody::FleetDrain,
+        })
+        .expect("drain succeeds");
+    assert_eq!(drained.get("draining"), Some(&Json::Bool(true)));
+    let refused = submit(&mut client, "f-late", 6);
+    assert_eq!(
+        refused.get("code").and_then(Json::as_f64),
+        Some(503.0),
+        "draining fleet must shed new submissions: {refused:?}"
+    );
+    let still = client
+        .call(&Request {
+            id: "f-still".into(),
+            deadline_ms: None,
+            body: ReqBody::FleetStatus { job: job.clone() },
+        })
+        .expect("status after drain succeeds");
+    assert_eq!(still.get("state").and_then(Json::as_str), Some("done"));
+
+    shutdown(&addr);
+    handle.join().expect("server thread joins after drain");
+    let _cleanup = std::fs::remove_dir_all(&fleet_root);
 }
